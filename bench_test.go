@@ -1,0 +1,252 @@
+// Package colock_test holds the benchmark harness: one testing.B benchmark
+// per experiment of DESIGN.md §5 (E1–E11, regenerating the quantitative
+// counterpart of every qualitative claim in the paper's §4.6 plus the
+// de-escalation and BLU-coalescing ablations), and microbenchmarks of the
+// protocol's primitive operations.
+//
+// Run with: go test -bench=. -benchmem
+package colock_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"colock/internal/authz"
+	"colock/internal/core"
+	"colock/internal/experiments"
+	"colock/internal/lock"
+	"colock/internal/query"
+	"colock/internal/store"
+	"colock/internal/txn"
+	"colock/internal/workload"
+)
+
+// --- Experiment benchmarks (tables of EXPERIMENTS.md) ---
+
+func BenchmarkE1Fig7Concurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E1Fig7Concurrency(10)
+	}
+}
+
+func BenchmarkE2Granularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E2Granularity(8, 50, 100*time.Microsecond)
+	}
+}
+
+func BenchmarkE3SharedXLock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E3SharedXLock([]int{2, 8, 32})
+	}
+}
+
+func BenchmarkE4FromTheSide(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E4FromTheSide(5)
+	}
+}
+
+func BenchmarkE5Authorization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E5Authorization([]int{8}, 100*time.Microsecond)
+	}
+}
+
+func BenchmarkE6Escalation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E6Escalation(200, []float64{0.05, 0.5, 1.0})
+	}
+}
+
+func BenchmarkE7LongTransactions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E7LongTransactions(8, 10*time.Millisecond)
+	}
+}
+
+func BenchmarkE8DisjointOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E8DisjointOverhead(16, 4)
+	}
+}
+
+func BenchmarkE9BenefitSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E9BenefitSweep([]int{1, 3}, 10*time.Millisecond)
+	}
+}
+
+func BenchmarkE10DeEscalation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E10DeEscalation(8, 10*time.Millisecond)
+	}
+}
+
+func BenchmarkE11BLUCoalescing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E11BLUCoalescing(32)
+	}
+}
+
+func BenchmarkE12RecursiveClosure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E12RecursiveClosure([]int{2, 8, 32})
+	}
+}
+
+func BenchmarkE13DeadlockPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E13DeadlockPolicy(4, 10)
+	}
+}
+
+// --- Microbenchmarks of the primitive operations ---
+
+func protoStack(rule4Prime bool) (*core.Protocol, *store.Store, *authz.Table) {
+	st := store.PaperDatabase()
+	core.CollectStatistics(st)
+	nm := core.NewNamer(st.Catalog(), false)
+	auth := authz.NewTable(false)
+	var opts core.Options
+	if rule4Prime {
+		opts = core.Options{Rule4Prime: true, Authorizer: auth}
+	}
+	return core.NewProtocol(lock.NewManager(lock.Options{}), st, nm, opts), st, auth
+}
+
+// BenchmarkLockAcquireRelease measures a plain lock-manager round trip.
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	mgr := lock.NewManager(lock.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := mgr.Acquire(1, "r", lock.X); err != nil {
+			b.Fatal(err)
+		}
+		mgr.ReleaseAll(1)
+	}
+}
+
+// BenchmarkProtocolLockDisjoint measures a full protocol X on a disjoint
+// part (ancestor chain, no propagation).
+func BenchmarkProtocolLockDisjoint(b *testing.B) {
+	proto, _, _ := protoStack(false)
+	p := store.P("cells", "c1", "c_objects", "o1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := proto.LockPath(1, p, lock.X); err != nil {
+			b.Fatal(err)
+		}
+		proto.Release(1)
+	}
+}
+
+// BenchmarkProtocolLockShared measures a protocol X on a robot with
+// downward propagation onto two shared effectors (the Figure 7 request).
+func BenchmarkProtocolLockShared(b *testing.B) {
+	proto, _, auth := protoStack(true)
+	auth.Grant(1, "cells")
+	p := store.P("cells", "c1", "robots", "r1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := proto.LockPath(1, p, lock.X); err != nil {
+			b.Fatal(err)
+		}
+		proto.Release(1)
+	}
+}
+
+// BenchmarkDeriveGraph measures object-specific lock graph derivation.
+func BenchmarkDeriveGraph(b *testing.B) {
+	st := store.PaperDatabase()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DeriveGraph(st.Catalog(), "cells"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComputeUnits measures the Figure 6 unit decomposition.
+func BenchmarkComputeUnits(b *testing.B) {
+	st := store.PaperDatabase()
+	nm := core.NewNamer(st.Catalog(), false)
+	obj := store.P("cells", "c1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ComputeUnits(st, nm, obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryParse measures parsing of the Figure 3 query Q2.
+func BenchmarkQueryParse(b *testing.B) {
+	src := `SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryEndToEnd measures parse+analyze+plan+execute of Q2 inside a
+// transaction.
+func BenchmarkQueryEndToEnd(b *testing.B) {
+	proto, st, auth := protoStack(true)
+	mgr := txn.NewManager(proto, st)
+	exec := query.NewExecutor(mgr, core.PlannerOptions{})
+	src := `SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := mgr.Begin()
+		auth.Grant(tx.ID(), "cells")
+		if _, _, err := exec.Run(tx, src); err != nil {
+			b.Fatal(err)
+		}
+		tx.Abort()
+	}
+}
+
+// BenchmarkPlanQuery measures §4.5 lock-request determination alone.
+func BenchmarkPlanQuery(b *testing.B) {
+	st := store.PaperDatabase()
+	core.CollectStatistics(st)
+	spec := core.QuerySpec{
+		Relation:    "cells",
+		ObjectBound: true,
+		Hops:        []core.Hop{{Attrs: []string{"robots"}, Bound: true}},
+		Access:      core.AccessUpdate,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PlanQuery(st.Catalog(), spec, core.PlannerOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateDatabase measures the workload generator.
+func BenchmarkGenerateDatabase(b *testing.B) {
+	cfg := workload.Config{Seed: 1, Cells: 32, CObjectsPerCell: 16, RobotsPerCell: 4, EffectorsPerRobot: 2, Effectors: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = workload.Generate(cfg)
+	}
+}
+
+// BenchmarkBackRefsScan measures the reverse-reference scan the traditional
+// DAG baseline must pay (E3's cost driver), at several database sizes.
+func BenchmarkBackRefsScan(b *testing.B) {
+	for _, cells := range []int{8, 64} {
+		b.Run(fmt.Sprintf("cells=%d", cells), func(b *testing.B) {
+			st := workload.Generate(workload.Config{Seed: 3, Cells: cells, RobotsPerCell: 4, EffectorsPerRobot: 2, Effectors: 4})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = st.BackRefs("effectors", "e0")
+			}
+		})
+	}
+}

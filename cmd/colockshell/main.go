@@ -1,0 +1,262 @@
+// Command colockshell is an interactive query shell over the paper's
+// example database with live lock tracing: every HDBL query is executed
+// through the planner and the lock protocol, and the shell shows which
+// locks were requested, in which modes, and the chosen plan granule.
+//
+//	$ colockshell
+//	> SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE
+//	...
+//	> .locks      # locks of the current transaction
+//	> .commit     # commit (and release)
+//	> .help
+//
+// Flags: -rule4prime enables authorization cooperation (the shell's
+// transaction may then modify "cells" but not "effectors").
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"colock/internal/authz"
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/query"
+	"colock/internal/store"
+	"colock/internal/txn"
+)
+
+type shell struct {
+	st    *store.Store
+	proto *core.Protocol
+	mgr   *txn.Manager
+	exec  *query.Executor
+	auth  *authz.Table
+	prime bool
+	tx    *txn.Txn
+	out   *bufio.Writer
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("colockshell: ")
+	prime := flag.Bool("rule4prime", true, "enable authorization cooperation (rule 4')")
+	flag.Parse()
+
+	st := store.PaperDatabase()
+	core.CollectStatistics(st)
+	nm := core.NewNamer(st.Catalog(), false)
+	auth := authz.NewTable(false)
+	opts := core.Options{}
+	if *prime {
+		opts = core.Options{Rule4Prime: true, Authorizer: auth}
+	}
+	proto := core.NewProtocol(lock.NewManager(lock.Options{}), st, nm, opts)
+	mgr := txn.NewManager(proto, st)
+
+	s := &shell{
+		st: st, proto: proto, mgr: mgr,
+		exec: query.NewExecutor(mgr, core.PlannerOptions{}),
+		auth: auth, prime: *prime,
+		out: bufio.NewWriter(os.Stdout),
+	}
+	defer s.out.Flush()
+
+	fmt.Fprintln(s.out, "colock shell over the paper's example database (Figures 1/6).")
+	fmt.Fprintln(s.out, "Enter HDBL queries or .help; rule 4' is", map[bool]string{true: "ON", false: "OFF"}[*prime])
+	s.repl(bufio.NewScanner(os.Stdin))
+}
+
+func (s *shell) repl(in *bufio.Scanner) {
+	for {
+		s.out.WriteString("> ")
+		s.out.Flush()
+		if !in.Scan() {
+			s.quit()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			s.quit()
+			return
+		case line == ".help":
+			s.help()
+		case line == ".locks":
+			s.showLocks()
+		case line == ".commit":
+			s.finish(true)
+		case line == ".abort":
+			s.finish(false)
+		case line == ".db":
+			s.showDB()
+		case strings.HasPrefix(line, ".graph"):
+			s.showGraph(strings.TrimSpace(strings.TrimPrefix(line, ".graph")))
+		case strings.HasPrefix(line, ".units"):
+			s.showUnits(strings.Fields(strings.TrimPrefix(line, ".units")))
+		case strings.HasPrefix(line, "."):
+			fmt.Fprintf(s.out, "unknown command %q (try .help)\n", line)
+		case strings.HasPrefix(strings.ToUpper(line), "CREATE"):
+			s.runCreate(line)
+		default:
+			s.runQuery(line)
+		}
+	}
+}
+
+func (s *shell) help() {
+	fmt.Fprint(s.out, `Queries:  SELECT v FROM v IN <relation>[, w IN v.<attr>...]
+          [WHERE v.<attr> = 'lit' [AND ...]] [FOR READ|FOR UPDATE] [NOFOLLOW]
+          UPDATE v SET <attr> = lit[, ...] FROM ... [WHERE ...] [NOFOLLOW]
+          DELETE v FROM ... [WHERE ...] [NOFOLLOW]
+          INSERT INTO <relation> VALUE {attr: lit, c: SET(id: {...}), r: REF(rel, 'key')}
+          CREATE RELATION <name> IN SEGMENT <seg> KEY <attr> {attr: type, ...}
+Commands: .locks   show locks of the current transaction
+          .graph <relation>       object-specific lock graph (Fig. 5)
+          .units <relation> <key> unit decomposition (Fig. 6)
+          .commit  commit the current transaction (releases locks)
+          .abort   abort the current transaction
+          .db      show the database contents
+          .quit    leave
+A transaction starts implicitly with the first query.
+`)
+}
+
+func (s *shell) ensureTx() *txn.Txn {
+	if s.tx == nil || s.tx.State() != txn.Active {
+		s.tx = s.mgr.Begin()
+		if s.prime {
+			s.auth.Grant(s.tx.ID(), "cells") // shell user may modify cells, not effectors
+		}
+		fmt.Fprintf(s.out, "-- began transaction %d\n", s.tx.ID())
+	}
+	return s.tx
+}
+
+func (s *shell) runCreate(src string) {
+	stmt, err := query.ParseCreate(src)
+	if err != nil {
+		fmt.Fprintf(s.out, "error: %v\n", err)
+		return
+	}
+	if err := stmt.Apply(s.st.Catalog()); err != nil {
+		fmt.Fprintf(s.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(s.out, "-- created relation %s (segment %s, key %s)\n",
+		stmt.Relation.Name, stmt.Relation.Segment, stmt.Relation.Key)
+}
+
+func (s *shell) runQuery(src string) {
+	tx := s.ensureTx()
+	before := len(s.proto.Manager().HeldLocks(tx.ID()))
+	res, err := s.exec.RunStatement(tx, src)
+	if err != nil {
+		fmt.Fprintf(s.out, "error: %v\n", err)
+		return
+	}
+	if res.Kind != query.StmtInsert {
+		fmt.Fprintf(s.out, "-- %s\n", res.Plan)
+	}
+	for _, r := range res.Results {
+		fmt.Fprintf(s.out, "%s = %s\n", r.Path, r.Value)
+	}
+	switch res.Kind {
+	case query.StmtSelect:
+		fmt.Fprintf(s.out, "-- %d result(s); new locks:\n", len(res.Results))
+	default:
+		fmt.Fprintf(s.out, "-- %d affected; new locks:\n", res.Affected)
+	}
+	held := s.proto.Manager().HeldLocks(tx.ID())
+	for i := before; i < len(held); i++ {
+		fmt.Fprintf(s.out, "   %-4s %s\n", held[i].Mode, held[i].Resource)
+	}
+}
+
+func (s *shell) showLocks() {
+	if s.tx == nil || s.tx.State() != txn.Active {
+		fmt.Fprintln(s.out, "no active transaction")
+		return
+	}
+	held := s.proto.Manager().HeldLocks(s.tx.ID())
+	if len(held) == 0 {
+		fmt.Fprintln(s.out, "no locks held")
+		return
+	}
+	for _, h := range held {
+		fmt.Fprintf(s.out, "%-4s %s\n", h.Mode, h.Resource)
+	}
+}
+
+func (s *shell) showGraph(relation string) {
+	if relation == "" {
+		fmt.Fprintln(s.out, "usage: .graph <relation>")
+		return
+	}
+	g, err := core.DeriveGraph(s.st.Catalog(), relation)
+	if err != nil {
+		fmt.Fprintf(s.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprint(s.out, g.Render())
+}
+
+func (s *shell) showUnits(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(s.out, "usage: .units <relation> <key>")
+		return
+	}
+	nm := core.NewNamer(s.st.Catalog(), false)
+	u, err := core.ComputeUnits(s.st, nm, store.P(args[0], args[1]))
+	if err != nil {
+		fmt.Fprintf(s.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(s.out, "outer unit: %d nodes\n", len(u.OuterNodes))
+	for _, iu := range u.Inner {
+		fmt.Fprintf(s.out, "inner unit %s (depth %d), referenced from:\n", iu.EntryPoint, iu.Depth)
+		for _, r := range iu.ReferencedFrom {
+			fmt.Fprintf(s.out, "  o-> %s\n", r)
+		}
+	}
+}
+
+func (s *shell) showDB() {
+	for _, rel := range s.st.Catalog().Relations() {
+		fmt.Fprintf(s.out, "relation %s:\n", rel.Name)
+		for _, key := range s.st.Keys(rel.Name) {
+			fmt.Fprintf(s.out, "  %s = %s\n", key, s.st.Get(rel.Name, key))
+		}
+	}
+}
+
+func (s *shell) finish(commit bool) {
+	if s.tx == nil || s.tx.State() != txn.Active {
+		fmt.Fprintln(s.out, "no active transaction")
+		return
+	}
+	if commit {
+		if err := s.tx.Commit(); err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			return
+		}
+		fmt.Fprintf(s.out, "-- committed transaction %d\n", s.tx.ID())
+	} else {
+		s.tx.Abort()
+		fmt.Fprintf(s.out, "-- aborted transaction %d\n", s.tx.ID())
+	}
+	s.tx = nil
+}
+
+func (s *shell) quit() {
+	if s.tx != nil && s.tx.State() == txn.Active {
+		s.tx.Abort()
+		fmt.Fprintln(s.out, "-- aborted open transaction")
+	}
+	fmt.Fprintln(s.out, "bye")
+}

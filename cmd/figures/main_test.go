@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestFigurePrinters(t *testing.T) {
+	cases := []struct {
+		fn   func()
+		want []string
+	}{
+		{figure1, []string{`Relation "cells"`, "ref - - -> effectors", `Relation "effectors"`}},
+		{figure2, []string{"System R", "XSQL", "Complex Objects"}},
+		{figure3, []string{"Q1:", "Q2:", "Q3:", "FOR UPDATE", "objectBound=true"}},
+		{figure4, []string{"HeLU", "HoLU", "BLU", "validate against this general graph"}},
+		{figure5, []string{`HoLU (Relation "cells")`, `BLU ("ref")  - - -> HeLU (C.O. "effectors")`, `BLU ("tool")`}},
+		{figure6, []string{"Outer unit", "Inner unit \"effectors/e2\"", "superunit of effectors/e1"}},
+		{figure7, []string{"Q2: IX", "Q3: IX", "Q2: X", "Q3: X", "Q2: S    Q3: S"}},
+	}
+	for i, c := range cases {
+		out := capture(t, c.fn)
+		for _, want := range c.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("figure %d output misses %q:\n%s", i+1, want, out)
+			}
+		}
+	}
+}

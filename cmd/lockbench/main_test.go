@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	runners := experimentRunners()
+	if len(runners) != len(experimentOrder) {
+		t.Fatalf("registry has %d entries, order lists %d", len(runners), len(experimentOrder))
+	}
+	for _, id := range experimentOrder {
+		if runners[id] == nil {
+			t.Errorf("no runner for %s", id)
+		}
+	}
+}
+
+func TestFastRunnersProduceTables(t *testing.T) {
+	runners := experimentRunners()
+	for _, id := range []string{"E11", "E12"} {
+		tab := runners[id](true)
+		if tab == nil || len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}

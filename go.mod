@@ -1,0 +1,3 @@
+module colock
+
+go 1.22

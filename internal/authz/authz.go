@@ -1,0 +1,86 @@
+// Package authz implements the authorization component the paper's rule 4′
+// cooperates with (§3.2.3, §4.4.2): it administrates, per transaction, the
+// right to modify the data of a relation. The lock protocol consults it to
+// decide whether a dependent inner unit is a "modifiable unit" of the
+// transaction — if not, an X request on a referencing node only S-locks the
+// unit's entry point, raising concurrency on shared read-mostly libraries.
+package authz
+
+import (
+	"sync"
+
+	"colock/internal/lock"
+)
+
+// Authorizer answers modify-right questions for the lock protocol.
+type Authorizer interface {
+	// CanModify reports whether the transaction has the right to modify
+	// data of the given relation.
+	CanModify(txn lock.TxnID, relation string) bool
+}
+
+// AllowAll grants every right to every transaction. Using it with rule 4′
+// degenerates to the plain rule 4 of §4.4.2.1.
+type AllowAll struct{}
+
+// CanModify implements Authorizer.
+func (AllowAll) CanModify(lock.TxnID, string) bool { return true }
+
+// DenyAll denies every modify right (pure readers).
+type DenyAll struct{}
+
+// CanModify implements Authorizer.
+func (DenyAll) CanModify(lock.TxnID, string) bool { return false }
+
+// Table is a concrete authorization table with a default and per-transaction
+// grants. The zero value denies by default; use NewTable to set a default.
+type Table struct {
+	mu            sync.RWMutex
+	defaultModify bool
+	grants        map[lock.TxnID]map[string]bool // txn → relation → allowed
+}
+
+// NewTable returns a table whose unlisted (txn, relation) pairs resolve to
+// defaultModify.
+func NewTable(defaultModify bool) *Table {
+	return &Table{defaultModify: defaultModify, grants: make(map[lock.TxnID]map[string]bool)}
+}
+
+// Grant gives txn the right to modify relation.
+func (t *Table) Grant(txn lock.TxnID, relation string) { t.set(txn, relation, true) }
+
+// Revoke removes txn's right to modify relation (overriding the default).
+func (t *Table) Revoke(txn lock.TxnID, relation string) { t.set(txn, relation, false) }
+
+func (t *Table) set(txn lock.TxnID, relation string, allowed bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.grants == nil {
+		t.grants = make(map[lock.TxnID]map[string]bool)
+	}
+	m := t.grants[txn]
+	if m == nil {
+		m = make(map[string]bool)
+		t.grants[txn] = m
+	}
+	m[relation] = allowed
+}
+
+// Forget drops all entries of a finished transaction.
+func (t *Table) Forget(txn lock.TxnID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.grants, txn)
+}
+
+// CanModify implements Authorizer.
+func (t *Table) CanModify(txn lock.TxnID, relation string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if m, ok := t.grants[txn]; ok {
+		if v, ok := m[relation]; ok {
+			return v
+		}
+	}
+	return t.defaultModify
+}

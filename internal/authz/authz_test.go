@@ -1,0 +1,71 @@
+package authz
+
+import "testing"
+
+func TestAllowDenyAll(t *testing.T) {
+	if !(AllowAll{}).CanModify(1, "x") {
+		t.Error("AllowAll denied")
+	}
+	if (DenyAll{}).CanModify(1, "x") {
+		t.Error("DenyAll allowed")
+	}
+}
+
+func TestTableDefaults(t *testing.T) {
+	deny := NewTable(false)
+	if deny.CanModify(1, "effectors") {
+		t.Error("default-deny allowed")
+	}
+	allow := NewTable(true)
+	if !allow.CanModify(1, "effectors") {
+		t.Error("default-allow denied")
+	}
+}
+
+func TestGrantRevoke(t *testing.T) {
+	tab := NewTable(false)
+	tab.Grant(7, "cells")
+	if !tab.CanModify(7, "cells") {
+		t.Error("grant ignored")
+	}
+	if tab.CanModify(7, "effectors") {
+		t.Error("grant leaked to other relation")
+	}
+	if tab.CanModify(8, "cells") {
+		t.Error("grant leaked to other txn")
+	}
+	tab.Revoke(7, "cells")
+	if tab.CanModify(7, "cells") {
+		t.Error("revoke ignored")
+	}
+
+	// Revoke overrides an allow default.
+	tab2 := NewTable(true)
+	tab2.Revoke(3, "effectors")
+	if tab2.CanModify(3, "effectors") {
+		t.Error("revoke did not override default")
+	}
+	if !tab2.CanModify(3, "cells") {
+		t.Error("default lost")
+	}
+}
+
+func TestForget(t *testing.T) {
+	tab := NewTable(false)
+	tab.Grant(7, "cells")
+	tab.Forget(7)
+	if tab.CanModify(7, "cells") {
+		t.Error("Forget did not drop grants")
+	}
+}
+
+func TestZeroValueTable(t *testing.T) {
+	var tab Table
+	if tab.CanModify(1, "x") {
+		t.Error("zero table should deny")
+	}
+	tab.Grant(1, "x") // must not panic
+	if !tab.CanModify(1, "x") {
+		t.Error("grant on zero table ignored")
+	}
+}

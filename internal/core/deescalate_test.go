@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+// TestDeEscalateFreesSiblings: a transaction holding X on a whole cell
+// de-escalates to robot r1 only; another transaction can then X-lock robot
+// r2 immediately.
+func TestDeEscalateFreesSiblings(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	obj := store.P("cells", "c1")
+	if err := p.LockPath(1, obj, lock.X); err != nil {
+		t.Fatal(err)
+	}
+
+	// c_object o1 is implicitly X-covered: a competitor blocks. (Robot r2
+	// would NOT become available by keeping r1: both reference effector e2,
+	// whose propagated X would still conflict under plain rule 4.)
+	done := make(chan error, 1)
+	go func() { done <- p.LockPath(2, store.P("cells", "c1", "c_objects", "o1"), lock.X) }()
+	select {
+	case err := <-done:
+		t.Fatalf("competitor not blocked before de-escalation: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	if err := p.DeEscalate(1, DataNode(obj), []store.Path{
+		store.P("cells", "c1", "robots", "r1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The competitor proceeds now (c_objects released), r1 stays protected.
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	got := heldMap(t, p, 1)
+	if got["db1/seg1/cells/c1"] != lock.IX {
+		t.Errorf("coarse lock not downgraded: %v", got)
+	}
+	if got["db1/seg1/cells/c1/robots/r1"] != lock.X {
+		t.Errorf("kept path not X-locked: %v", got)
+	}
+	assertProtocolInvariants(t, p, 1)
+
+	// r1 is still exclusive.
+	blocked := make(chan error, 1)
+	go func() { blocked <- p.LockPath(3, store.P("cells", "c1", "robots", "r1"), lock.S) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("kept path lost protection: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Release(1)
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeEscalateS(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	obj := store.P("cells", "c1")
+	if err := p.LockPath(1, obj, lock.S); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeEscalate(1, DataNode(obj), []store.Path{
+		store.P("cells", "c1", "c_objects"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := heldMap(t, p, 1)
+	if got["db1/seg1/cells/c1"] != lock.IS {
+		t.Errorf("S not downgraded to IS: %v", got)
+	}
+	if got["db1/seg1/cells/c1/c_objects"] != lock.S {
+		t.Errorf("kept collection not S: %v", got)
+	}
+	assertProtocolInvariants(t, p, 1)
+}
+
+func TestDeEscalateRelationLock(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	if err := p.LockPath(1, store.P("effectors"), lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeEscalate(1, DataNode(store.P("effectors")), []store.Path{
+		store.P("effectors", "e1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := heldMap(t, p, 1)
+	if got["db1/seg2/effectors"] != lock.IX || got["db1/seg2/effectors/e1"] != lock.X {
+		t.Errorf("relation de-escalation wrong: %v", got)
+	}
+}
+
+func TestDeEscalateErrors(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	obj := store.P("cells", "c1")
+
+	// No explicit S/X held.
+	if err := p.DeEscalate(1, DataNode(obj), nil); err == nil {
+		t.Error("de-escalation without coarse lock accepted")
+	}
+	if err := p.LockPath(1, obj, lock.IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeEscalate(1, DataNode(obj), nil); err == nil {
+		t.Error("de-escalation of intention lock accepted")
+	}
+	p.Release(1)
+
+	// Keep path outside the subtree.
+	if err := p.LockPath(2, obj, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeEscalate(2, DataNode(obj), []store.Path{store.P("effectors", "e1")}); err == nil {
+		t.Error("foreign keep path accepted")
+	}
+	if err := p.DeEscalate(2, DataNode(obj), []store.Path{obj}); err == nil {
+		t.Error("keep path equal to node accepted")
+	}
+	p.Release(2) // txn 2's IX on the database would block txn 3's S
+	// Database/segment-level de-escalation unsupported.
+	if err := p.Lock(3, DatabaseNode(), lock.S); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeEscalate(3, DatabaseNode(), nil); err == nil {
+		t.Error("database de-escalation accepted")
+	}
+}
+
+// TestDeEscalatePropagatesIntoCommonData: keeping robot r1 (which references
+// effectors) re-issues the downward propagation for the kept part.
+func TestDeEscalatePropagatesIntoCommonData(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	obj := store.P("cells", "c1")
+	if err := p.LockPath(1, obj, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeEscalate(1, DataNode(obj), []store.Path{
+		store.P("cells", "c1", "robots", "r1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := heldMap(t, p, 1)
+	// e1, e2 must still be locked (reachable from the kept robot).
+	if got["db1/seg2/effectors/e1"] != lock.X || got["db1/seg2/effectors/e2"] != lock.X {
+		t.Errorf("kept part's common data unprotected: %v", got)
+	}
+}
+
+func TestUnlockLeafToRoot(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	leaf := store.P("cells", "c1", "robots", "r1", "trajectory")
+	if err := p.LockPath(1, leaf, lock.S); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing an ancestor before the leaf violates leaf-to-root order.
+	if err := p.Unlock(1, DataNode(store.P("cells", "c1"))); err == nil {
+		t.Error("root-first release accepted")
+	}
+	// Leaf-to-root works.
+	if err := p.Unlock(1, DataNode(leaf)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unlock(1, DataNode(store.P("cells", "c1", "robots", "r1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unlock(1, DataNode(store.P("cells", "c1", "robots"))); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing an unheld node is a no-op.
+	if err := p.Unlock(1, DataNode(store.P("cells", "c1", "robots"))); err != nil {
+		t.Fatal(err)
+	}
+	got := heldMap(t, p, 1)
+	if _, held := got["db1/seg1/cells/c1/robots/r1/trajectory"]; held {
+		t.Error("leaf still held")
+	}
+	if got["db1/seg1/cells/c1"] != lock.IS {
+		t.Errorf("remaining chain wrong: %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"fmt"
+
+	"colock/internal/authz"
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/schema"
+	"colock/internal/store"
+)
+
+// ExampleDeriveGraph derives the object-specific lock graph of the paper's
+// "effectors" relation (the right half of Figure 5).
+func ExampleDeriveGraph() {
+	cat := schema.PaperSchema()
+	g, err := core.DeriveGraph(cat, "effectors")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(g.Render())
+	// Output:
+	// HeLU (Database "db1")
+	//   HeLU (Segment "seg2")
+	//     HoLU (Relation "effectors")
+	//       HeLU (C.O. "effectors")
+	//         BLU ("eff_id")
+	//         BLU ("tool")
+}
+
+// ExampleProtocol_Lock reproduces the paper's Figure 7 lock set for query
+// Q2: X on robot r1 with rule 4' S-locking the referenced effectors.
+func ExampleProtocol_Lock() {
+	st := store.PaperDatabase()
+	nm := core.NewNamer(st.Catalog(), false)
+	auth := authz.NewTable(false)
+	auth.Grant(1, "cells") // may modify cells, not the effectors library
+	proto := core.NewProtocol(lock.NewManager(lock.Options{}), st, nm,
+		core.Options{Rule4Prime: true, Authorizer: auth})
+
+	if err := proto.LockPath(1, store.P("cells", "c1", "robots", "r1"), lock.X); err != nil {
+		panic(err)
+	}
+	for _, h := range proto.Manager().HeldLocks(1) {
+		fmt.Printf("%-3s %s\n", h.Mode, h.Resource)
+	}
+	// Output:
+	// IX  db1
+	// IX  db1/seg1
+	// IX  db1/seg1/cells
+	// IX  db1/seg1/cells/c1
+	// IX  db1/seg1/cells/c1/robots
+	// IS  db1/seg2
+	// IS  db1/seg2/effectors
+	// S   db1/seg2/effectors/e1
+	// S   db1/seg2/effectors/e2
+	// X   db1/seg1/cells/c1/robots/r1
+}
+
+// ExamplePlanQuery shows the §4.5 anticipated escalation: a full scan of a
+// large collection is planned as one collection lock.
+func ExamplePlanQuery() {
+	st := store.PaperDatabase()
+	st.Catalog().Stats().SetCard("cells", 100)
+	st.Catalog().Stats().SetCard("cells.c_objects", 500)
+
+	spec := core.QuerySpec{
+		Relation:    "cells",
+		ObjectBound: true,
+		Hops:        []core.Hop{{Attrs: []string{"c_objects"}, Selectivity: 1}},
+		Access:      core.AccessRead,
+	}
+	plan, err := core.PlanQuery(st.Catalog(), spec, core.PlannerOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan)
+	// Output:
+	// plan{read S at collection c_objects, ~1.0 locks (target element c_objects ~500.0), escalated 1}
+}
+
+// ExampleComputeUnits decomposes the paper's cell c1 into its units
+// (Figure 6): the shared effectors are inner units with entry points.
+func ExampleComputeUnits() {
+	st := store.PaperDatabase()
+	nm := core.NewNamer(st.Catalog(), false)
+	u, err := core.ComputeUnits(st, nm, store.P("cells", "c1"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("outer unit: %d nodes\n", len(u.OuterNodes))
+	for _, iu := range u.Inner {
+		fmt.Printf("inner unit %s referenced %d time(s)\n", iu.EntryPoint, len(iu.ReferencedFrom))
+	}
+	// Output:
+	// outer unit: 22 nodes
+	// inner unit effectors/e1 referenced 1 time(s)
+	// inner unit effectors/e2 referenced 2 time(s)
+	// inner unit effectors/e3 referenced 1 time(s)
+}

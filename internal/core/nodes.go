@@ -1,0 +1,264 @@
+// Package core implements the paper's primary contribution (Herrmann,
+// Dadam, Küspert, Roman, Schlageter: "A Lock Technique for Disjoint and
+// Non-Disjoint Complex Objects", EDBT 1990):
+//
+//   - the general lock graph for complex objects with its three kinds of
+//     lockable units — BLU, HoLU, HeLU (§4.2, Figure 4);
+//   - object-specific lock graphs derived automatically from relation
+//     schemas (§4.3, Figure 5);
+//   - the unit analysis: outer and inner units, entry points, immediate
+//     parents and superunits (§4.4.1, Figure 6);
+//   - the lock protocol with rules 1–5 and the authorization-aware rule 4′,
+//     including implicit upward and downward propagation (§4.4.2);
+//   - the determination of "optimal" lock requests during query analysis by
+//     anticipating lock escalations, stored in query-specific lock graphs
+//     (§4.5, after HDKS89).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"colock/internal/lock"
+	"colock/internal/schema"
+	"colock/internal/store"
+)
+
+// LUKind classifies a lockable unit per the general lock graph (Figure 4).
+type LUKind uint8
+
+const (
+	// BLU is a basic lockable unit: an atomic attribute value or a
+	// reference to common data — the smallest lockable units.
+	BLU LUKind = iota
+	// HoLU is a homogeneous lockable unit: data of a single type, i.e. a
+	// set or a list (including relations, which are sets of complex
+	// objects).
+	HoLU
+	// HeLU is a heterogeneous lockable unit: data composed of different
+	// types, i.e. a (complex) tuple. Database and segment nodes are HeLUs
+	// (§4.2: "database can be regarded as a HeLU, segments as well").
+	HeLU
+)
+
+// String returns the paper's abbreviation.
+func (k LUKind) String() string {
+	switch k {
+	case BLU:
+		return "BLU"
+	case HoLU:
+		return "HoLU"
+	case HeLU:
+		return "HeLU"
+	}
+	return fmt.Sprintf("LUKind(%d)", uint8(k))
+}
+
+// Level identifies where in the lock hierarchy a node lives.
+type Level uint8
+
+const (
+	// LevelDatabase is the root of every lock hierarchy.
+	LevelDatabase Level = iota
+	// LevelSegment is a storage segment.
+	LevelSegment
+	// LevelRelation is a relation node.
+	LevelRelation
+	// LevelData is a node within a complex object (from the complex-object
+	// root tuple downwards), addressed by a store.Path of length ≥ 2.
+	LevelData
+)
+
+// Node addresses one lockable unit instance: the database, a segment, or a
+// data path rooted at a relation.
+type Node struct {
+	Level   Level
+	Segment string     // for LevelSegment
+	Path    store.Path // for LevelRelation (len 1) and LevelData (len ≥ 2)
+}
+
+// DatabaseNode returns the database node.
+func DatabaseNode() Node { return Node{Level: LevelDatabase} }
+
+// SegmentNode returns the node of the named segment.
+func SegmentNode(seg string) Node { return Node{Level: LevelSegment, Segment: seg} }
+
+// DataNode returns the node addressed by a store path (relation node for a
+// single-segment path).
+func DataNode(p store.Path) Node {
+	if len(p) == 1 {
+		return Node{Level: LevelRelation, Path: p}
+	}
+	return Node{Level: LevelData, Path: p}
+}
+
+// Equal reports whether two nodes address the same lockable unit.
+func (n Node) Equal(o Node) bool {
+	return n.Level == o.Level && n.Segment == o.Segment && n.Path.Equal(o.Path)
+}
+
+// String renders the node for diagnostics.
+func (n Node) String() string {
+	switch n.Level {
+	case LevelDatabase:
+		return "<database>"
+	case LevelSegment:
+		return "segment " + n.Segment
+	default:
+		return n.Path.String()
+	}
+}
+
+// Namer maps instance nodes to lock.Resource names. Resource names are the
+// slash-joined immediate-parent chains — database/segment/relation/…path —
+// so that a resource's prefixes are exactly its immediate parents: "outer
+// and inner units as well as superunits have hierarchical structure"
+// (§4.4.1).
+type Namer struct {
+	cat *schema.Catalog
+	// coalesceBLUs implements the paper's footnote 3: atomic non-reference
+	// attributes of one tuple level share a single BLU ("obj_id and
+	// obj_name could form one BLU") instead of one BLU per attribute.
+	coalesceBLUs bool
+}
+
+// NewNamer returns a Namer over the catalog. coalesceBLUs selects the
+// footnote-3 BLU granularity (one BLU per tuple level) instead of one BLU
+// per atomic attribute.
+func NewNamer(cat *schema.Catalog, coalesceBLUs bool) *Namer {
+	return &Namer{cat: cat, coalesceBLUs: coalesceBLUs}
+}
+
+// Catalog returns the catalog the namer was built over.
+func (nm *Namer) Catalog() *schema.Catalog { return nm.cat }
+
+// blulabel is the synthetic path segment naming a coalesced per-level BLU.
+const bluLabel = "#attrs"
+
+// Resource returns the lock resource name for a node.
+func (nm *Namer) Resource(n Node) (lock.Resource, error) {
+	db := nm.cat.Database
+	switch n.Level {
+	case LevelDatabase:
+		return lock.Resource(db), nil
+	case LevelSegment:
+		return lock.Resource(db + "/" + n.Segment), nil
+	}
+	rel := nm.cat.Relation(n.Path.Relation())
+	if rel == nil {
+		return "", fmt.Errorf("core: unknown relation %q", n.Path.Relation())
+	}
+	if n.Level == LevelRelation || len(n.Path) == 1 {
+		return lock.Resource(db + "/" + rel.Segment + "/" + rel.Name), nil
+	}
+	p := n.Path
+	if nm.coalesceBLUs && len(p) >= 3 {
+		// If the path addresses an atomic non-ref attribute of a tuple,
+		// substitute the shared per-level BLU segment.
+		info, err := nm.Classify(p)
+		if err != nil {
+			return "", err
+		}
+		if info.Kind == BLU && !info.IsRef {
+			p = p.Parent().Child(bluLabel)
+		}
+	}
+	return lock.Resource(db + "/" + rel.Segment + "/" + strings.Join([]string(p), "/")), nil
+}
+
+// MustResource is Resource for known-valid nodes (panics otherwise); used in
+// tests and figure printers.
+func (nm *Namer) MustResource(n Node) lock.Resource {
+	r, err := nm.Resource(n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Ancestors returns the chain of immediate parents of a node from the
+// database node down to (excluding) the node itself, in root-to-leaf order —
+// the order rule 5 prescribes for requesting locks.
+//
+// Crucially, for a complex-object root of a referenced relation (an entry
+// point), the chain is relation → segment → database: the referencing BLU is
+// NOT an immediate parent (it is connected by a dashed line, §4.4.1). This
+// is exactly the "implicit upward propagation" path of rules 1–4.
+func (nm *Namer) Ancestors(n Node) ([]Node, error) {
+	switch n.Level {
+	case LevelDatabase:
+		return nil, nil
+	case LevelSegment:
+		return []Node{DatabaseNode()}, nil
+	}
+	rel := nm.cat.Relation(n.Path.Relation())
+	if rel == nil {
+		return nil, fmt.Errorf("core: unknown relation %q", n.Path.Relation())
+	}
+	out := []Node{DatabaseNode(), SegmentNode(rel.Segment)}
+	for i := 1; i < len(n.Path); i++ {
+		out = append(out, DataNode(n.Path[:i].Clone()))
+	}
+	return out, nil
+}
+
+// NodeInfo describes the lockable unit a data path addresses.
+type NodeInfo struct {
+	Kind LUKind
+	// Type is the schema type of the addressed value (nil for coalesced
+	// positions that do not correspond to a schema node).
+	Type *schema.Type
+	// IsRef reports whether the node is a reference BLU.
+	IsRef bool
+	// RefTarget is the referenced relation for reference BLUs.
+	RefTarget string
+}
+
+// Classify determines the lockable-unit kind of a data path by walking the
+// relation's schema: relations and collections are HoLUs, tuples are HeLUs,
+// atomic attributes and references are BLUs (§4.3 derivation rules).
+func (nm *Namer) Classify(p store.Path) (NodeInfo, error) {
+	if len(p) == 0 {
+		return NodeInfo{}, fmt.Errorf("core: empty path")
+	}
+	rel := nm.cat.Relation(p.Relation())
+	if rel == nil {
+		return NodeInfo{}, fmt.Errorf("core: unknown relation %q", p.Relation())
+	}
+	if len(p) == 1 {
+		// The relation: a set of complex objects — a HoLU.
+		return NodeInfo{Kind: HoLU, Type: nil}, nil
+	}
+	// p[1] is a complex-object key; the object is the relation's tuple type.
+	t := rel.Type
+	for i := 2; i < len(p); i++ {
+		seg := p[i]
+		switch t.Kind {
+		case schema.KindTuple:
+			ft := t.Field(seg)
+			if ft == nil {
+				return NodeInfo{}, fmt.Errorf("core: path %q: no field %q", p, seg)
+			}
+			t = ft
+		case schema.KindSet, schema.KindList:
+			// seg is an element ID; the type descends to the element type.
+			t = t.Elem
+		default:
+			return NodeInfo{}, fmt.Errorf("core: path %q: cannot descend into %v at %q", p, t.Kind, seg)
+		}
+	}
+	return classifyType(t), nil
+}
+
+func classifyType(t *schema.Type) NodeInfo {
+	switch t.Kind {
+	case schema.KindSet, schema.KindList:
+		return NodeInfo{Kind: HoLU, Type: t}
+	case schema.KindTuple:
+		return NodeInfo{Kind: HeLU, Type: t}
+	case schema.KindRef:
+		return NodeInfo{Kind: BLU, Type: t, IsRef: true, RefTarget: t.Target}
+	default:
+		return NodeInfo{Kind: BLU, Type: t}
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"colock/internal/schema"
+)
+
+// GraphNode is one lockable unit in an object-specific lock graph (schema
+// level). Solid edges (Children) express "composed of"; a reference BLU
+// additionally carries a dashed transition (RefTarget) into the common
+// data's own graph (§4.2, Figure 4).
+type GraphNode struct {
+	Kind LUKind
+	// Label is the display label following Figure 5, e.g.
+	// `HoLU (Relation "cells")`, `HeLU (C.O. "robots")`, `BLU ("robot_id")`.
+	Label string
+	// Attr is the schema attribute this node was derived from ("" for
+	// synthetic nodes such as database, segment, relation, C.O.).
+	Attr string
+	// Children are the solid-line constituents.
+	Children []*GraphNode
+	// RefTarget names the referenced relation for reference BLUs (the
+	// dashed line of Figures 4 and 5).
+	RefTarget string
+}
+
+// ObjectGraph is the object-specific lock graph of one relation: the chain
+// HeLU(Database) → HeLU(Segment) → HoLU(Relation) → HeLU(C.O.) with the
+// complex-object subtree below it (§4.3, Figure 5).
+type ObjectGraph struct {
+	Relation string
+	Database *GraphNode
+	Segment  *GraphNode
+	Rel      *GraphNode
+	// CO is the heterogeneous lockable unit representing one complex object
+	// of the relation.
+	CO *GraphNode
+}
+
+// DeriveGraph constructs the object-specific lock graph of a relation by the
+// derivation rules of §4.3:
+//
+//  1. an attribute of type "list" is transformed to a HoLU;
+//  2. an attribute of type "set" is transformed to a HoLU;
+//  3. an attribute of type "(complex) tuple" is transformed to a HeLU;
+//  4. an atomic attribute of any type is transformed to a BLU
+//     (references are BLUs carrying a dashed transition to common data).
+func DeriveGraph(cat *schema.Catalog, relation string) (*ObjectGraph, error) {
+	rel := cat.Relation(relation)
+	if rel == nil {
+		return nil, fmt.Errorf("core: unknown relation %q", relation)
+	}
+	co := &GraphNode{Kind: HeLU, Label: fmt.Sprintf("HeLU (C.O. %q)", relation)}
+	for _, f := range rel.Type.Fields {
+		child, err := deriveAttr(f.Name, f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("core: relation %q: %w", relation, err)
+		}
+		co.Children = append(co.Children, child)
+	}
+	g := &ObjectGraph{
+		Relation: relation,
+		Database: &GraphNode{Kind: HeLU, Label: fmt.Sprintf("HeLU (Database %q)", cat.Database)},
+		Segment:  &GraphNode{Kind: HeLU, Label: fmt.Sprintf("HeLU (Segment %q)", rel.Segment)},
+		Rel:      &GraphNode{Kind: HoLU, Label: fmt.Sprintf("HoLU (Relation %q)", relation)},
+		CO:       co,
+	}
+	g.Database.Children = []*GraphNode{g.Segment}
+	g.Segment.Children = []*GraphNode{g.Rel}
+	g.Rel.Children = []*GraphNode{g.CO}
+	return g, nil
+}
+
+func deriveAttr(name string, t *schema.Type) (*GraphNode, error) {
+	switch t.Kind {
+	case schema.KindStr, schema.KindInt, schema.KindReal, schema.KindBool:
+		return &GraphNode{Kind: BLU, Label: fmt.Sprintf("BLU (%q)", name), Attr: name}, nil
+	case schema.KindRef:
+		return &GraphNode{
+			Kind:      BLU,
+			Label:     `BLU ("ref")`,
+			Attr:      name,
+			RefTarget: t.Target,
+		}, nil
+	case schema.KindSet, schema.KindList:
+		n := &GraphNode{Kind: HoLU, Label: fmt.Sprintf("HoLU (%q)", name), Attr: name}
+		elem, err := deriveElem(name, t.Elem)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = []*GraphNode{elem}
+		return n, nil
+	case schema.KindTuple:
+		n := &GraphNode{Kind: HeLU, Label: fmt.Sprintf("HeLU (%q)", name), Attr: name}
+		for _, f := range t.Fields {
+			c, err := deriveAttr(f.Name, f.Type)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	}
+	return nil, fmt.Errorf("attribute %q: invalid type kind %v", name, t.Kind)
+}
+
+// deriveElem derives the lockable unit of a collection's element type: a
+// tuple element is the "C.O." HeLU of the collection (e.g. HeLU (C.O.
+// "robots") in Figure 5); reference and atomic elements are BLUs; nested
+// collections are HoLUs.
+func deriveElem(collection string, t *schema.Type) (*GraphNode, error) {
+	switch t.Kind {
+	case schema.KindTuple:
+		n := &GraphNode{Kind: HeLU, Label: fmt.Sprintf("HeLU (C.O. %q)", collection)}
+		for _, f := range t.Fields {
+			c, err := deriveAttr(f.Name, f.Type)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+		}
+		return n, nil
+	case schema.KindRef:
+		return &GraphNode{Kind: BLU, Label: `BLU ("ref")`, RefTarget: t.Target}, nil
+	case schema.KindSet, schema.KindList:
+		n := &GraphNode{Kind: HoLU, Label: fmt.Sprintf("HoLU (%q elem)", collection)}
+		elem, err := deriveElem(collection, t.Elem)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = []*GraphNode{elem}
+		return n, nil
+	default:
+		return &GraphNode{Kind: BLU, Label: fmt.Sprintf("BLU (%q elem)", collection)}, nil
+	}
+}
+
+// Walk visits every node of the graph (solid edges only) in preorder.
+func (g *ObjectGraph) Walk(fn func(depth int, n *GraphNode)) {
+	var rec func(d int, n *GraphNode)
+	rec = func(d int, n *GraphNode) {
+		fn(d, n)
+		for _, c := range n.Children {
+			rec(d+1, c)
+		}
+	}
+	rec(0, g.Database)
+}
+
+// CheckGeneral validates the graph against the general lock graph of
+// Figure 4:
+//
+//   - BLUs have no solid children (they are the smallest lockable units);
+//     only BLUs may carry a dashed transition into common data;
+//   - HoLUs are composed of exactly one kind of constituent (homogeneous);
+//   - every dashed transition targets a relation known to the catalog.
+func (g *ObjectGraph) CheckGeneral(cat *schema.Catalog) error {
+	var err error
+	g.Walk(func(_ int, n *GraphNode) {
+		if err != nil {
+			return
+		}
+		switch n.Kind {
+		case BLU:
+			if len(n.Children) > 0 {
+				err = fmt.Errorf("core: BLU %s has solid children", n.Label)
+			}
+			if n.RefTarget != "" && cat.Relation(n.RefTarget) == nil {
+				err = fmt.Errorf("core: %s references unknown relation %q", n.Label, n.RefTarget)
+			}
+		case HoLU:
+			if n.RefTarget != "" {
+				err = fmt.Errorf("core: HoLU %s carries a dashed transition", n.Label)
+			}
+			kinds := make(map[LUKind]bool)
+			for _, c := range n.Children {
+				kinds[c.Kind] = true
+			}
+			if len(kinds) > 1 {
+				err = fmt.Errorf("core: HoLU %s is heterogeneous", n.Label)
+			}
+		case HeLU:
+			if n.RefTarget != "" {
+				err = fmt.Errorf("core: HeLU %s carries a dashed transition", n.Label)
+			}
+		}
+	})
+	return err
+}
+
+// Render draws the graph as an indented tree, dashed transitions marked with
+// "- - ->", mirroring Figure 5.
+func (g *ObjectGraph) Render() string {
+	var b strings.Builder
+	g.Walk(func(d int, n *GraphNode) {
+		b.WriteString(strings.Repeat("  ", d))
+		b.WriteString(n.Label)
+		if n.RefTarget != "" {
+			fmt.Fprintf(&b, `  - - -> HeLU (C.O. %q)`, n.RefTarget)
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// RefTargets returns the distinct relations referenced from the graph, in
+// first-encounter order.
+func (g *ObjectGraph) RefTargets() []string {
+	seen := make(map[string]bool)
+	var out []string
+	g.Walk(func(_ int, n *GraphNode) {
+		if n.RefTarget != "" && !seen[n.RefTarget] {
+			seen[n.RefTarget] = true
+			out = append(out, n.RefTarget)
+		}
+	})
+	return out
+}

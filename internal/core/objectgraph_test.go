@@ -1,0 +1,236 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"colock/internal/schema"
+)
+
+// TestDeriveGraphFigure5 pins the object-specific lock graph of relation
+// "cells" node for node against Figure 5.
+func TestDeriveGraphFigure5(t *testing.T) {
+	cat := schema.PaperSchema()
+	g, err := DeriveGraph(cat, "cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckGeneral(cat); err != nil {
+		t.Fatalf("graph violates general lock graph: %v", err)
+	}
+
+	type flat struct {
+		depth int
+		label string
+		kind  LUKind
+		ref   string
+	}
+	var got []flat
+	g.Walk(func(d int, n *GraphNode) {
+		got = append(got, flat{d, n.Label, n.Kind, n.RefTarget})
+	})
+	want := []flat{
+		{0, `HeLU (Database "db1")`, HeLU, ""},
+		{1, `HeLU (Segment "seg1")`, HeLU, ""},
+		{2, `HoLU (Relation "cells")`, HoLU, ""},
+		{3, `HeLU (C.O. "cells")`, HeLU, ""},
+		{4, `BLU ("cell_id")`, BLU, ""},
+		{4, `HoLU ("c_objects")`, HoLU, ""},
+		{5, `HeLU (C.O. "c_objects")`, HeLU, ""},
+		{6, `BLU ("obj_id")`, BLU, ""},
+		{6, `BLU ("obj_name")`, BLU, ""},
+		{4, `HoLU ("robots")`, HoLU, ""},
+		{5, `HeLU (C.O. "robots")`, HeLU, ""},
+		{6, `BLU ("robot_id")`, BLU, ""},
+		{6, `BLU ("trajectory")`, BLU, ""},
+		{6, `HoLU ("effectors")`, HoLU, ""},
+		{7, `BLU ("ref")`, BLU, "effectors"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("graph has %d nodes, want %d:\n%s", len(got), len(want), g.Render())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("node %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	if targets := g.RefTargets(); len(targets) != 1 || targets[0] != "effectors" {
+		t.Errorf("RefTargets = %v", targets)
+	}
+}
+
+// TestDeriveGraphEffectors: the referenced relation has its own
+// object-specific lock graph (right half of Figure 5).
+func TestDeriveGraphEffectors(t *testing.T) {
+	cat := schema.PaperSchema()
+	g, err := DeriveGraph(cat, "effectors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckGeneral(cat); err != nil {
+		t.Fatal(err)
+	}
+	if g.Segment.Label != `HeLU (Segment "seg2")` {
+		t.Errorf("segment label = %q", g.Segment.Label)
+	}
+	if len(g.CO.Children) != 2 ||
+		g.CO.Children[0].Label != `BLU ("eff_id")` ||
+		g.CO.Children[1].Label != `BLU ("tool")` {
+		t.Errorf("effectors C.O. children wrong:\n%s", g.Render())
+	}
+	if len(g.RefTargets()) != 0 {
+		t.Error("effectors graph should reference nothing")
+	}
+}
+
+func TestDeriveGraphUnknownRelation(t *testing.T) {
+	if _, err := DeriveGraph(schema.PaperSchema(), "nope"); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+// TestDeriveGraphSystemRIsSpecialCase: §4.2 — "The traditional lock graph of
+// System R is a special case of the general lock graph": a flat relation
+// derives to database HeLU, segment HeLU, relation HoLU and tuple HeLUs
+// whose children are plain BLUs.
+func TestDeriveGraphSystemRIsSpecialCase(t *testing.T) {
+	cat := schema.NewCatalog("db")
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "flat", Segment: "s", Key: "id",
+		Type: schema.Tuple(schema.F("id", schema.Str()), schema.F("v", schema.Int())),
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DeriveGraph(cat, "flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Database.Kind != HeLU || g.Segment.Kind != HeLU || g.Rel.Kind != HoLU || g.CO.Kind != HeLU {
+		t.Error("System R hierarchy kinds wrong")
+	}
+	for _, c := range g.CO.Children {
+		if c.Kind != BLU {
+			t.Errorf("flat tuple child %s is %v, want BLU", c.Label, c.Kind)
+		}
+	}
+}
+
+func TestDeriveGraphNestedCollections(t *testing.T) {
+	// A set of lists of integers: "a set of lists of integers is treated
+	// ... as a HoLU composed of HoLUs which in turn consist of BLUs" (§4.2).
+	cat := schema.NewCatalog("db")
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "m", Segment: "s", Key: "id",
+		Type: schema.Tuple(
+			schema.F("id", schema.Str()),
+			schema.F("matrix", schema.Set(schema.List(schema.Int()))),
+		),
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DeriveGraph(cat, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckGeneral(cat); err != nil {
+		t.Fatal(err)
+	}
+	matrix := g.CO.Children[1]
+	if matrix.Kind != HoLU {
+		t.Fatalf("matrix is %v, want HoLU", matrix.Kind)
+	}
+	inner := matrix.Children[0]
+	if inner.Kind != HoLU {
+		t.Fatalf("matrix elem is %v, want HoLU", inner.Kind)
+	}
+	leaf := inner.Children[0]
+	if leaf.Kind != BLU {
+		t.Fatalf("innermost elem is %v, want BLU", leaf.Kind)
+	}
+}
+
+func TestDeriveGraphNestedTupleAttr(t *testing.T) {
+	// A tuple-valued attribute (not inside a collection) becomes a HeLU.
+	cat := schema.NewCatalog("db")
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "r", Segment: "s", Key: "id",
+		Type: schema.Tuple(
+			schema.F("id", schema.Str()),
+			schema.F("pos", schema.Tuple(schema.F("x", schema.Real()), schema.F("y", schema.Real()))),
+		),
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DeriveGraph(cat, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := g.CO.Children[1]
+	if pos.Kind != HeLU || pos.Label != `HeLU ("pos")` || len(pos.Children) != 2 {
+		t.Errorf("pos node wrong: %+v", pos)
+	}
+}
+
+func TestRenderContainsDashedTransition(t *testing.T) {
+	g, err := DeriveGraph(schema.PaperSchema(), "cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Render()
+	if !strings.Contains(out, `- - -> HeLU (C.O. "effectors")`) {
+		t.Errorf("render lacks dashed transition:\n%s", out)
+	}
+	if !strings.Contains(out, `HoLU (Relation "cells")`) {
+		t.Errorf("render lacks relation node:\n%s", out)
+	}
+}
+
+func TestCheckGeneralRejectsMalformed(t *testing.T) {
+	cat := schema.PaperSchema()
+	g, _ := DeriveGraph(cat, "cells")
+
+	// BLU with solid children.
+	g.CO.Children[0].Children = []*GraphNode{{Kind: BLU, Label: "x"}}
+	if err := g.CheckGeneral(cat); err == nil {
+		t.Error("BLU with children accepted")
+	}
+	g.CO.Children[0].Children = nil
+
+	// Heterogeneous HoLU.
+	robots := g.CO.Children[2]
+	robots.Children = append(robots.Children, &GraphNode{Kind: BLU, Label: "stray"})
+	if err := g.CheckGeneral(cat); err == nil {
+		t.Error("heterogeneous HoLU accepted")
+	}
+	robots.Children = robots.Children[:1]
+
+	// Dashed transition on a HeLU.
+	g.CO.RefTarget = "effectors"
+	if err := g.CheckGeneral(cat); err == nil {
+		t.Error("HeLU with dashed transition accepted")
+	}
+	g.CO.RefTarget = ""
+
+	// Dashed transition to an unknown relation.
+	ref := robots.Children[0].Children[2].Children[0]
+	if ref.RefTarget != "effectors" {
+		t.Fatalf("test walked to wrong node: %+v", ref)
+	}
+	ref.RefTarget = "nowhere"
+	if err := g.CheckGeneral(cat); err == nil {
+		t.Error("dangling dashed transition accepted")
+	}
+}
+
+func TestLUKindString(t *testing.T) {
+	if BLU.String() != "BLU" || HoLU.String() != "HoLU" || HeLU.String() != "HeLU" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.HasPrefix(LUKind(9).String(), "LUKind(") {
+		t.Error("invalid kind string")
+	}
+}

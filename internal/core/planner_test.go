@@ -1,0 +1,267 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+// statsSetup builds the paper database, collects real statistics, and then
+// overrides selected cardinalities for planning scenarios.
+func statsSetup(t *testing.T, overrides map[string]float64) *store.Store {
+	t.Helper()
+	st := store.PaperDatabase()
+	CollectStatistics(st)
+	for p, n := range overrides {
+		st.Catalog().Stats().SetCard(p, n)
+	}
+	return st
+}
+
+func TestCollectStatistics(t *testing.T) {
+	st := store.PaperDatabase()
+	CollectStatistics(st)
+	stats := st.Catalog().Stats()
+	cases := map[string]float64{
+		"cells":                  1,
+		"effectors":              3,
+		"cells.c_objects":        1,
+		"cells.robots":           2,
+		"cells.robots.effectors": 2,
+	}
+	for p, want := range cases {
+		got, ok := stats.Card(p)
+		if !ok {
+			t.Errorf("no statistic for %q", p)
+			continue
+		}
+		if got != want {
+			t.Errorf("stat %q = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestPlanQ1CollectionLock: Q1 checks out ALL c_objects of cell c1 for read;
+// the plan must lock the c_objects collection with one S lock instead of one
+// lock per element (the paper: "one cell may contain hundreds of
+// c_objects").
+func TestPlanQ1CollectionLock(t *testing.T) {
+	st := statsSetup(t, map[string]float64{"cells": 100, "cells.c_objects": 500})
+	spec := QuerySpec{
+		Relation:    "cells",
+		ObjectBound: true,
+		Hops:        []Hop{{Attrs: []string{"c_objects"}, Selectivity: 1}},
+		Access:      AccessRead,
+	}
+	plan, err := PlanQuery(st.Catalog(), spec, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.LevelName(plan.Level); got != "collection c_objects" {
+		t.Errorf("level = %s, plan = %v", got, plan)
+	}
+	if plan.Mode != lock.S {
+		t.Errorf("mode = %v", plan.Mode)
+	}
+	if plan.EstimatedLocks != 1 {
+		t.Errorf("estimated locks = %v", plan.EstimatedLocks)
+	}
+	if plan.EstimatedAtTarget != 500 {
+		t.Errorf("estimated at target = %v", plan.EstimatedAtTarget)
+	}
+	if plan.EscalatedLevels != 1 {
+		t.Errorf("escalations = %d", plan.EscalatedLevels)
+	}
+}
+
+// TestPlanQ2ElementLock: Q2 updates exactly robot r1 of cell c1 — a bound
+// hop keeps the fine element granule with an X lock.
+func TestPlanQ2ElementLock(t *testing.T) {
+	st := statsSetup(t, map[string]float64{"cells": 100, "cells.robots": 50})
+	spec := QuerySpec{
+		Relation:    "cells",
+		ObjectBound: true,
+		Hops:        []Hop{{Attrs: []string{"robots"}, Bound: true}},
+		Access:      AccessUpdate,
+	}
+	plan, err := PlanQuery(st.Catalog(), spec, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.LevelName(plan.Level); got != "element robots" {
+		t.Errorf("level = %s, plan = %v", got, plan)
+	}
+	if plan.Mode != lock.X || plan.EstimatedLocks != 1 || plan.EscalatedLevels != 0 {
+		t.Errorf("plan = %v", plan)
+	}
+}
+
+// TestPlanRelationScanEscalates: an unbound scan over a whole relation locks
+// the relation, not each object.
+func TestPlanRelationScanEscalates(t *testing.T) {
+	st := statsSetup(t, map[string]float64{"cells": 1000})
+	spec := QuerySpec{Relation: "cells", ObjectSelectivity: 1, Access: AccessRead}
+	plan, err := PlanQuery(st.Catalog(), spec, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.LevelName(plan.Level); got != "relation cells" {
+		t.Errorf("level = %s", got)
+	}
+	if plan.EstimatedLocks != 1 || plan.EstimatedAtTarget != 1000 {
+		t.Errorf("plan = %v", plan)
+	}
+}
+
+// TestPlanSelectivePredicateKeepsFineLocks: a selective (σ < θ) predicate
+// over a small collection keeps per-element locks.
+func TestPlanSelectivePredicateKeepsFineLocks(t *testing.T) {
+	st := statsSetup(t, map[string]float64{"cells": 100, "cells.robots": 10})
+	spec := QuerySpec{
+		Relation:    "cells",
+		ObjectBound: true,
+		Hops:        []Hop{{Attrs: []string{"robots"}, Selectivity: 0.1}},
+		Access:      AccessRead,
+	}
+	plan, err := PlanQuery(st.Catalog(), spec, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.LevelName(plan.Level); got != "element robots" {
+		t.Errorf("level = %s, plan = %v", got, plan)
+	}
+	if plan.EstimatedLocks != 1 {
+		t.Errorf("estimated = %v", plan.EstimatedLocks)
+	}
+}
+
+// TestPlanBudgetEscalation: even selective access escalates when the
+// absolute lock budget is exceeded (many objects × fanout).
+func TestPlanBudgetEscalation(t *testing.T) {
+	st := statsSetup(t, map[string]float64{"cells": 1000, "cells.robots": 100})
+	spec := QuerySpec{
+		Relation:          "cells",
+		ObjectSelectivity: 0.2,                                                   // 200 objects
+		Hops:              []Hop{{Attrs: []string{"robots"}, Selectivity: 0.05}}, // ×5 = 1000 elements
+		Access:            AccessRead,
+	}
+	plan, err := PlanQuery(st.Catalog(), spec, PlannerOptions{MaxLocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 element locks > 64 → collections (200) > 64 → objects (200) > 64
+	// → relation.
+	if got := spec.LevelName(plan.Level); got != "relation cells" {
+		t.Errorf("level = %s, plan = %v", got, plan)
+	}
+}
+
+// TestPlanThetaAblation: raising θ above the scan fraction disables the
+// fraction-triggered escalation (the E6 ablation knob).
+func TestPlanThetaAblation(t *testing.T) {
+	st := statsSetup(t, map[string]float64{"cells": 10, "cells.c_objects": 20})
+	spec := QuerySpec{
+		Relation:    "cells",
+		ObjectBound: true,
+		Hops:        []Hop{{Attrs: []string{"c_objects"}, Selectivity: 1}},
+		Access:      AccessRead,
+	}
+	plan, err := PlanQuery(st.Catalog(), spec, PlannerOptions{Theta: 1.1, MaxLocks: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.LevelName(plan.Level); got != "element c_objects" {
+		t.Errorf("level = %s (θ ablation broken), plan = %v", got, plan)
+	}
+}
+
+func TestPlanTwoHops(t *testing.T) {
+	st := statsSetup(t, map[string]float64{
+		"cells": 10, "cells.robots": 4, "cells.robots.effectors": 3,
+	})
+	spec := QuerySpec{
+		Relation:    "cells",
+		ObjectBound: true,
+		Hops: []Hop{
+			{Attrs: []string{"robots"}, Bound: true},
+			{Attrs: []string{"effectors"}, Selectivity: 1},
+		},
+		Access: AccessRead,
+	}
+	plan, err := PlanQuery(st.Catalog(), spec, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.LevelName(plan.Level); got != "collection effectors" {
+		t.Errorf("level = %s, plan = %v", got, plan)
+	}
+	if plan.EstimatedLocks != 1 {
+		t.Errorf("estimated = %v", plan.EstimatedLocks)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	st := statsSetup(t, nil)
+	if _, err := PlanQuery(st.Catalog(), QuerySpec{Relation: "nope"}, PlannerOptions{}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	bad := QuerySpec{Relation: "cells", ObjectBound: true,
+		Hops: []Hop{{Attrs: []string{"cell_id"}}}}
+	if _, err := PlanQuery(st.Catalog(), bad, PlannerOptions{}); err == nil {
+		t.Error("non-collection hop accepted")
+	}
+	bad2 := QuerySpec{Relation: "cells", ObjectBound: true,
+		Hops: []Hop{{Attrs: []string{"zz"}}}}
+	if _, err := PlanQuery(st.Catalog(), bad2, PlannerOptions{}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestPlanStringAndLevelName(t *testing.T) {
+	st := statsSetup(t, nil)
+	spec := QuerySpec{
+		Relation:    "cells",
+		ObjectBound: true,
+		Hops:        []Hop{{Attrs: []string{"robots"}, Bound: true}},
+		Access:      AccessUpdate,
+	}
+	plan, err := PlanQuery(st.Catalog(), spec, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "update") || !strings.Contains(s, "element robots") {
+		t.Errorf("String = %s", s)
+	}
+	if spec.LevelName(0) != "relation cells" || spec.LevelName(1) != "object" ||
+		spec.LevelName(2) != "collection robots" || spec.LevelName(3) != "element robots" {
+		t.Error("LevelName wrong")
+	}
+	if AccessRead.String() != "read" || AccessUpdate.String() != "update" {
+		t.Error("AccessKind.String wrong")
+	}
+	if AccessRead.Mode() != lock.S || AccessUpdate.Mode() != lock.X {
+		t.Error("AccessKind.Mode wrong")
+	}
+}
+
+// TestPlanDefaultStatistics: with no statistics recorded the planner falls
+// back to defaults and still produces a plan.
+func TestPlanDefaultStatistics(t *testing.T) {
+	st := store.PaperDatabase() // no CollectStatistics
+	spec := QuerySpec{
+		Relation:    "cells",
+		ObjectBound: true,
+		Hops:        []Hop{{Attrs: []string{"robots"}, Bound: true}},
+		Access:      AccessRead,
+	}
+	plan, err := PlanQuery(st.Catalog(), spec, PlannerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.LevelName(plan.Level) != "element robots" {
+		t.Errorf("plan = %v", plan)
+	}
+}

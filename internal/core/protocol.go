@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"colock/internal/authz"
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+// Protocol implements the paper's lock protocol for object-specific lock
+// graphs (§4.4.2), rules 1–5 plus the authorization-aware rule 4′:
+//
+//   - IS/IX on a non-root node requires (at least) IS/IX on all immediate
+//     parents; requesting a lock acquires the whole ancestor chain
+//     root-to-leaf (rule 5).
+//   - Locking the root of an inner unit (an entry point) triggers implicit
+//     upward propagation: the concurrency-control manager intention-locks
+//     the entry point's immediate parents up to the root of its superunit.
+//   - Granting S or X on a node first S/X-locks the entry points of all
+//     lower (dependent) inner units accessible via the node — implicit
+//     downward propagation, which makes locks on shared data visible to
+//     transactions arriving "from the side".
+//   - Rule 4′: during downward propagation of an X request, inner units the
+//     transaction is not authorized to modify are locked S instead of X.
+//
+// The protocol issues only the paper's four modes (IS, IX, S, X).
+type Protocol struct {
+	nm   *Namer
+	mgr  *lock.Manager
+	st   *store.Store
+	auth authz.Authorizer
+
+	// rule4Prime enables the authorization cooperation of rule 4′. With it
+	// disabled (or with an AllowAll authorizer) the protocol behaves as the
+	// plain rule 4: X requests propagate X onto every dependent entry
+	// point.
+	rule4Prime bool
+}
+
+// Options configures a Protocol.
+type Options struct {
+	// Authorizer supplies modify rights for rule 4′. nil defaults to
+	// authz.AllowAll (every unit is modifiable).
+	Authorizer authz.Authorizer
+	// Rule4Prime enables authorization cooperation (§4.4.2.1, rule 4′).
+	Rule4Prime bool
+}
+
+// NewProtocol builds a protocol instance over a lock manager, a store and a
+// namer.
+func NewProtocol(mgr *lock.Manager, st *store.Store, nm *Namer, opts Options) *Protocol {
+	auth := opts.Authorizer
+	if auth == nil {
+		auth = authz.AllowAll{}
+	}
+	return &Protocol{nm: nm, mgr: mgr, st: st, auth: auth, rule4Prime: opts.Rule4Prime}
+}
+
+// Manager exposes the underlying lock manager (for release, inspection and
+// statistics).
+func (p *Protocol) Manager() *lock.Manager { return p.mgr }
+
+// CanModify reports whether the authorization component grants txn the
+// right to modify the relation. The query executor enforces it for
+// modifying statements; the protocol itself only uses it for rule 4′.
+func (p *Protocol) CanModify(txn lock.TxnID, relation string) bool {
+	return p.auth.CanModify(txn, relation)
+}
+
+// Namer exposes the resource namer.
+func (p *Protocol) Namer() *Namer { return p.nm }
+
+// Lock acquires a lock of the given mode (IS, IX, S or X) on the node,
+// following the protocol. It blocks until granted; a deadlock-victim error
+// from the lock manager is returned unchanged and the transaction must
+// abort.
+func (p *Protocol) Lock(txn lock.TxnID, n Node, mode lock.Mode) error {
+	return p.lock(txn, n, mode, false)
+}
+
+// LockLong is Lock with durable ("long") locks, as used for check-out in
+// workstation–server environments.
+func (p *Protocol) LockLong(txn lock.TxnID, n Node, mode lock.Mode) error {
+	return p.lock(txn, n, mode, true)
+}
+
+// LockPath is shorthand for Lock on a data node.
+func (p *Protocol) LockPath(txn lock.TxnID, path store.Path, mode lock.Mode) error {
+	return p.Lock(txn, DataNode(path), mode)
+}
+
+// LockNoFollow acquires the lock without implicit downward propagation into
+// referenced common data. It exploits query semantics (§4.5 end): an
+// operation that accesses references without accessing the referenced data —
+// e.g. deleting a robot by a transaction without the right to delete
+// effectors — needs "no locks on common data at all". The caller must
+// guarantee the operation really never touches the referenced data.
+func (p *Protocol) LockNoFollow(txn lock.TxnID, n Node, mode lock.Mode) error {
+	return p.lockOpts(txn, n, mode, false, true)
+}
+
+func (p *Protocol) lock(txn lock.TxnID, n Node, mode lock.Mode, durable bool) error {
+	return p.lockOpts(txn, n, mode, durable, false)
+}
+
+func (p *Protocol) lockOpts(txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool) error {
+	switch mode {
+	case lock.IS, lock.IX, lock.S, lock.X:
+	default:
+		return fmt.Errorf("core: protocol mode must be IS, IX, S or X, got %v", mode)
+	}
+	if n.Level == LevelData && len(n.Path) >= 2 {
+		// Validate the path against the schema; instances need not exist
+		// (inserts lock their future resource), but the attribute shape
+		// must be real.
+		if _, err := p.nm.Classify(n.Path); err != nil {
+			return err
+		}
+	}
+	// requested tracks the strongest mode already handled per resource
+	// within this call, so that diamond-shaped sharing does not reprocess
+	// entry points.
+	requested := make(map[lock.Resource]lock.Mode)
+	return p.lockRec(txn, n, mode, durable, noFollow, requested)
+}
+
+func (p *Protocol) lockRec(txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, requested map[lock.Resource]lock.Mode) error {
+	res, err := p.nm.Resource(n)
+	if err != nil {
+		return err
+	}
+	if prev, ok := requested[res]; ok && prev.Covers(mode) {
+		return nil
+	}
+
+	// Rules 1–4, upward part: intention-lock all immediate parents
+	// root-to-leaf (rule 5 order). For entry points this is the "implicit
+	// upward propagation" up to the root of the superunit; it never crosses
+	// superunit boundaries because the ancestor chain is exactly the
+	// superunit spine.
+	anc, err := p.nm.Ancestors(n)
+	if err != nil {
+		return err
+	}
+	intent := mode.IntentionFor()
+	if intent != lock.None {
+		for _, a := range anc {
+			ares, err := p.nm.Resource(a)
+			if err != nil {
+				return err
+			}
+			if prev, ok := requested[ares]; ok && prev.Covers(intent) {
+				continue
+			}
+			if err := p.acquire(txn, ares, intent, durable); err != nil {
+				return err
+			}
+			requested[ares] = lock.Sup(requested[ares], intent)
+		}
+	}
+
+	// Reserve the mode in the memo BEFORE propagating: with recursive
+	// complex objects a reference cycle leads back to this node, and the
+	// reservation terminates the recursion (the cycle member is then locked
+	// on the way back up).
+	reserved := requested[res]
+	requested[res] = lock.Sup(reserved, mode)
+
+	// Rules 3/4/4′, downward part: before granting S or X on the node, lock
+	// the entry points of all lower (dependent) inner units accessible via
+	// it. Downward propagation crosses superunit boundaries and recurses,
+	// because common data may again contain common data.
+	if (mode == lock.S || mode == lock.X) && !noFollow {
+		entries, err := EntryPointsUnder(p.st, p.nm, n)
+		if err != nil {
+			return err
+		}
+		for _, ep := range entries {
+			em := mode
+			if mode == lock.X && p.rule4Prime && !p.auth.CanModify(txn, ep.Relation()) {
+				// Rule 4′: non-modifiable inner units are only S-locked.
+				em = lock.S
+			}
+			if err := p.lockRec(txn, DataNode(ep), em, durable, noFollow, requested); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := p.acquire(txn, res, mode, durable); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (p *Protocol) acquire(txn lock.TxnID, res lock.Resource, mode lock.Mode, durable bool) error {
+	if durable {
+		return p.mgr.AcquireDurable(txn, res, mode)
+	}
+	return p.mgr.Acquire(txn, res, mode)
+}
+
+// Release drops all locks of a transaction (EOT, rule 5: "locks are
+// released at the end of the transaction ... in any order").
+func (p *Protocol) Release(txn lock.TxnID) { p.mgr.ReleaseAll(txn) }
+
+// EffectiveMode returns the strongest mode the transaction holds on a node,
+// explicitly or implicitly: an S or X lock on any node implicitly locks its
+// descendants in the same mode (§3.1). Because resource names are the
+// immediate-parent chains, implicit coverage is prefix coverage.
+func (p *Protocol) EffectiveMode(txn lock.TxnID, n Node) (lock.Mode, error) {
+	res, err := p.nm.Resource(n)
+	if err != nil {
+		return lock.None, err
+	}
+	best := p.mgr.HeldMode(txn, res)
+	anc, err := p.nm.Ancestors(n)
+	if err != nil {
+		return lock.None, err
+	}
+	for _, a := range anc {
+		ares, err := p.nm.Resource(a)
+		if err != nil {
+			return lock.None, err
+		}
+		switch p.mgr.HeldMode(txn, ares) {
+		case lock.S:
+			best = lock.Sup(best, lock.S)
+		case lock.X:
+			best = lock.Sup(best, lock.X)
+		case lock.SIX:
+			best = lock.Sup(best, lock.S)
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+	"colock/internal/schema"
+	"colock/internal/store"
+)
+
+// Recursive complex objects — the paper's §5 extension. The catalog opts in
+// via SetRecursive; the protocol's propagation memo and the unit analysis
+// are cycle-safe.
+
+// bomStore builds a parts relation that references itself, with the given
+// edges (parent → children).
+func bomStore(t *testing.T, edges map[string][]string) *store.Store {
+	t.Helper()
+	cat := schema.NewCatalog("plm")
+	cat.SetRecursive(true)
+	if err := cat.AddRelation(&schema.Relation{
+		Name: "parts", Segment: "s1", Key: "part_id",
+		Type: schema.Tuple(
+			schema.F("part_id", schema.Str()),
+			schema.F("name", schema.Str()),
+			schema.F("subparts", schema.Set(schema.Ref("parts"))),
+		),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(cat)
+	for id, children := range edges {
+		subs := store.NewSet()
+		for _, c := range children {
+			subs.Add(c, store.Ref{Relation: "parts", Key: c})
+		}
+		if err := st.Insert("parts", id, store.NewTuple().
+			Set("part_id", store.Str(id)).
+			Set("name", store.Str("n-"+id)).
+			Set("subparts", subs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRecursiveSchemaValidation(t *testing.T) {
+	cat := schema.NewCatalog("db")
+	cat.SetRecursive(true)
+	if !cat.Recursive() {
+		t.Error("Recursive() false")
+	}
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "parts", Segment: "s", Key: "id",
+		Type: schema.Tuple(schema.F("id", schema.Str()), schema.F("sub", schema.Set(schema.Ref("parts")))),
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatalf("recursive catalog rejected: %v", err)
+	}
+	// Without the opt-in the same schema is rejected (paper default).
+	cat.SetRecursive(false)
+	if err := cat.Validate(); err == nil {
+		t.Error("recursion accepted without opt-in")
+	}
+}
+
+// TestRecursiveSelfReferenceTerminates: a part that references itself.
+func TestRecursiveSelfReferenceTerminates(t *testing.T) {
+	st := bomStore(t, map[string][]string{"a1": {"a1"}})
+	nm := NewNamer(st.Catalog(), false)
+	p := NewProtocol(lock.NewManager(lock.Options{}), st, nm, Options{})
+	done := make(chan error, 1)
+	go func() { done <- p.LockPath(1, store.P("parts", "a1"), lock.X) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("self-reference did not terminate")
+	}
+	got := heldMap(t, p, 1)
+	if got["plm/s1/parts/a1"] != lock.X {
+		t.Errorf("held = %v", got)
+	}
+	assertProtocolInvariants(t, p, 1)
+}
+
+// TestRecursiveCycleLocksWholeCycle: a1 → a2 → a1; X on a1 X-locks both.
+func TestRecursiveCycleLocksWholeCycle(t *testing.T) {
+	st := bomStore(t, map[string][]string{"a1": {"a2"}, "a2": {"a1"}})
+	nm := NewNamer(st.Catalog(), false)
+	p := NewProtocol(lock.NewManager(lock.Options{}), st, nm, Options{})
+	if err := p.LockPath(1, store.P("parts", "a1"), lock.X); err != nil {
+		t.Fatal(err)
+	}
+	got := heldMap(t, p, 1)
+	if got["plm/s1/parts/a1"] != lock.X || got["plm/s1/parts/a2"] != lock.X {
+		t.Errorf("cycle not fully locked: %v", got)
+	}
+	assertProtocolInvariants(t, p, 1)
+
+	// From-the-side: a direct reader of a2 is blocked.
+	blocked := make(chan error, 1)
+	go func() { blocked <- p.LockPath(2, store.P("parts", "a2"), lock.S) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("cycle member not protected: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	p.Release(1)
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	p.Release(2)
+}
+
+// TestRecursiveDeepChainClosure: a linear BOM chain of depth 12 locks the
+// whole transitive closure.
+func TestRecursiveDeepChainClosure(t *testing.T) {
+	edges := map[string][]string{}
+	const depth = 12
+	for i := 0; i < depth-1; i++ {
+		edges[fmt.Sprintf("p%d", i)] = []string{fmt.Sprintf("p%d", i+1)}
+	}
+	edges[fmt.Sprintf("p%d", depth-1)] = nil
+	st := bomStore(t, edges)
+	nm := NewNamer(st.Catalog(), false)
+	p := NewProtocol(lock.NewManager(lock.Options{}), st, nm, Options{})
+	if err := p.LockPath(1, store.P("parts", "p0"), lock.S); err != nil {
+		t.Fatal(err)
+	}
+	got := heldMap(t, p, 1)
+	for i := 0; i < depth; i++ {
+		if got[fmt.Sprintf("plm/s1/parts/p%d", i)] != lock.S {
+			t.Errorf("p%d not locked", i)
+		}
+	}
+}
+
+// TestRecursiveRelationLockSkipsInternalTargets: S on the whole relation
+// covers every part implicitly — no per-object entry-point locks.
+func TestRecursiveRelationLockSkipsInternalTargets(t *testing.T) {
+	st := bomStore(t, map[string][]string{"a1": {"a2"}, "a2": {"a1"}})
+	nm := NewNamer(st.Catalog(), false)
+	p := NewProtocol(lock.NewManager(lock.Options{}), st, nm, Options{})
+	if err := p.LockPath(1, store.P("parts"), lock.S); err != nil {
+		t.Fatal(err)
+	}
+	got := heldMap(t, p, 1)
+	if len(got) != 3 { // db, s1, parts — nothing below
+		t.Errorf("relation lock propagated into its own objects: %v", got)
+	}
+}
+
+// TestRecursiveComputeUnitsTerminates: the unit analysis over a cycle
+// terminates and reports each object once.
+func TestRecursiveComputeUnitsTerminates(t *testing.T) {
+	st := bomStore(t, map[string][]string{"a1": {"a2"}, "a2": {"a3"}, "a3": {"a1"}})
+	nm := NewNamer(st.Catalog(), false)
+	u, err := ComputeUnits(st, nm, store.P("parts", "a1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, iu := range u.Inner {
+		seen[iu.EntryPoint.String()]++
+	}
+	for ep, n := range seen {
+		if n != 1 {
+			t.Errorf("entry point %s reported %d times", ep, n)
+		}
+	}
+	// a2 at depth 1, a3 at depth 2, and the cycle-closing a1 itself.
+	if seen["parts/a2"] != 1 || seen["parts/a3"] != 1 {
+		t.Errorf("inner units = %v", seen)
+	}
+}
+
+// TestRecursiveSharedSubtree: a diamond BOM (two parents share a subpart)
+// locks the shared part once and keeps readers of the sibling parent
+// concurrent under rule 4'-style S propagation.
+func TestRecursiveSharedSubtree(t *testing.T) {
+	st := bomStore(t, map[string][]string{
+		"top1": {"shared"}, "top2": {"shared"}, "shared": nil,
+	})
+	nm := NewNamer(st.Catalog(), false)
+	p := NewProtocol(lock.NewManager(lock.Options{}), st, nm, Options{})
+	if err := p.LockPath(1, store.P("parts", "top1"), lock.S); err != nil {
+		t.Fatal(err)
+	}
+	// A second reader via the other parent proceeds (S ∥ S on "shared").
+	done := make(chan error, 1)
+	go func() { done <- p.LockPath(2, store.P("parts", "top2"), lock.S) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sibling reader blocked")
+	}
+	if p.Manager().Stats().Waits != 0 {
+		t.Error("unexpected waits")
+	}
+}

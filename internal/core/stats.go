@@ -1,0 +1,67 @@
+package core
+
+import (
+	"colock/internal/schema"
+	"colock/internal/store"
+)
+
+// CollectStatistics walks the store and fills the catalog's statistics with
+// actual relation cardinalities and average collection fan-outs — the
+// "structural and statistical information" the planner consumes (§5).
+// Paths follow the planner's convention: "cells" is the cardinality of the
+// relation, "cells.robots" the average robots per cell,
+// "cells.robots.effectors" the average effector references per robot.
+func CollectStatistics(st *store.Store) {
+	cat := st.Catalog()
+	stats := cat.Stats()
+	for _, rel := range cat.Relations() {
+		keys := st.Keys(rel.Name)
+		stats.SetCard(rel.Name, float64(len(keys)))
+		sums := make(map[string]float64)
+		counts := make(map[string]float64)
+		for _, key := range keys {
+			obj := st.Get(rel.Name, key)
+			collectFanouts(obj, rel.Type, rel.Name, sums, counts)
+		}
+		for path, sum := range sums {
+			if counts[path] > 0 {
+				stats.SetCard(path, sum/counts[path])
+			}
+		}
+	}
+}
+
+// collectFanouts records, for every collection-valued position, the number
+// of elements per containing tuple instance.
+func collectFanouts(v store.Value, t *schema.Type, path string, sums, counts map[string]float64) {
+	switch t.Kind {
+	case schema.KindTuple:
+		tp, ok := v.(*store.Tuple)
+		if !ok {
+			return
+		}
+		for _, f := range t.Fields {
+			collectFanouts(tp.Get(f.Name), f.Type, path+"."+f.Name, sums, counts)
+		}
+	case schema.KindSet:
+		s, ok := v.(*store.Set)
+		if !ok {
+			return
+		}
+		sums[path] += float64(s.Len())
+		counts[path]++
+		for _, id := range s.IDs() {
+			collectFanouts(s.Get(id), t.Elem, path, sums, counts)
+		}
+	case schema.KindList:
+		l, ok := v.(*store.List)
+		if !ok {
+			return
+		}
+		sums[path] += float64(l.Len())
+		counts[path]++
+		for _, id := range l.IDs() {
+			collectFanouts(l.Get(id), t.Elem, path, sums, counts)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"colock/internal/schema"
+	"colock/internal/store"
+)
+
+// nestedCatalogAndStore builds a three-level sharing chain for tests:
+// assemblies (seg s1) → parts (seg s2) → bolts (seg s3), with one object
+// each: a1 → p1 → b1.
+func nestedCatalogAndStore(t *testing.T) (*schema.Catalog, *store.Store) {
+	t.Helper()
+	cat := schema.NewCatalog("db")
+	if err := cat.AddRelation(&schema.Relation{
+		Name: "bolts", Segment: "s3", Key: "id",
+		Type: schema.Tuple(schema.F("id", schema.Str())),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddRelation(&schema.Relation{
+		Name: "parts", Segment: "s2", Key: "id",
+		Type: schema.Tuple(
+			schema.F("id", schema.Str()),
+			schema.F("bolts", schema.Set(schema.Ref("bolts"))),
+		),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddRelation(&schema.Relation{
+		Name: "assemblies", Segment: "s1", Key: "id",
+		Type: schema.Tuple(
+			schema.F("id", schema.Str()),
+			schema.F("parts", schema.Set(schema.Ref("parts"))),
+		),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(cat)
+	if err := st.Insert("bolts", "b1", store.NewTuple().Set("id", store.Str("b1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("parts", "p1", store.NewTuple().Set("id", store.Str("p1")).
+		Set("bolts", store.NewSet().Add("b1", store.Ref{Relation: "bolts", Key: "b1"}))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("assemblies", "a1", store.NewTuple().Set("id", store.Str("a1")).
+		Set("parts", store.NewSet().Add("p1", store.Ref{Relation: "parts", Key: "p1"}))); err != nil {
+		t.Fatal(err)
+	}
+	return cat, st
+}

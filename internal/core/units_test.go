@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+
+	"colock/internal/schema"
+	"colock/internal/store"
+)
+
+func paperSetup(t *testing.T) (*store.Store, *Namer) {
+	t.Helper()
+	st := store.PaperDatabase()
+	return st, NewNamer(st.Catalog(), false)
+}
+
+// TestComputeUnitsFigure6 pins the unit decomposition of complex object
+// "cell c1" against Figure 6.
+func TestComputeUnitsFigure6(t *testing.T) {
+	st, nm := paperSetup(t)
+	u, err := ComputeUnits(st, nm, store.P("cells", "c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Outer unit: database, segment seg1, relation cells, and the 19
+	// instance nodes of cell c1 down to (and including) the reference BLUs.
+	if len(u.OuterNodes) != 3+19 {
+		t.Fatalf("outer unit has %d nodes, want 22", len(u.OuterNodes))
+	}
+	if u.OuterNodes[0].Level != LevelDatabase ||
+		!u.OuterNodes[1].Equal(SegmentNode("seg1")) ||
+		!u.OuterNodes[2].Path.Equal(store.P("cells")) {
+		t.Errorf("outer unit head wrong: %v", u.OuterNodes[:3])
+	}
+	// Spot-check membership: the reference BLUs belong to the OUTER unit.
+	found := make(map[string]bool)
+	for _, n := range u.OuterNodes {
+		if n.Level == LevelData {
+			found[n.Path.String()] = true
+		}
+	}
+	for _, p := range []string{
+		"cells/c1",
+		"cells/c1/cell_id",
+		"cells/c1/c_objects/o1/obj_name",
+		"cells/c1/robots/r1/effectors/e2", // ref BLU — outer unit boundary
+		"cells/c1/robots/r2/trajectory",
+	} {
+		if !found[p] {
+			t.Errorf("outer unit misses %q", p)
+		}
+	}
+	if found["effectors/e1"] {
+		t.Error("outer unit contains shared data")
+	}
+
+	// Inner units: effector e1, e2, e3 — each with nodes
+	// {effectors/eX, eff_id, tool} and superunit relation → segment → db.
+	if len(u.Inner) != 3 {
+		t.Fatalf("found %d inner units, want 3: %+v", len(u.Inner), u.Inner)
+	}
+	wantEntries := []string{"effectors/e1", "effectors/e2", "effectors/e3"}
+	for i, iu := range u.Inner {
+		if iu.EntryPoint.String() != wantEntries[i] {
+			t.Errorf("inner[%d].EntryPoint = %q, want %q", i, iu.EntryPoint, wantEntries[i])
+		}
+		if iu.Depth != 1 {
+			t.Errorf("inner[%d].Depth = %d, want 1", i, iu.Depth)
+		}
+		if len(iu.Nodes) != 3 {
+			t.Errorf("inner[%d] has %d nodes, want 3 (entry, eff_id, tool)", i, len(iu.Nodes))
+		}
+		if len(iu.Superunit) != 3 ||
+			!iu.Superunit[0].Path.Equal(store.P("effectors")) ||
+			!iu.Superunit[1].Equal(SegmentNode("seg2")) ||
+			iu.Superunit[2].Level != LevelDatabase {
+			t.Errorf("inner[%d].Superunit = %v", i, iu.Superunit)
+		}
+	}
+
+	// e2 is shared by r1 and r2: two referencing BLUs.
+	e2 := u.Inner[1]
+	if len(e2.ReferencedFrom) != 2 ||
+		e2.ReferencedFrom[0].String() != "cells/c1/robots/r1/effectors/e2" ||
+		e2.ReferencedFrom[1].String() != "cells/c1/robots/r2/effectors/e2" {
+		t.Errorf("e2.ReferencedFrom = %v", e2.ReferencedFrom)
+	}
+	if len(u.Inner[0].ReferencedFrom) != 1 || len(u.Inner[2].ReferencedFrom) != 1 {
+		t.Error("e1/e3 reference counts wrong")
+	}
+}
+
+// TestComputeUnitsNestedCommonData: common data containing common data
+// yields depth-2 inner units.
+func TestComputeUnitsNestedCommonData(t *testing.T) {
+	cat := schema.NewCatalog("db")
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "bolts", Segment: "s3", Key: "id",
+		Type: schema.Tuple(schema.F("id", schema.Str())),
+	})
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "parts", Segment: "s2", Key: "id",
+		Type: schema.Tuple(
+			schema.F("id", schema.Str()),
+			schema.F("bolts", schema.Set(schema.Ref("bolts"))),
+		),
+	})
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "assemblies", Segment: "s1", Key: "id",
+		Type: schema.Tuple(
+			schema.F("id", schema.Str()),
+			schema.F("parts", schema.Set(schema.Ref("parts"))),
+		),
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(cat)
+	mustIns := func(rel, key string, obj *store.Tuple) {
+		t.Helper()
+		if err := st.Insert(rel, key, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustIns("bolts", "b1", store.NewTuple().Set("id", store.Str("b1")))
+	mustIns("parts", "p1", store.NewTuple().Set("id", store.Str("p1")).
+		Set("bolts", store.NewSet().Add("b1", store.Ref{Relation: "bolts", Key: "b1"})))
+	mustIns("assemblies", "a1", store.NewTuple().Set("id", store.Str("a1")).
+		Set("parts", store.NewSet().Add("p1", store.Ref{Relation: "parts", Key: "p1"})))
+
+	nm := NewNamer(cat, false)
+	u, err := ComputeUnits(st, nm, store.P("assemblies", "a1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Inner) != 2 {
+		t.Fatalf("inner units = %d, want 2", len(u.Inner))
+	}
+	if u.Inner[0].EntryPoint.String() != "parts/p1" || u.Inner[0].Depth != 1 {
+		t.Errorf("inner[0] = %+v", u.Inner[0])
+	}
+	if u.Inner[1].EntryPoint.String() != "bolts/b1" || u.Inner[1].Depth != 2 {
+		t.Errorf("inner[1] = %+v", u.Inner[1])
+	}
+}
+
+func TestComputeUnitsErrors(t *testing.T) {
+	st, nm := paperSetup(t)
+	if _, err := ComputeUnits(st, nm, store.P("cells")); err == nil {
+		t.Error("relation path accepted")
+	}
+	if _, err := ComputeUnits(st, nm, store.P("nope", "x")); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := ComputeUnits(st, nm, store.P("cells", "zz")); err == nil {
+		t.Error("unknown object accepted")
+	}
+	// Dangling reference is reported.
+	st.Delete("effectors", "e2")
+	if _, err := ComputeUnits(st, nm, store.P("cells", "c1")); err == nil {
+		t.Error("dangling reference accepted")
+	}
+}
+
+func TestEntryPointsUnder(t *testing.T) {
+	st, nm := paperSetup(t)
+
+	cases := []struct {
+		node Node
+		want []string
+	}{
+		{DatabaseNode(), nil}, // db covers everything implicitly
+		{SegmentNode("seg1"), []string{"effectors/e1", "effectors/e2", "effectors/e3"}},
+		{SegmentNode("seg2"), nil}, // effectors reference nothing
+		{DataNode(store.P("cells")), []string{"effectors/e1", "effectors/e2", "effectors/e3"}},
+		{DataNode(store.P("cells", "c1")), []string{"effectors/e1", "effectors/e2", "effectors/e3"}},
+		{DataNode(store.P("cells", "c1", "robots", "r1")), []string{"effectors/e1", "effectors/e2"}},
+		{DataNode(store.P("cells", "c1", "robots", "r2")), []string{"effectors/e2", "effectors/e3"}},
+		{DataNode(store.P("cells", "c1", "c_objects")), nil},
+		{DataNode(store.P("cells", "c1", "robots", "r1", "trajectory")), nil},
+		{DataNode(store.P("effectors", "e1")), nil},
+	}
+	for _, c := range cases {
+		got, err := EntryPointsUnder(st, nm, c.node)
+		if err != nil {
+			t.Errorf("%v: %v", c.node, err)
+			continue
+		}
+		gs := make([]string, len(got))
+		for i, p := range got {
+			gs[i] = p.String()
+		}
+		if len(gs) != len(c.want) {
+			t.Errorf("%v: entry points = %v, want %v", c.node, gs, c.want)
+			continue
+		}
+		for i := range gs {
+			if gs[i] != c.want[i] {
+				t.Errorf("%v: entry points = %v, want %v", c.node, gs, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestEntryPointsSameSegmentSkipped: targets stored in the locked segment
+// are implicitly covered and skipped.
+func TestEntryPointsSameSegmentSkipped(t *testing.T) {
+	cat := schema.NewCatalog("db")
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "lib", Segment: "s1", Key: "id",
+		Type: schema.Tuple(schema.F("id", schema.Str())),
+	})
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "top", Segment: "s1", Key: "id",
+		Type: schema.Tuple(schema.F("id", schema.Str()), schema.F("p", schema.Set(schema.Ref("lib")))),
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(cat)
+	if err := st.Insert("lib", "l1", store.NewTuple().Set("id", store.Str("l1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("top", "t1", store.NewTuple().Set("id", store.Str("t1")).
+		Set("p", store.NewSet().Add("l1", store.Ref{Relation: "lib", Key: "l1"}))); err != nil {
+		t.Fatal(err)
+	}
+	nm := NewNamer(cat, false)
+	got, err := EntryPointsUnder(st, nm, SegmentNode("s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("same-segment targets not skipped: %v", got)
+	}
+	// But a lock on the relation still propagates (lib is not under top).
+	got, err = EntryPointsUnder(st, nm, DataNode(store.P("top")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].String() != "lib/l1" {
+		t.Errorf("relation-level entry points = %v", got)
+	}
+}
+
+func TestEntryPointsDeduplicated(t *testing.T) {
+	st, nm := paperSetup(t)
+	// cell c1 references e2 twice (r1 and r2) but e2 appears once.
+	got, err := EntryPointsUnder(st, nm, DataNode(store.P("cells", "c1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, p := range got {
+		if p.String() == "effectors/e2" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("e2 appears %d times, want 1", count)
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"time"
+
+	"colock/internal/metrics"
+)
+
+// Quick runs every experiment at a small scale (seconds, not minutes) and
+// returns the result tables in experiment order. cmd/lockbench -quick and
+// smoke tests use it.
+func Quick() []*metrics.Table {
+	return []*metrics.Table{
+		E1Fig7Concurrency(20),
+		E2Granularity(8, 50, 200*time.Microsecond),
+		E3SharedXLock([]int{2, 8, 32}),
+		E4FromTheSide(10),
+		E5Authorization([]int{4, 16}, 200*time.Microsecond),
+		E6Escalation(200, []float64{0.05, 0.25, 0.5, 1.0}),
+		E7LongTransactions(8, 30*time.Millisecond),
+		E8DisjointOverhead(16, 4),
+		E9BenefitSweep([]int{1, 2, 3, 4}, 30*time.Millisecond),
+		E10DeEscalation(8, 30*time.Millisecond),
+		E11BLUCoalescing(16),
+		E12RecursiveClosure([]int{2, 8, 32}),
+		E13DeadlockPolicy(4, 15),
+	}
+}
+
+// Full runs every experiment at the scale used for EXPERIMENTS.md.
+func Full() []*metrics.Table {
+	return []*metrics.Table{
+		E1Fig7Concurrency(200),
+		E2Granularity(16, 200, 500*time.Microsecond),
+		E3SharedXLock([]int{2, 8, 32, 128}),
+		E4FromTheSide(50),
+		E5Authorization([]int{4, 16, 64}, 500*time.Microsecond),
+		E6Escalation(500, []float64{0.02, 0.1, 0.25, 0.5, 0.75, 1.0}),
+		E7LongTransactions(16, 100*time.Millisecond),
+		E8DisjointOverhead(64, 6),
+		E9BenefitSweep([]int{1, 2, 3, 4, 5}, 60*time.Millisecond),
+		E10DeEscalation(16, 100*time.Millisecond),
+		E11BLUCoalescing(64),
+		E12RecursiveClosure([]int{2, 8, 32, 128}),
+		E13DeadlockPolicy(8, 40),
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/metrics"
+	"colock/internal/store"
+	"colock/internal/workload"
+)
+
+// E10DeEscalation is the ablation for the de-escalation extension (the
+// paper's §5 names "the efficient release of locks ('de-escalation')" as
+// future work). A transaction X-locks a whole cell, works on one robot for
+// a long time, and either keeps the coarse lock or de-escalates to the
+// robot. Concurrent readers of the cell's other parts measure the
+// difference.
+func E10DeEscalation(readers int, hold time.Duration) *metrics.Table {
+	t := metrics.NewTable("E10: de-escalation ablation — coarse X on a cell, work on one robot",
+		"variant", "readers", "total-reader-wait", "blocked-readers")
+	cfg := workload.Config{
+		Seed: 10, Cells: 1, CObjectsPerCell: 8,
+		RobotsPerCell: 4, Effectors: 4, DisjointOnly: true,
+	}
+	for _, variant := range []string{"hold-coarse", "de-escalate"} {
+		st := workload.Generate(cfg)
+		e := newEnv(st, false)
+		obj := store.P("cells", "c0")
+		if err := e.proto.LockPath(1, obj, lock.X); err != nil {
+			panic(err)
+		}
+		if variant == "de-escalate" {
+			if err := e.proto.DeEscalate(1, core.DataNode(obj), []store.Path{
+				store.P("cells", "c0", "robots", "r0"),
+			}); err != nil {
+				panic(err)
+			}
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var totalWait time.Duration
+		blocked := 0
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(id lock.TxnID, obj int) {
+				defer wg.Done()
+				p := store.P("cells", "c0", "c_objects", fmt.Sprintf("o%d", obj))
+				start := time.Now()
+				if err := e.proto.LockPath(id, p, lock.S); err != nil {
+					panic(err)
+				}
+				w := time.Since(start)
+				e.proto.Release(id)
+				mu.Lock()
+				totalWait += w
+				if w > hold/2 {
+					blocked++
+				}
+				mu.Unlock()
+			}(lock.TxnID(r+2), r%8)
+		}
+		time.Sleep(hold) // the long robot work
+		e.proto.Release(1)
+		wg.Wait()
+		t.Addf(variant, readers, totalWait.Round(time.Millisecond), blocked)
+	}
+	return t
+}
+
+// E11BLUCoalescing is the ablation for footnote 3: per-attribute BLUs vs
+// one coalesced BLU per tuple level. A transaction reads every atomic
+// attribute of many robots; coalescing should cut the lock-table entries
+// roughly by the number of atomic attributes per tuple while concurrency on
+// whole attributes levels is unchanged.
+func E11BLUCoalescing(robots int) *metrics.Table {
+	t := metrics.NewTable("E11: BLU granularity (footnote 3) — reading every atomic attribute",
+		"blu-granularity", "lock-requests", "table-entries", "elapsed")
+	cfg := workload.Config{
+		Seed: 11, Cells: 1, CObjectsPerCell: 2,
+		RobotsPerCell: robots, Effectors: 4, DisjointOnly: true,
+	}
+	for _, coalesce := range []bool{false, true} {
+		st := workload.Generate(cfg)
+		nm := core.NewNamer(st.Catalog(), coalesce)
+		mgr := lock.NewManager(lock.Options{})
+		proto := core.NewProtocol(mgr, st, nm, core.Options{})
+		name := "per-attribute"
+		if coalesce {
+			name = "coalesced (#attrs)"
+		}
+		start := time.Now()
+		for r := 0; r < robots; r++ {
+			for _, attr := range []string{"robot_id", "trajectory"} {
+				p := store.P("cells", "c0", "robots", fmt.Sprintf("r%d", r), attr)
+				if err := proto.LockPath(1, p, lock.S); err != nil {
+					panic(err)
+				}
+			}
+		}
+		el := time.Since(start)
+		t.Addf(name, mgr.Stats().Requests, mgr.LockCount(), el)
+		mgr.ReleaseAll(1)
+	}
+	return t
+}

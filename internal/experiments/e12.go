@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/metrics"
+	"colock/internal/schema"
+	"colock/internal/store"
+)
+
+// E12RecursiveClosure measures the §5 recursive-objects extension: locking
+// the top of a bill-of-material chain propagates over the transitive
+// closure. Cost must be linear in the closure size and identical for the
+// acyclic and the cyclic variant (the cycle is detected, not re-walked).
+func E12RecursiveClosure(depths []int) *metrics.Table {
+	t := metrics.NewTable("E12: recursive BOM — X-lock the top of a chain of depth d",
+		"depth", "variant", "closure-locks", "lock-requests", "elapsed")
+	for _, depth := range depths {
+		for _, variant := range []string{"acyclic", "cyclic"} {
+			st := bomChain(depth, variant == "cyclic")
+			nm := core.NewNamer(st.Catalog(), false)
+			mgr := lock.NewManager(lock.Options{})
+			proto := core.NewProtocol(mgr, st, nm, core.Options{})
+			start := time.Now()
+			if err := proto.LockPath(1, store.P("parts", "p0"), lock.X); err != nil {
+				panic(err)
+			}
+			el := time.Since(start)
+			closure := 0
+			for _, h := range mgr.HeldLocks(1) {
+				if h.Mode == lock.X {
+					closure++
+				}
+			}
+			t.Addf(depth, variant, closure, mgr.Stats().Requests, el)
+			proto.Release(1)
+		}
+	}
+	return t
+}
+
+// bomChain builds p0 → p1 → … → p(depth-1), optionally closing the cycle
+// p(depth-1) → p0.
+func bomChain(depth int, cyclic bool) *store.Store {
+	cat := schema.NewCatalog("bom")
+	cat.SetRecursive(true)
+	if err := cat.AddRelation(&schema.Relation{
+		Name: "parts", Segment: "s1", Key: "part_id",
+		Type: schema.Tuple(
+			schema.F("part_id", schema.Str()),
+			schema.F("subparts", schema.Set(schema.Ref("parts"))),
+		),
+	}); err != nil {
+		panic(err)
+	}
+	if err := cat.Validate(); err != nil {
+		panic(err)
+	}
+	st := store.New(cat)
+	for i := 0; i < depth; i++ {
+		subs := store.NewSet()
+		if i < depth-1 {
+			subs.Add(fmt.Sprintf("p%d", i+1), store.Ref{Relation: "parts", Key: fmt.Sprintf("p%d", i+1)})
+		} else if cyclic {
+			subs.Add("p0", store.Ref{Relation: "parts", Key: "p0"})
+		}
+		if err := st.Insert("parts", fmt.Sprintf("p%d", i), store.NewTuple().
+			Set("part_id", store.Str(fmt.Sprintf("p%d", i))).
+			Set("subparts", subs)); err != nil {
+			panic(err)
+		}
+	}
+	return st
+}

@@ -1,0 +1,91 @@
+package lock
+
+// Deadlock detection: the waits-for graph has an edge T1 → T2 whenever T1
+// has an outstanding waiter that is incompatible with a lock granted to T2,
+// or that queues behind an earlier incompatible waiter of T2. Detection runs
+// whenever a new waiter is enqueued; the victim is the youngest (highest
+// TxnID) transaction on the detected cycle.
+
+// waitsForLocked computes the out-edges of txn in the waits-for graph.
+func (m *Manager) waitsForLocked(txn TxnID) []TxnID {
+	rec := m.waiting[txn]
+	if rec == nil {
+		return nil
+	}
+	e := m.res[rec.res]
+	if e == nil {
+		return nil
+	}
+	var out []TxnID
+	seen := make(map[TxnID]bool)
+	add := func(t TxnID) {
+		if t != txn && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for t, h := range e.granted {
+		if t != txn && !rec.w.mode.Compatible(h.mode) {
+			add(t)
+		}
+	}
+	// Earlier incompatible waiters also block us (FIFO).
+	for _, w := range e.queue {
+		if w == rec.w {
+			break
+		}
+		if !rec.w.mode.Compatible(w.mode) {
+			add(w.txn)
+		}
+	}
+	return out
+}
+
+// findDeadlockVictimLocked searches for a waits-for cycle reachable from
+// start and, if one exists, returns the youngest transaction on it.
+func (m *Manager) findDeadlockVictimLocked(start TxnID) (TxnID, bool) {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make(map[TxnID]int)
+	var path []TxnID
+
+	var cycle []TxnID
+	var dfs func(t TxnID) bool
+	dfs = func(t TxnID) bool {
+		color[t] = grey
+		path = append(path, t)
+		for _, next := range m.waitsForLocked(t) {
+			switch color[next] {
+			case grey:
+				// Found a cycle: the path suffix starting at next.
+				for i := len(path) - 1; i >= 0; i-- {
+					cycle = append(cycle, path[i])
+					if path[i] == next {
+						return true
+					}
+				}
+				return true
+			case white:
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		color[t] = black
+		path = path[:len(path)-1]
+		return false
+	}
+	if !dfs(start) {
+		return 0, false
+	}
+	victim := cycle[0]
+	for _, t := range cycle {
+		if t > victim {
+			victim = t
+		}
+	}
+	return victim, true
+}

@@ -1,0 +1,558 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TxnID identifies a transaction. Transaction IDs are assigned in start
+// order, so a numerically larger ID means a younger transaction; the
+// deadlock detector aborts the youngest member of a cycle.
+type TxnID uint64
+
+// Resource identifies a lockable unit. The core package uses hierarchical
+// path strings such as "db1/seg1/cells/c1/robots/r1", but the lock manager
+// treats resources as opaque.
+type Resource string
+
+// ErrDeadlock is returned from Acquire when the requesting transaction was
+// chosen as the victim of a deadlock cycle. The caller must abort the
+// transaction and release all its locks.
+var ErrDeadlock = errors.New("lock: deadlock victim")
+
+// ErrWouldBlock is returned by TryAcquire when the request cannot be granted
+// immediately.
+var ErrWouldBlock = errors.New("lock: would block")
+
+// ErrTimeout is returned by AcquireTimeout when the deadline passes before
+// the lock is granted. The request is withdrawn; locks already held by the
+// transaction are unaffected.
+var ErrTimeout = errors.New("lock: acquire timeout")
+
+// Held describes one granted lock, as reported by HeldLocks.
+type Held struct {
+	Resource Resource
+	Mode     Mode
+	Durable  bool
+	Seq      uint64 // global grant sequence number (acquisition order)
+}
+
+// Event is a lock-manager trace event, delivered to the OnEvent hook.
+type Event struct {
+	Kind     string // "grant", "wait", "convert", "release", "victim"
+	Txn      TxnID
+	Resource Resource
+	Mode     Mode
+}
+
+// Policy selects how deadlocks are handled.
+type Policy uint8
+
+const (
+	// PolicyDetect (default) lets requests wait and runs waits-for cycle
+	// detection on every new waiter, aborting the youngest cycle member.
+	PolicyDetect Policy = iota
+	// PolicyWaitDie is the classic prevention scheme: an older transaction
+	// may wait for a younger one, but a younger requester "dies"
+	// immediately (ErrDeadlock) when it would have to wait for an older
+	// holder. Deadlock-free by construction, at the price of spurious
+	// aborts.
+	PolicyWaitDie
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PolicyWaitDie {
+		return "wait-die"
+	}
+	return "detect"
+}
+
+// Options configures a Manager.
+type Options struct {
+	// OnEvent, if non-nil, is invoked (under the manager's mutex; it must
+	// not call back into the manager) for every grant, wait, conversion,
+	// release and deadlock-victim event. Used by the figure reproductions
+	// and the trace shell.
+	OnEvent func(Event)
+	// Policy selects deadlock handling (default PolicyDetect).
+	Policy Policy
+}
+
+type heldLock struct {
+	mode    Mode
+	durable bool
+	seq     uint64
+}
+
+type waiter struct {
+	txn     TxnID
+	mode    Mode // target mode after conversion, if convert
+	convert bool
+	durable bool
+	ready   chan error
+}
+
+type entry struct {
+	granted map[TxnID]*heldLock
+	queue   []*waiter // conversions are kept ahead of plain waiters
+}
+
+// Manager is a blocking multi-granularity lock manager. All methods are safe
+// for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	res     map[Resource]*entry
+	held    map[TxnID]map[Resource]*heldLock
+	waiting map[TxnID]*waitRecord // at most one outstanding request per txn
+	seq     uint64
+	stats   Stats
+	opts    Options
+}
+
+type waitRecord struct {
+	res Resource
+	w   *waiter
+}
+
+// NewManager returns an empty lock manager.
+func NewManager(opts Options) *Manager {
+	return &Manager{
+		res:     make(map[Resource]*entry),
+		held:    make(map[TxnID]map[Resource]*heldLock),
+		waiting: make(map[TxnID]*waitRecord),
+		opts:    opts,
+	}
+}
+
+func (m *Manager) emit(kind string, txn TxnID, r Resource, mode Mode) {
+	if m.opts.OnEvent != nil {
+		m.opts.OnEvent(Event{Kind: kind, Txn: txn, Resource: r, Mode: mode})
+	}
+}
+
+func (m *Manager) entryFor(r Resource) *entry {
+	e := m.res[r]
+	if e == nil {
+		e = &entry{granted: make(map[TxnID]*heldLock)}
+		m.res[r] = e
+	}
+	return e
+}
+
+// compatibleWithGranted reports whether txn may hold mode on e given the
+// other transactions' granted locks.
+func (e *entry) compatibleWithGranted(txn TxnID, mode Mode) bool {
+	for t, h := range e.granted {
+		if t == txn {
+			continue
+		}
+		if !mode.Compatible(h.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire obtains (or converts to) a lock of at least the given mode on r
+// for txn, blocking until it is granted or the transaction is chosen as a
+// deadlock victim. Durable locks survive Snapshot/Restore (simulated
+// shutdown); requesting a durable lock on a resource already held
+// non-durably makes the held lock durable.
+func (m *Manager) Acquire(txn TxnID, r Resource, mode Mode) error {
+	return m.acquire(txn, r, mode, false, true, 0)
+}
+
+// AcquireTimeout is Acquire with a deadline: if the lock is not granted
+// within d, the request is withdrawn and ErrTimeout returned. Useful in
+// workstation-server environments where blocking behind a days-long
+// check-out lock is not acceptable for interactive transactions.
+func (m *Manager) AcquireTimeout(txn TxnID, r Resource, mode Mode, d time.Duration) error {
+	return m.acquire(txn, r, mode, false, true, d)
+}
+
+// AcquireDurable is Acquire with the durable ("long lock") flag set.
+func (m *Manager) AcquireDurable(txn TxnID, r Resource, mode Mode) error {
+	return m.acquire(txn, r, mode, true, true, 0)
+}
+
+// TryAcquire is a non-blocking Acquire: it returns ErrWouldBlock instead of
+// waiting.
+func (m *Manager) TryAcquire(txn TxnID, r Resource, mode Mode) error {
+	return m.acquire(txn, r, mode, false, false, 0)
+}
+
+func (m *Manager) acquire(txn TxnID, r Resource, mode Mode, durable, wait bool, timeout time.Duration) error {
+	if !mode.Valid() || mode == None {
+		return fmt.Errorf("lock: invalid mode %v", mode)
+	}
+	m.mu.Lock()
+	m.stats.Requests++
+
+	e := m.entryFor(r)
+	h := e.granted[txn]
+	if h != nil {
+		if durable {
+			h.durable = true
+		}
+		if h.mode.Covers(mode) {
+			m.stats.Regrants++
+			m.mu.Unlock()
+			return nil
+		}
+	}
+
+	target := mode
+	convert := false
+	if h != nil {
+		target = Sup(h.mode, mode)
+		convert = true
+	}
+
+	grantable := e.compatibleWithGranted(txn, target) &&
+		(convert || !e.hasBlockingQueue(txn, target))
+	if grantable {
+		m.grantLocked(e, txn, r, target, durable || (h != nil && h.durable), convert)
+		m.mu.Unlock()
+		return nil
+	}
+
+	if !wait {
+		m.stats.Conflicts++
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %v on %q for txn %d", ErrWouldBlock, mode, r, txn)
+	}
+
+	if m.opts.Policy == PolicyWaitDie && m.mustDieLocked(e, txn, target) {
+		m.stats.Conflicts++
+		m.stats.Deadlocks++
+		m.emit("victim", txn, r, target)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: wait-die: txn %d on %q", ErrDeadlock, txn, r)
+	}
+
+	// Enqueue. Conversions are placed after existing conversion waiters but
+	// ahead of plain waiters, giving them the classic conversion priority.
+	w := &waiter{txn: txn, mode: target, convert: convert, durable: durable, ready: make(chan error, 1)}
+	if convert {
+		i := 0
+		for i < len(e.queue) && e.queue[i].convert {
+			i++
+		}
+		e.queue = append(e.queue, nil)
+		copy(e.queue[i+1:], e.queue[i:])
+		e.queue[i] = w
+	} else {
+		e.queue = append(e.queue, w)
+	}
+	m.waiting[txn] = &waitRecord{res: r, w: w}
+	m.stats.Conflicts++
+	m.stats.Waits++
+	m.emit("wait", txn, r, target)
+
+	// Deadlock check: did enqueuing this waiter close a cycle? (Under
+	// wait-die no cycle can form — the young-waits-for-old edge was refused
+	// above — so detection is skipped.)
+	if m.opts.Policy == PolicyDetect {
+		if victim, ok := m.findDeadlockVictimLocked(txn); ok {
+			m.stats.Deadlocks++
+			if victim == txn {
+				m.removeWaiterLocked(r, w)
+				delete(m.waiting, txn)
+				m.emit("victim", txn, r, target)
+				m.mu.Unlock()
+				return fmt.Errorf("%w: txn %d on %q", ErrDeadlock, txn, r)
+			}
+			m.abortWaiterLocked(victim)
+		}
+	}
+	m.mu.Unlock()
+
+	if timeout <= 0 {
+		return <-w.ready
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-w.ready:
+		return err
+	case <-timer.C:
+		m.mu.Lock()
+		// The grant may have raced the timer: the ready channel is buffered,
+		// so a completed grant is drained here and the lock kept.
+		select {
+		case err := <-w.ready:
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeWaiterLocked(r, w)
+		delete(m.waiting, txn)
+		m.stats.Timeouts++
+		m.emit("timeout", txn, r, target)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %v on %q for txn %d after %v", ErrTimeout, mode, r, txn, timeout)
+	}
+}
+
+// mustDieLocked implements the wait-die rule: the requester dies if it is
+// younger (higher TxnID) than any incompatible current holder or any
+// incompatible earlier waiter it would queue behind.
+func (m *Manager) mustDieLocked(e *entry, txn TxnID, mode Mode) bool {
+	for t, h := range e.granted {
+		if t != txn && !mode.Compatible(h.mode) && txn > t {
+			return true
+		}
+	}
+	for _, w := range e.queue {
+		if w.txn != txn && !mode.Compatible(w.mode) && txn > w.txn {
+			return true
+		}
+	}
+	return false
+}
+
+// hasBlockingQueue reports whether a new (non-conversion) request in mode
+// mode by txn must queue behind existing waiters for fairness.
+func (e *entry) hasBlockingQueue(txn TxnID, mode Mode) bool {
+	for _, w := range e.queue {
+		if w.txn == txn {
+			continue
+		}
+		if !mode.Compatible(w.mode) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) grantLocked(e *entry, txn TxnID, r Resource, mode Mode, durable, convert bool) {
+	m.seq++
+	h := e.granted[txn]
+	if h == nil {
+		h = &heldLock{}
+		e.granted[txn] = h
+		tl := m.held[txn]
+		if tl == nil {
+			tl = make(map[Resource]*heldLock)
+			m.held[txn] = tl
+		}
+		tl[r] = h
+		m.stats.Grants++
+	} else {
+		m.stats.Conversions++
+	}
+	h.mode = mode
+	h.durable = h.durable || durable
+	h.seq = m.seq
+	if n := m.tableSize(); n > m.stats.MaxTableSize {
+		m.stats.MaxTableSize = n
+	}
+	if convert {
+		m.emit("convert", txn, r, mode)
+	} else {
+		m.emit("grant", txn, r, mode)
+	}
+}
+
+func (m *Manager) tableSize() int {
+	n := 0
+	for _, e := range m.res {
+		n += len(e.granted)
+	}
+	return n
+}
+
+// removeWaiterLocked removes w from r's queue.
+func (m *Manager) removeWaiterLocked(r Resource, w *waiter) {
+	e := m.res[r]
+	if e == nil {
+		return
+	}
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// abortWaiterLocked makes txn's outstanding wait fail with ErrDeadlock.
+func (m *Manager) abortWaiterLocked(txn TxnID) {
+	rec := m.waiting[txn]
+	if rec == nil {
+		return
+	}
+	m.removeWaiterLocked(rec.res, rec.w)
+	delete(m.waiting, txn)
+	m.emit("victim", txn, rec.res, rec.w.mode)
+	rec.w.ready <- fmt.Errorf("%w: txn %d on %q", ErrDeadlock, txn, rec.res)
+	// The victim's departure may unblock others.
+	m.grantWaitersLocked(rec.res)
+}
+
+// grantWaitersLocked scans r's queue front to back, granting every waiter
+// that has become compatible. Conversions (kept at the front) may be granted
+// even when a later plain waiter cannot; the scan stops at the first
+// non-grantable plain waiter so that plain requests stay FIFO.
+func (m *Manager) grantWaitersLocked(r Resource) {
+	e := m.res[r]
+	if e == nil {
+		return
+	}
+	for progress := true; progress; {
+		progress = false
+		for i, w := range e.queue {
+			ok := e.compatibleWithGranted(w.txn, w.mode)
+			if ok {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				delete(m.waiting, w.txn)
+				m.grantLocked(e, w.txn, r, w.mode, w.durable, w.convert)
+				w.ready <- nil
+				progress = true
+				break
+			}
+			if !w.convert {
+				break // FIFO barrier for plain waiters
+			}
+		}
+	}
+	m.maybeDropEntryLocked(r)
+}
+
+func (m *Manager) maybeDropEntryLocked(r Resource) {
+	if e := m.res[r]; e != nil && len(e.granted) == 0 && len(e.queue) == 0 {
+		delete(m.res, r)
+	}
+}
+
+// Downgrade atomically lowers txn's lock on r to a weaker mode (e.g. X→IX
+// during de-escalation) and wakes any waiters the weaker mode is compatible
+// with. Downgrading to None releases the lock. It is an error if txn holds
+// no lock on r or if mode is not weaker than (or equal to) the held mode.
+func (m *Manager) Downgrade(txn TxnID, r Resource, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.res[r]
+	var h *heldLock
+	if e != nil {
+		h = e.granted[txn]
+	}
+	if h == nil {
+		return fmt.Errorf("lock: downgrade of unheld %q by txn %d", r, txn)
+	}
+	if !h.mode.Covers(mode) {
+		return fmt.Errorf("lock: %v on %q cannot be downgraded to %v", h.mode, r, mode)
+	}
+	if mode == None {
+		m.releaseLocked(txn, r)
+		return nil
+	}
+	h.mode = mode
+	m.stats.Downgrades++
+	m.emit("downgrade", txn, r, mode)
+	m.grantWaitersLocked(r)
+	return nil
+}
+
+// Release drops txn's lock on r (leaf-to-root early release). Releasing a
+// resource that is not held is a no-op.
+func (m *Manager) Release(txn TxnID, r Resource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, r)
+}
+
+func (m *Manager) releaseLocked(txn TxnID, r Resource) {
+	e := m.res[r]
+	if e == nil || e.granted[txn] == nil {
+		return
+	}
+	delete(e.granted, txn)
+	if tl := m.held[txn]; tl != nil {
+		delete(tl, r)
+		if len(tl) == 0 {
+			delete(m.held, txn)
+		}
+	}
+	m.stats.Releases++
+	m.emit("release", txn, r, None)
+	m.grantWaitersLocked(r)
+}
+
+// ReleaseAll drops every lock held by txn (end of transaction). Any granted
+// waiters are woken.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tl := m.held[txn]
+	rs := make([]Resource, 0, len(tl))
+	for r := range tl {
+		rs = append(rs, r)
+	}
+	for _, r := range rs {
+		m.releaseLocked(txn, r)
+	}
+}
+
+// HeldMode returns the mode txn currently holds on r (None if unheld).
+func (m *Manager) HeldMode(txn TxnID, r Resource) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.res[r]; e != nil {
+		if h := e.granted[txn]; h != nil {
+			return h.mode
+		}
+	}
+	return None
+}
+
+// HeldLocks returns all locks currently held by txn, in acquisition order.
+func (m *Manager) HeldLocks(txn TxnID) []Held {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Held, 0, len(m.held[txn]))
+	for r, h := range m.held[txn] {
+		out = append(out, Held{Resource: r, Mode: h.mode, Durable: h.durable, Seq: h.seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// LockCount returns the number of granted lock-table entries (across all
+// transactions).
+func (m *Manager) LockCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tableSize()
+}
+
+// Holders returns the transactions holding a lock on r and their modes.
+func (m *Manager) Holders(r Resource) map[TxnID]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[TxnID]Mode)
+	if e := m.res[r]; e != nil {
+		for t, h := range e.granted {
+			out[t] = h.mode
+		}
+	}
+	return out
+}
+
+// Stats returns a copy of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the counters (the lock table is untouched).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}

@@ -1,0 +1,154 @@
+package lock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var allModes = []Mode{None, IS, IX, S, SIX, X}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{None: "-", IS: "IS", IX: "IX", S: "S", SIX: "SIX", X: "X"}
+	for m, s := range want {
+		if got := m.String(); got != s {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, s)
+		}
+	}
+	if got := Mode(99).String(); got != "Mode(99)" {
+		t.Errorf("invalid mode string = %q", got)
+	}
+	if Mode(99).Valid() {
+		t.Error("Mode(99) reported valid")
+	}
+}
+
+// TestCompatibilityMatrix pins the matrix from Gray et al. 1976, which the
+// paper's §3.1 builds on.
+func TestCompatibilityMatrix(t *testing.T) {
+	type pair struct{ a, b Mode }
+	compatible := map[pair]bool{
+		{IS, IS}: true, {IS, IX}: true, {IS, S}: true, {IS, SIX}: true, {IS, X}: false,
+		{IX, IX}: true, {IX, S}: false, {IX, SIX}: false, {IX, X}: false,
+		{S, S}: true, {S, SIX}: false, {S, X}: false,
+		{SIX, SIX}: false, {SIX, X}: false,
+		{X, X}: false,
+	}
+	for p, want := range compatible {
+		if got := p.a.Compatible(p.b); got != want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", p.a, p.b, got, want)
+		}
+		if got := p.b.Compatible(p.a); got != want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v (symmetry)", p.b, p.a, got, want)
+		}
+	}
+	for _, m := range allModes {
+		if !None.Compatible(m) || !m.Compatible(None) {
+			t.Errorf("None must be compatible with %v", m)
+		}
+	}
+}
+
+func TestCompatibilitySymmetry(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ma, mb := Mode(a%numModes), Mode(b%numModes)
+		return ma.Compatible(mb) == mb.Compatible(ma)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoversIsPartialOrder checks reflexivity, antisymmetry and transitivity
+// of the restrictiveness order.
+func TestCoversIsPartialOrder(t *testing.T) {
+	for _, a := range allModes {
+		if !a.Covers(a) {
+			t.Errorf("%v must cover itself", a)
+		}
+		for _, b := range allModes {
+			if a != b && a.Covers(b) && b.Covers(a) {
+				t.Errorf("antisymmetry violated for %v,%v", a, b)
+			}
+			for _, c := range allModes {
+				if a.Covers(b) && b.Covers(c) && !a.Covers(c) {
+					t.Errorf("transitivity violated: %v>%v>%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCoversImpliesMoreConflicts: if a covers b, then everything compatible
+// with a is compatible with b (a stronger lock conflicts with at least as
+// much). This is the monotonicity that makes implicit locks sound.
+func TestCoversImpliesMoreConflicts(t *testing.T) {
+	for _, a := range allModes {
+		for _, b := range allModes {
+			if !a.Covers(b) {
+				continue
+			}
+			for _, c := range allModes {
+				if a.Compatible(c) && !b.Compatible(c) {
+					t.Errorf("%v covers %v but %v compat %v while %v not", a, b, a, c, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSupIsLeastUpperBound(t *testing.T) {
+	for _, a := range allModes {
+		for _, b := range allModes {
+			s := Sup(a, b)
+			if !s.Covers(a) || !s.Covers(b) {
+				t.Errorf("Sup(%v,%v)=%v does not cover both", a, b, s)
+			}
+			// Least: no strictly weaker mode covers both.
+			for _, c := range allModes {
+				if c != s && s.Covers(c) && c.Covers(a) && c.Covers(b) {
+					t.Errorf("Sup(%v,%v)=%v is not least: %v also covers both", a, b, s, c)
+				}
+			}
+			if Sup(b, a) != s {
+				t.Errorf("Sup not commutative for %v,%v", a, b)
+			}
+		}
+	}
+	if Sup(IX, S) != SIX {
+		t.Errorf("Sup(IX,S) = %v, want SIX", Sup(IX, S))
+	}
+}
+
+func TestSupAssociative(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		ma, mb, mc := Mode(a%numModes), Mode(b%numModes), Mode(c%numModes)
+		return Sup(Sup(ma, mb), mc) == Sup(ma, Sup(mb, mc))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntentionFor(t *testing.T) {
+	want := map[Mode]Mode{None: None, IS: IS, S: IS, IX: IX, SIX: IX, X: IX}
+	for m, w := range want {
+		if got := m.IntentionFor(); got != w {
+			t.Errorf("IntentionFor(%v) = %v, want %v", m, got, w)
+		}
+	}
+}
+
+func TestIsIntention(t *testing.T) {
+	for _, m := range allModes {
+		want := m == IS || m == IX
+		if got := m.IsIntention(); got != want {
+			t.Errorf("IsIntention(%v) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestStronger(t *testing.T) {
+	if !X.Stronger(S) || S.Stronger(S) || S.Stronger(X) || IX.Stronger(S) {
+		t.Error("Stronger misbehaves")
+	}
+}

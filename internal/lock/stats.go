@@ -1,0 +1,63 @@
+package lock
+
+// Stats are cumulative lock-manager counters. They quantify the
+// "administrative overhead of locks and conflict tests" that the paper's
+// qualitative evaluation argues about.
+type Stats struct {
+	// Requests counts every Acquire/TryAcquire call.
+	Requests uint64
+	// Regrants counts requests already covered by a held lock (no-ops).
+	Regrants uint64
+	// Grants counts newly created lock-table entries.
+	Grants uint64
+	// Conversions counts in-place mode upgrades of existing entries.
+	Conversions uint64
+	// Conflicts counts requests that could not be granted immediately.
+	Conflicts uint64
+	// Waits counts requests that actually blocked.
+	Waits uint64
+	// Deadlocks counts detected deadlock cycles.
+	Deadlocks uint64
+	// Timeouts counts requests withdrawn by AcquireTimeout deadlines.
+	Timeouts uint64
+	// Downgrades counts in-place mode downgrades (de-escalation).
+	Downgrades uint64
+	// Releases counts dropped lock-table entries.
+	Releases uint64
+	// MaxTableSize is the high-water mark of granted lock-table entries.
+	MaxTableSize int
+}
+
+// Add returns the field-wise sum of s and o (MaxTableSize takes the max).
+func (s Stats) Add(o Stats) Stats {
+	s.Requests += o.Requests
+	s.Regrants += o.Regrants
+	s.Grants += o.Grants
+	s.Conversions += o.Conversions
+	s.Conflicts += o.Conflicts
+	s.Waits += o.Waits
+	s.Deadlocks += o.Deadlocks
+	s.Timeouts += o.Timeouts
+	s.Downgrades += o.Downgrades
+	s.Releases += o.Releases
+	if o.MaxTableSize > s.MaxTableSize {
+		s.MaxTableSize = o.MaxTableSize
+	}
+	return s
+}
+
+// Sub returns the field-wise difference s−o, used to attribute counters to
+// a benchmark phase. MaxTableSize is carried over from s unchanged.
+func (s Stats) Sub(o Stats) Stats {
+	s.Requests -= o.Requests
+	s.Regrants -= o.Regrants
+	s.Grants -= o.Grants
+	s.Conversions -= o.Conversions
+	s.Conflicts -= o.Conflicts
+	s.Waits -= o.Waits
+	s.Deadlocks -= o.Deadlocks
+	s.Timeouts -= o.Timeouts
+	s.Downgrades -= o.Downgrades
+	s.Releases -= o.Releases
+	return s
+}

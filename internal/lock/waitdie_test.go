@@ -1,0 +1,122 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPolicyString(t *testing.T) {
+	if PolicyDetect.String() != "detect" || PolicyWaitDie.String() != "wait-die" {
+		t.Error("policy strings")
+	}
+}
+
+// TestWaitDieYoungDies: a younger transaction requesting a lock held
+// incompatibly by an older one dies immediately instead of waiting.
+func TestWaitDieYoungDies(t *testing.T) {
+	m := NewManager(Options{Policy: PolicyWaitDie})
+	if err := m.Acquire(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Acquire(2, "a", S) // younger, incompatible → dies
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("young requester did not die: %v", err)
+	}
+	if m.Stats().Deadlocks != 1 {
+		t.Errorf("Deadlocks = %d", m.Stats().Deadlocks)
+	}
+}
+
+// TestWaitDieOldWaits: the older transaction is allowed to wait for the
+// younger holder.
+func TestWaitDieOldWaits(t *testing.T) {
+	m := NewManager(Options{Policy: PolicyWaitDie})
+	if err := m.Acquire(5, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, "a", X) }() // older waits
+	select {
+	case err := <-done:
+		t.Fatalf("older requester did not wait: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.ReleaseAll(5)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitDieDiesBehindOlderWaiter: a young request also dies when it would
+// queue behind an incompatible older waiter.
+func TestWaitDieDiesBehindOlderWaiter(t *testing.T) {
+	m := NewManager(Options{Policy: PolicyWaitDie})
+	if err := m.Acquire(3, "a", X); err != nil { // holder (older than 4)
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(1, "a", X) }() // oldest: waits
+	time.Sleep(20 * time.Millisecond)
+	err := m.Acquire(4, "a", X) // youngest: would queue behind txn 1 → dies
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("young did not die behind older waiter: %v", err)
+	}
+	m.ReleaseAll(3)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitDieNeverDeadlocks: the crossing-order stress from the detection
+// tests must terminate without any cycle forming.
+func TestWaitDieNeverDeadlocks(t *testing.T) {
+	m := NewManager(Options{Policy: PolicyWaitDie})
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(id TxnID) {
+			defer wg.Done()
+			first, second := Resource("a"), Resource("b")
+			if id%2 == 0 {
+				first, second = second, first
+			}
+			for k := 0; k < 30; k++ {
+				if err := m.Acquire(id, first, X); err != nil {
+					m.ReleaseAll(id)
+					continue
+				}
+				if err := m.Acquire(id, second, X); err != nil {
+					m.ReleaseAll(id)
+					continue
+				}
+				m.ReleaseAll(id)
+			}
+		}(TxnID(i + 1))
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("wait-die stress did not terminate")
+	}
+	if m.LockCount() != 0 {
+		t.Errorf("locks leaked: %d", m.LockCount())
+	}
+}
+
+// TestWaitDieCompatibleProceeds: compatible requests are unaffected by age.
+func TestWaitDieCompatibleProceeds(t *testing.T) {
+	m := NewManager(Options{Policy: PolicyWaitDie})
+	if err := m.Acquire(1, "a", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(9, "a", S); err != nil {
+		t.Fatalf("compatible young request died: %v", err)
+	}
+	if err := m.Acquire(9, "a", IS); err != nil {
+		t.Fatalf("covered regrant died: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"colock/internal/store"
+)
+
+// Query is the AST of a SELECT query.
+type Query struct {
+	// Select names the projected range variable.
+	Select string
+	// SelectAttrs optionally projects an attribute chain below the
+	// variable's instances (SELECT r.trajectory FROM …).
+	SelectAttrs []string
+	// From lists the range-variable bindings in declaration order.
+	From []Binding
+	// Where is a conjunction of predicates.
+	Where []Predicate
+	// Update is true for FOR UPDATE queries (X locks), false for FOR READ.
+	Update bool
+	// NoFollow marks queries whose semantics never access referenced
+	// common data; the executor then skips downward propagation (§4.5).
+	NoFollow bool
+}
+
+// Binding declares a range variable: `c IN cells` ranges over a relation's
+// complex objects; `r IN c.robots` ranges over the elements of a collection
+// reached from another variable.
+type Binding struct {
+	Var string
+	// Source is the dotted source path: either [relation] or
+	// [var, attr, attr...].
+	Source []string
+}
+
+// Predicate compares a dotted path expression rooted at a range variable
+// with a literal.
+type Predicate struct {
+	// Path is [var, attr, attr...].
+	Path []string
+	// Op is one of = <> < > <= >=.
+	Op string
+	// Lit is the comparison literal.
+	Lit store.Value
+}
+
+// String renders the query back to source form (canonical spelling).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(q.Select)
+	for _, a := range q.SelectAttrs {
+		b.WriteByte('.')
+		b.WriteString(a)
+	}
+	b.WriteString(" FROM ")
+	for i, f := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Var)
+		b.WriteString(" IN ")
+		b.WriteString(strings.Join(f.Source, "."))
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(strings.Join(p.Path, "."))
+			b.WriteByte(' ')
+			b.WriteString(p.Op)
+			b.WriteByte(' ')
+			b.WriteString(litString(p.Lit))
+		}
+	}
+	if q.Update {
+		b.WriteString(" FOR UPDATE")
+	} else {
+		b.WriteString(" FOR READ")
+	}
+	if q.NoFollow {
+		b.WriteString(" NOFOLLOW")
+	}
+	return b.String()
+}
+
+func litString(v store.Value) string {
+	switch x := v.(type) {
+	case store.Str:
+		return "'" + string(x) + "'"
+	default:
+		return v.String()
+	}
+}
+
+// binding returns the binding of a variable, or nil.
+func (q *Query) binding(name string) *Binding {
+	for i := range q.From {
+		if q.From[i].Var == name {
+			return &q.From[i]
+		}
+	}
+	return nil
+}
+
+// validateVars checks that every referenced variable is bound and that
+// variable names are unique.
+func (q *Query) validateVars() error {
+	seen := make(map[string]bool)
+	for i, f := range q.From {
+		if seen[f.Var] {
+			return fmt.Errorf("query: duplicate range variable %q", f.Var)
+		}
+		seen[f.Var] = true
+		if i > 0 && len(f.Source) > 1 && !seen[f.Source[0]] {
+			return fmt.Errorf("query: binding %q references unbound variable %q", f.Var, f.Source[0])
+		}
+	}
+	if !seen[q.Select] {
+		return fmt.Errorf("query: SELECT references unbound variable %q", q.Select)
+	}
+	for _, p := range q.Where {
+		if !seen[p.Path[0]] {
+			return fmt.Errorf("query: predicate references unbound variable %q", p.Path[0])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"colock/internal/authz"
+	"colock/internal/core"
+)
+
+// TestDMLAuthorizationEnforced: with an authorization table, modifying
+// statements require the modify right on the target relation; SELECT … FOR
+// UPDATE (check-out style) does not.
+func TestDMLAuthorizationEnforced(t *testing.T) {
+	auth := authz.NewTable(false)
+	f := newFixture(t, core.Options{Rule4Prime: true, Authorizer: auth})
+	tx := f.mgr.Begin()
+	defer tx.Abort()
+	auth.Grant(tx.ID(), "cells") // cells yes, effectors no
+
+	// Allowed: update within cells.
+	if _, err := f.exec.RunStatement(tx, `UPDATE r SET trajectory = 'x' FROM c IN cells, r IN c.robots WHERE r.robot_id = 'r1'`); err != nil {
+		t.Fatalf("authorized update refused: %v", err)
+	}
+	// Denied: all three DML kinds on effectors.
+	denied := []string{
+		`UPDATE e SET tool = 'x' FROM e IN effectors`,
+		`DELETE e FROM e IN effectors WHERE e.eff_id = 'e1'`,
+		`INSERT INTO effectors VALUE {eff_id: 'e9', tool: 't9'}`,
+	}
+	for _, src := range denied {
+		_, err := f.exec.RunStatement(tx, src)
+		if err == nil || !strings.Contains(err.Error(), "no right to modify") {
+			t.Errorf("%s: err = %v", src, err)
+		}
+	}
+	// SELECT FOR UPDATE on effectors is a lock request, not a modification:
+	// permitted (the library S/X interplay is rule 4's business).
+	if _, err := f.exec.RunStatement(tx, `SELECT e FROM e IN effectors WHERE e.eff_id = 'e3' FOR UPDATE`); err != nil {
+		t.Fatalf("FOR UPDATE refused: %v", err)
+	}
+}
+
+// TestDMLAllowAllByDefault: without an authorizer every DML passes.
+func TestDMLAllowAllByDefault(t *testing.T) {
+	f := newFixture(t, core.Options{})
+	tx := f.mgr.Begin()
+	defer tx.Abort()
+	if _, err := f.exec.RunStatement(tx, `INSERT INTO effectors VALUE {eff_id: 'e9', tool: 't9'}`); err != nil {
+		t.Fatal(err)
+	}
+}

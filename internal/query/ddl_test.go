@@ -1,0 +1,143 @@
+package query
+
+import (
+	"testing"
+
+	"colock/internal/schema"
+	"colock/internal/store"
+)
+
+func TestParseCreateSimple(t *testing.T) {
+	st, err := ParseCreate(`CREATE RELATION effectors IN SEGMENT seg2 KEY eff_id {eff_id: str, tool: str}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := st.Relation
+	if r.Name != "effectors" || r.Segment != "seg2" || r.Key != "eff_id" {
+		t.Errorf("relation = %+v", r)
+	}
+	want := schema.Tuple(schema.F("eff_id", schema.Str()), schema.F("tool", schema.Str()))
+	if !r.Type.Equal(want) {
+		t.Errorf("type = %v, want %v", r.Type, want)
+	}
+}
+
+func TestParseCreateFullPaperSchema(t *testing.T) {
+	// Recreate the Figure 1 schema entirely through DDL and compare it with
+	// the hand-built PaperSchema.
+	cat := schema.NewCatalog("db1")
+	ddl := []string{
+		`CREATE RELATION effectors IN SEGMENT seg2 KEY eff_id {eff_id: str, tool: str}`,
+		`CREATE RELATION cells IN SEGMENT seg1 KEY cell_id {
+			cell_id: str,
+			c_objects: SET({obj_id: int, obj_name: str}),
+			robots: LIST({robot_id: str, trajectory: str, effectors: SET(REF(effectors))})
+		}`,
+	}
+	for _, src := range ddl {
+		st, err := ParseCreate(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Apply(cat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := schema.PaperSchema()
+	for _, name := range []string{"cells", "effectors"} {
+		got := cat.Relation(name)
+		want := ref.Relation(name)
+		if !got.Type.Equal(want.Type) || got.Key != want.Key || got.Segment != want.Segment {
+			t.Errorf("%s differs from PaperSchema:\n got %v\nwant %v", name, got.Type, want.Type)
+		}
+	}
+	// The DDL-built catalog is immediately usable: insert and query.
+	stx := store.New(cat)
+	if err := stx.Insert("effectors", "e1", store.NewTuple().
+		Set("eff_id", store.Str("e1")).Set("tool", store.Str("t1"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCreateAllTypes(t *testing.T) {
+	st, err := ParseCreate(`CREATE RELATION x IN SEGMENT s KEY id {
+		id: str, n: int, f: real, b: bool,
+		nested: {a: int, deep: LIST(SET(real))}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested := st.Relation.Type.Field("nested")
+	if nested.Kind != schema.KindTuple {
+		t.Fatalf("nested = %v", nested)
+	}
+	deep := nested.Field("deep")
+	if deep.Kind != schema.KindList || deep.Elem.Kind != schema.KindSet || deep.Elem.Elem.Kind != schema.KindReal {
+		t.Errorf("deep = %v", deep)
+	}
+}
+
+func TestParseCreateErrors(t *testing.T) {
+	bad := []string{
+		`CREATE`,
+		`CREATE RELATION`,
+		`CREATE RELATION x`,
+		`CREATE RELATION x IN SEGMENT`,
+		`CREATE RELATION x IN SEGMENT s`,
+		`CREATE RELATION x IN SEGMENT s KEY`,
+		`CREATE RELATION x IN SEGMENT s KEY id`,          // missing type
+		`CREATE RELATION x IN SEGMENT s KEY id str`,      // non-tuple type
+		`CREATE RELATION x IN SEGMENT s KEY id {}`,       // empty tuple
+		`CREATE RELATION x IN SEGMENT s KEY id {a str}`,  // missing ':'
+		`CREATE RELATION x IN SEGMENT s KEY id {a: zzz}`, // unknown type
+		`CREATE RELATION x IN SEGMENT s KEY id {a: SET}`, // missing '('
+		`CREATE RELATION x IN SEGMENT s KEY id {a: SET(str}`,
+		`CREATE RELATION x IN SEGMENT s KEY id {a: REF()}`,
+		`CREATE RELATION x IN SEGMENT s KEY id {a: str} trailing`,
+	}
+	for _, src := range bad {
+		if _, err := ParseCreate(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestCreateApplyValidation(t *testing.T) {
+	cat := schema.NewCatalog("db")
+	// Dangling REF fails and leaves the catalog unchanged.
+	st, err := ParseCreate(`CREATE RELATION a IN SEGMENT s KEY id {id: str, p: SET(REF(nowhere))}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(cat); err == nil {
+		t.Error("dangling ref applied")
+	}
+	if cat.Relation("a") != nil {
+		t.Error("failed apply registered the relation")
+	}
+	// Missing key attribute fails too.
+	st2, _ := ParseCreate(`CREATE RELATION b IN SEGMENT s KEY nope {id: str}`)
+	if err := st2.Apply(cat); err == nil {
+		t.Error("bad key applied")
+	}
+	// Duplicate relation fails.
+	good, _ := ParseCreate(`CREATE RELATION c IN SEGMENT s KEY id {id: str}`)
+	if err := good.Apply(cat); err != nil {
+		t.Fatal(err)
+	}
+	dup, _ := ParseCreate(`CREATE RELATION c IN SEGMENT s KEY id {id: str}`)
+	if err := dup.Apply(cat); err == nil {
+		t.Error("duplicate applied")
+	}
+	// Recursive DDL honours the catalog's recursion opt-in.
+	rcat := schema.NewCatalog("db")
+	rcat.SetRecursive(true)
+	rec, _ := ParseCreate(`CREATE RELATION parts IN SEGMENT s KEY id {id: str, sub: SET(REF(parts))}`)
+	if err := rec.Apply(rcat); err != nil {
+		t.Errorf("recursive DDL rejected: %v", err)
+	}
+	rcat2 := schema.NewCatalog("db")
+	if err := rec.Apply(rcat2); err == nil {
+		t.Error("recursive DDL applied without opt-in")
+	}
+}

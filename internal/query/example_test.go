@@ -1,0 +1,78 @@
+package query_test
+
+import (
+	"fmt"
+
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/query"
+	"colock/internal/store"
+	"colock/internal/txn"
+)
+
+// ExampleExecutor_Run executes the paper's query Q1 — all c_objects of cell
+// c1 FOR READ — through the planner (which escalates the scan to one
+// collection lock) and the lock protocol.
+func ExampleExecutor_Run() {
+	st := store.PaperDatabase()
+	core.CollectStatistics(st)
+	proto := core.NewProtocol(lock.NewManager(lock.Options{}), st,
+		core.NewNamer(st.Catalog(), false), core.Options{})
+	mgr := txn.NewManager(proto, st)
+	exec := query.NewExecutor(mgr, core.PlannerOptions{})
+
+	tx := mgr.Begin()
+	defer tx.Abort()
+	results, plan, err := exec.Run(tx,
+		`SELECT o FROM c IN cells, o IN c.c_objects WHERE c.cell_id = 'c1' FOR READ`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("granule:", plan.Spec.LevelName(plan.Level))
+	for _, r := range results {
+		fmt.Println(r.Path, "=", r.Value)
+	}
+	// Output:
+	// granule: collection c_objects
+	// cells/c1/c_objects/o1 = {obj_id:1, obj_name:"on1"}
+}
+
+// ExampleParse shows the AST round trip of a Figure 3 query.
+func ExampleParse() {
+	q, err := query.Parse(`select r from c in cells, r in c.robots
+		where c.cell_id = 'c1' and r.robot_id = 'r2' for update`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	// Output:
+	// SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r2' FOR UPDATE
+}
+
+// ExampleExecutor_RunStatement applies the §4.5 robot-deletion example: the
+// DELETE never touches the referenced effectors, so NOFOLLOW skips all
+// common-data locks.
+func ExampleExecutor_RunStatement() {
+	st := store.PaperDatabase()
+	core.CollectStatistics(st)
+	proto := core.NewProtocol(lock.NewManager(lock.Options{}), st,
+		core.NewNamer(st.Catalog(), false), core.Options{})
+	mgr := txn.NewManager(proto, st)
+	exec := query.NewExecutor(mgr, core.PlannerOptions{})
+
+	tx := mgr.Begin()
+	res, err := exec.RunStatement(tx,
+		`DELETE r FROM c IN cells, r IN c.robots WHERE r.robot_id = 'r2' NOFOLLOW`)
+	if err != nil {
+		panic(err)
+	}
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+	fmt.Println("deleted:", res.Affected)
+	ids, _ := st.CollectionIDs(store.P("cells", "c1", "robots"))
+	fmt.Println("remaining robots:", ids)
+	// Output:
+	// deleted: 1
+	// remaining robots: [r1]
+}

@@ -1,0 +1,162 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"colock/internal/store"
+)
+
+// Q1, Q2, Q3 are the paper's Figure 3 queries (Q2's source spells the list
+// "roboters" in the figure; the schema attribute is "robots", which the
+// paper's own Figure 7 uses, so we use "robots" throughout).
+const (
+	q1Src = `SELECT o
+FROM c IN cells, o IN c.c_objects
+WHERE c.cell_id = 'c1'
+FOR READ`
+	q2Src = `SELECT r
+FROM c IN cells, r IN c.robots
+WHERE c.cell_id = 'c1' AND r.robot_id = 'r1'
+FOR UPDATE`
+	q3Src = `SELECT r
+FROM c IN cells, r IN c.robots
+WHERE c.cell_id = 'c1' AND r.robot_id = 'r2'
+FOR UPDATE`
+)
+
+func TestParseQ1(t *testing.T) {
+	q, err := Parse(q1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select != "o" || q.Update || q.NoFollow {
+		t.Errorf("header wrong: %+v", q)
+	}
+	if len(q.From) != 2 {
+		t.Fatalf("bindings = %d", len(q.From))
+	}
+	if q.From[0].Var != "c" || q.From[0].Source[0] != "cells" {
+		t.Errorf("binding 0 = %+v", q.From[0])
+	}
+	if q.From[1].Var != "o" || strings.Join(q.From[1].Source, ".") != "c.c_objects" {
+		t.Errorf("binding 1 = %+v", q.From[1])
+	}
+	if len(q.Where) != 1 || q.Where[0].Op != "=" || q.Where[0].Lit != store.Str("c1") {
+		t.Errorf("where = %+v", q.Where)
+	}
+}
+
+func TestParseQ2Q3(t *testing.T) {
+	for _, src := range []string{q2Src, q3Src} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.Update {
+			t.Error("FOR UPDATE not parsed")
+		}
+		if len(q.Where) != 2 {
+			t.Errorf("where = %+v", q.Where)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{q1Src, q2Src, q3Src,
+		`SELECT x FROM x IN effectors WHERE x.tool <> 't1' AND x.eff_id >= 'e2' FOR UPDATE NOFOLLOW`,
+		`SELECT c FROM c IN cells`,
+	}
+	for _, src := range srcs {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Errorf("round trip: %q != %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q, err := Parse(`SELECT c FROM c IN cells WHERE c.a = 5 AND c.b = -3 AND c.d = 2.5 AND c.e = TRUE AND c.f = FALSE AND c.g = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []store.Value{store.Int(5), store.Int(-3), store.Real(2.5), store.Bool(true), store.Bool(false), store.Str("x")}
+	for i, p := range q.Where {
+		if p.Lit != want[i] {
+			t.Errorf("literal %d = %v, want %v", i, p.Lit, want[i])
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	q, err := Parse(`SELECT c FROM c IN cells WHERE c.a = 1 AND c.b <> 2 AND c.d < 3 AND c.e > 4 AND c.f <= 5 AND c.g >= 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []string{"=", "<>", "<", ">", "<=", ">="}
+	for i, p := range q.Where {
+		if p.Op != ops[i] {
+			t.Errorf("op %d = %q, want %q", i, p.Op, ops[i])
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse(`select c from c in cells for update`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Update || q.Select != "c" {
+		t.Errorf("%+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT c`,
+		`SELECT c FROM`,
+		`SELECT c FROM c`,
+		`SELECT c FROM c IN`,
+		`SELECT c FROM c IN cells WHERE`,
+		`SELECT c FROM c IN cells WHERE c.x`,
+		`SELECT c FROM c IN cells WHERE c.x =`,
+		`SELECT c FROM c IN cells WHERE x = 1`,       // bare var path
+		`SELECT c FROM c IN cells FOR`,               // missing READ/UPDATE
+		`SELECT c FROM c IN cells FOR WRITE`,         // bad access
+		`SELECT c FROM c IN cells garbage`,           // trailing input
+		`SELECT z FROM c IN cells`,                   // unbound select
+		`SELECT c FROM c IN cells, c IN c.robots`,    // duplicate var
+		`SELECT r FROM c IN cells, r IN z.robots`,    // unbound source
+		`SELECT c FROM c IN cells WHERE z.a = 1`,     // unbound predicate var
+		`SELECT c FROM c IN cells WHERE c.a = 'open`, // unterminated string
+		`SELECT c FROM c IN cells WHERE c.a ? 1`,     // bad char
+		`SELECT c FROM c IN cells WHERE c.a = 1.2.3`, // bad number
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestLexOffsets(t *testing.T) {
+	toks, err := lex("SELECT  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos != 0 || toks[1].pos != 8 {
+		t.Errorf("positions = %d, %d", toks[0].pos, toks[1].pos)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("no EOF token")
+	}
+}

@@ -1,0 +1,91 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestLexerNeverPanics: arbitrary byte strings either tokenize or return an
+// error — no panics, no infinite loops.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		toks, err := lex(input)
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].kind == tokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanics: random token soup built from the language's own
+// vocabulary must parse or fail cleanly.
+func TestParserNeverPanics(t *testing.T) {
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "AND", "FOR", "READ", "UPDATE", "IN",
+		"NOFOLLOW", "DELETE", "INSERT", "INTO", "VALUE", "SET", "LIST", "REF",
+		"c", "r", "cells", "robots", "cell_id", ".", ",", "=", "<", ">", "<=",
+		">=", "<>", "{", "}", "(", ")", ":", "'x'", "42", "2.5", "TRUE", "FALSE",
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(15) + 1
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = vocab[rng.Intn(len(vocab))]
+		}
+		src := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseStatement(src)
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParseRoundTripProperty: every successfully parsed SELECT re-parses to
+// an identical canonical form.
+func TestParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rels := []string{"cells", "effectors"}
+	attrs := []string{"cell_id", "robots", "c_objects", "tool", "eff_id"}
+	ops := []string{"=", "<>", "<", ">", "<=", ">="}
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		b.WriteString("SELECT v0 FROM v0 IN ")
+		b.WriteString(rels[rng.Intn(2)])
+		if rng.Intn(2) == 0 {
+			b.WriteString(", v1 IN v0.")
+			b.WriteString(attrs[rng.Intn(len(attrs))])
+		}
+		if rng.Intn(2) == 0 {
+			b.WriteString(" WHERE v0.")
+			b.WriteString(attrs[rng.Intn(len(attrs))])
+			b.WriteString(" ")
+			b.WriteString(ops[rng.Intn(len(ops))])
+			b.WriteString(" 'lit'")
+		}
+		if rng.Intn(2) == 0 {
+			b.WriteString(" FOR UPDATE")
+		}
+		q, err := Parse(b.String())
+		if err != nil {
+			continue // some combinations are (rightly) invalid
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("canonical form %q failed to parse: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("round trip diverged: %q vs %q", q.String(), q2.String())
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package schema
+
+// PaperSchema builds the catalog of the paper's running example (Figure 1):
+//
+//	Relation "cells" (segment seg1):
+//	  T{ cell_id:   str   (key)
+//	     c_objects: S(T{ obj_id:int, obj_name:str })
+//	     robots:    L(T{ robot_id:str, trajectory:str, effectors:S(ref(effectors)) }) }
+//
+//	Relation "effectors" (segment seg2):
+//	  T{ eff_id: str (key), tool: str }
+//
+// The relation "cells" models a manufacturing cell containing cell-objects
+// that can be manufactured by robots; the robots list is ordered by
+// robot_id. The effectors (tools) usable by robots live in the relation
+// "effectors", a library of effectors: one effector may be shared by
+// different robots, which makes "cells" objects non-disjoint.
+//
+// Both relations are stored in different segments of the same database
+// ("db1"), as assumed for Figure 5.
+func PaperSchema() *Catalog {
+	c := NewCatalog("db1")
+	cells := &Relation{
+		Name:    "cells",
+		Segment: "seg1",
+		Key:     "cell_id",
+		Type: Tuple(
+			F("cell_id", Str()),
+			F("c_objects", Set(Tuple(
+				F("obj_id", Int()),
+				F("obj_name", Str()),
+			))),
+			F("robots", List(Tuple(
+				F("robot_id", Str()),
+				F("trajectory", Str()),
+				F("effectors", Set(Ref("effectors"))),
+			))),
+		),
+	}
+	effectors := &Relation{
+		Name:    "effectors",
+		Segment: "seg2",
+		Key:     "eff_id",
+		Type: Tuple(
+			F("eff_id", Str()),
+			F("tool", Str()),
+		),
+	}
+	// Register effectors first so that references validate regardless of
+	// registration order checks; Validate tolerates any order anyway.
+	if err := c.AddRelation(effectors); err != nil {
+		panic(err) // impossible: fresh catalog
+	}
+	if err := c.AddRelation(cells); err != nil {
+		panic(err)
+	}
+	if err := c.Validate(); err != nil {
+		panic(err) // the paper schema is valid by construction
+	}
+	return c
+}

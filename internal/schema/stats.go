@@ -1,0 +1,43 @@
+package schema
+
+// Statistics is the "structural and statistical information" (§5) the
+// lock-request planner consumes when anticipating lock escalations: relation
+// cardinalities and average fan-outs of the collection-valued attributes.
+//
+// Paths are dotted attribute paths rooted at a relation name, e.g.
+// "cells" (cardinality of the relation), "cells.robots" (average length of
+// the robots list per cell), "cells.robots.effectors" (average number of
+// effector references per robot).
+type Statistics struct {
+	card map[string]float64
+}
+
+// NewStatistics returns an empty statistics store.
+func NewStatistics() Statistics {
+	return Statistics{card: make(map[string]float64)}
+}
+
+// SetCard records the (average) cardinality for a path.
+func (s *Statistics) SetCard(path string, n float64) {
+	if s.card == nil {
+		s.card = make(map[string]float64)
+	}
+	s.card[path] = n
+}
+
+// Card returns the recorded cardinality for a path and whether one exists.
+func (s *Statistics) Card(path string) (float64, bool) {
+	n, ok := s.card[path]
+	return n, ok
+}
+
+// CardOr returns the recorded cardinality or def when unknown.
+func (s *Statistics) CardOr(path string, def float64) float64 {
+	if n, ok := s.card[path]; ok {
+		return n
+	}
+	return def
+}
+
+// Paths returns the number of recorded entries (for tests).
+func (s *Statistics) Paths() int { return len(s.card) }

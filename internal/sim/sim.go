@@ -1,0 +1,307 @@
+// Package sim simulates the workstation–server environment the paper's
+// introduction motivates: users check complex objects out of a central
+// database onto workstations, work on the private copies for a long time
+// ("long transactions" lasting days or weeks), and check changed data back
+// in. Check-out takes long locks through the core protocol — durable locks
+// that survive simulated server crashes — so the private databases stay in a
+// well-known state with the central database.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"colock/internal/authz"
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/store"
+	"colock/internal/txn"
+)
+
+// Server is the central database server.
+type Server struct {
+	mu sync.Mutex
+
+	st   *store.Store
+	auth *authz.Table
+
+	mgr   *lock.Manager
+	proto *core.Protocol
+	txns  *txn.Manager
+
+	// persisted is the crash-surviving image of the durable lock table
+	// (the store itself plays the role of the persistent database).
+	persisted []byte
+
+	workstations []*Workstation
+}
+
+// NewServer builds a server over a store, running the core protocol with
+// rule 4′ and an authorization table (modify rights are granted per
+// check-out).
+func NewServer(st *store.Store) *Server {
+	s := &Server{st: st, auth: authz.NewTable(false)}
+	s.boot(nil)
+	return s
+}
+
+// boot (re)creates the volatile state, restoring durable locks if given.
+func (s *Server) boot(durable []lock.DurableLock) {
+	s.mgr = lock.NewManager(lock.Options{})
+	if durable != nil {
+		if err := s.mgr.Restore(durable); err != nil {
+			// A snapshot taken from a consistent lock table always restores.
+			panic(fmt.Sprintf("sim: restore: %v", err))
+		}
+	}
+	nm := core.NewNamer(s.st.Catalog(), false)
+	s.proto = core.NewProtocol(s.mgr, s.st, nm, core.Options{
+		Rule4Prime: true, Authorizer: s.auth,
+	})
+	s.txns = txn.NewManager(s.proto, s.st)
+}
+
+// Store returns the central database.
+func (s *Server) Store() *store.Store { return s.st }
+
+// Txns returns the transaction manager for ordinary (short) transactions
+// against the central database.
+func (s *Server) Txns() *txn.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txns
+}
+
+// LockManager exposes the current lock manager (for inspection).
+func (s *Server) LockManager() *lock.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr
+}
+
+// persistLocks snapshots the durable locks to the simulated disk.
+func (s *Server) persistLocks() {
+	data, err := lock.EncodeSnapshot(s.mgr.Snapshot())
+	if err != nil {
+		panic(fmt.Sprintf("sim: persist: %v", err))
+	}
+	s.mu.Lock()
+	s.persisted = data
+	s.mu.Unlock()
+}
+
+// CrashAndRestart simulates a server crash: all volatile state (lock table,
+// short transactions) is lost; the persistent store and the persisted long
+// locks survive. Workstation tickets are re-attached to the new lock table.
+func (s *Server) CrashAndRestart() error {
+	s.mu.Lock()
+	data := s.persisted
+	ws := append([]*Workstation(nil), s.workstations...)
+	s.mu.Unlock()
+
+	var durable []lock.DurableLock
+	if data != nil {
+		var err error
+		durable, err = lock.DecodeSnapshot(data)
+		if err != nil {
+			return fmt.Errorf("sim: restart: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.boot(durable)
+	s.mu.Unlock()
+
+	for _, w := range ws {
+		w.reattach()
+	}
+	return nil
+}
+
+// Browse returns a consistent copy of a complex object WITHOUT taking any
+// lock — the "browse" access of workstation transaction models (KSUW85,
+// LoPl83): a user may look at the current central version of an object even
+// while it is checked out exclusively elsewhere, accepting that the view may
+// be stale the moment it is returned. Returns nil if the object does not
+// exist.
+func (s *Server) Browse(relation, key string) *store.Tuple {
+	v, err := s.st.LookupClone(store.P(relation, key))
+	if err != nil {
+		return nil
+	}
+	return v.(*store.Tuple)
+}
+
+// Backup serializes the central database's data (media-recovery image). It
+// should be taken at a quiescent point (no active updaters) for a
+// transaction-consistent image.
+func (s *Server) Backup() ([]byte, error) { return s.st.EncodeData() }
+
+// RestoreBackup replaces the central database's contents with a backup
+// image — media recovery after losing the "disk". Long locks are unaffected
+// (they live in their own persisted snapshot).
+func (s *Server) RestoreBackup(data []byte) error { return s.st.RestoreData(data) }
+
+// NewWorkstation registers a workstation with a private local database.
+func (s *Server) NewWorkstation(name string) *Workstation {
+	w := &Workstation{
+		Name:    name,
+		srv:     s,
+		local:   make(map[string]*store.Tuple),
+		tickets: make(map[string]*ticket),
+	}
+	s.mu.Lock()
+	s.workstations = append(s.workstations, w)
+	s.mu.Unlock()
+	return w
+}
+
+type ticket struct {
+	tx        *txn.Txn
+	object    store.Path
+	forUpdate bool
+}
+
+// Workstation holds private copies of checked-out complex objects.
+type Workstation struct {
+	Name string
+	srv  *Server
+
+	mu      sync.Mutex
+	local   map[string]*store.Tuple
+	tickets map[string]*ticket
+}
+
+func objKey(relation, key string) string { return relation + "/" + key }
+
+// CheckOut copies a complex object into the workstation's private database
+// under a long lock: X when forUpdate (the workstation intends to change the
+// object), S otherwise. The lock — including its rule-4′ propagation onto
+// shared common data — survives server crashes. CheckOut blocks while a
+// conflicting (long or short) lock is held.
+func (w *Workstation) CheckOut(relation, key string, forUpdate bool) error {
+	w.mu.Lock()
+	if _, dup := w.tickets[objKey(relation, key)]; dup {
+		w.mu.Unlock()
+		return fmt.Errorf("sim: %s already checked out on %s", objKey(relation, key), w.Name)
+	}
+	w.mu.Unlock()
+
+	s := w.srv
+	s.mu.Lock()
+	tm := s.txns
+	s.mu.Unlock()
+
+	t := tm.BeginLong()
+	mode := lock.S
+	if forUpdate {
+		s.auth.Grant(t.ID(), relation)
+		mode = lock.X
+	}
+	if err := t.Lock(core.DataNode(store.P(relation, key)), mode); err != nil {
+		t.Abort()
+		return err
+	}
+	obj := s.st.Get(relation, key)
+	if obj == nil {
+		t.Abort()
+		return fmt.Errorf("sim: no object %s", objKey(relation, key))
+	}
+	w.mu.Lock()
+	w.local[objKey(relation, key)] = obj.Clone().(*store.Tuple)
+	w.tickets[objKey(relation, key)] = &ticket{tx: t, object: store.P(relation, key), forUpdate: forUpdate}
+	w.mu.Unlock()
+	s.persistLocks()
+	return nil
+}
+
+// Local returns the workstation's private copy of a checked-out object for
+// reading and (if checked out for update) editing.
+func (w *Workstation) Local(relation, key string) *store.Tuple {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.local[objKey(relation, key)]
+}
+
+// CheckedOut lists the objects currently checked out (sorted by key).
+func (w *Workstation) CheckedOut() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.tickets))
+	for k := range w.tickets {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CheckIn writes the (possibly modified) private copy back into the central
+// database and releases the long lock. Check-in of a read-only check-out
+// just releases the lock.
+func (w *Workstation) CheckIn(relation, key string) error {
+	w.mu.Lock()
+	tk := w.tickets[objKey(relation, key)]
+	localObj := w.local[objKey(relation, key)]
+	w.mu.Unlock()
+	if tk == nil {
+		return fmt.Errorf("sim: %s not checked out on %s", objKey(relation, key), w.Name)
+	}
+
+	s := w.srv
+	if tk.forUpdate {
+		rel := s.st.Catalog().Relation(relation)
+		if err := store.Check(localObj, rel.Type); err != nil {
+			return fmt.Errorf("sim: check-in of %s: private copy invalid: %w", objKey(relation, key), err)
+		}
+		// The long X lock (held, durable) makes this write safe.
+		s.st.Delete(relation, key)
+		if err := s.st.Insert(relation, key, localObj.Clone().(*store.Tuple)); err != nil {
+			return fmt.Errorf("sim: check-in of %s: %w", objKey(relation, key), err)
+		}
+	}
+	if err := tk.tx.Commit(); err != nil {
+		return err
+	}
+	w.drop(relation, key)
+	s.persistLocks()
+	return nil
+}
+
+// Cancel abandons a check-out: the private copy is dropped and the long
+// lock released without writing back.
+func (w *Workstation) Cancel(relation, key string) error {
+	w.mu.Lock()
+	tk := w.tickets[objKey(relation, key)]
+	w.mu.Unlock()
+	if tk == nil {
+		return fmt.Errorf("sim: %s not checked out on %s", objKey(relation, key), w.Name)
+	}
+	tk.tx.Abort()
+	w.drop(relation, key)
+	w.srv.persistLocks()
+	return nil
+}
+
+func (w *Workstation) drop(relation, key string) {
+	w.mu.Lock()
+	delete(w.tickets, objKey(relation, key))
+	delete(w.local, objKey(relation, key))
+	w.mu.Unlock()
+}
+
+// reattach refreshes the workstation's tickets after a server restart: the
+// long transactions are adopted into the new transaction manager (their
+// durable locks were already restored), and modify rights are re-granted.
+func (w *Workstation) reattach() {
+	s := w.srv
+	s.mu.Lock()
+	tm := s.txns
+	s.mu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, tk := range w.tickets {
+		old := tk.tx.ID()
+		tk.tx = tm.Adopt(old)
+		if tk.forUpdate {
+			s.auth.Grant(old, tk.object.Relation())
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+func TestCheckOutCheckInRoundTrip(t *testing.T) {
+	s := NewServer(store.PaperDatabase())
+	ws := s.NewWorkstation("ws1")
+
+	if err := ws.CheckOut("cells", "c1", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.CheckedOut(); len(got) != 1 || got[0] != "cells/c1" {
+		t.Errorf("CheckedOut = %v", got)
+	}
+
+	// Edit the private copy: rename the trajectory of robot r1.
+	local := ws.Local("cells", "c1")
+	robots := local.Get("robots").(*store.List)
+	robots.Get("r1").(*store.Tuple).Set("trajectory", store.Str("tr1-v2"))
+
+	// The central database is untouched until check-in.
+	v, _ := s.Store().Lookup(store.P("cells", "c1", "robots", "r1", "trajectory"))
+	if v != store.Str("tr1") {
+		t.Fatal("central database changed before check-in")
+	}
+
+	if err := ws.CheckIn("cells", "c1"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Store().Lookup(store.P("cells", "c1", "robots", "r1", "trajectory"))
+	if v != store.Str("tr1-v2") {
+		t.Errorf("after check-in = %v", v)
+	}
+	if len(ws.CheckedOut()) != 0 {
+		t.Error("ticket not dropped")
+	}
+	if s.LockManager().LockCount() != 0 {
+		t.Error("locks leaked after check-in")
+	}
+	if err := s.Store().CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckOutConflictBlocks(t *testing.T) {
+	s := NewServer(store.PaperDatabase())
+	w1 := s.NewWorkstation("ws1")
+	w2 := s.NewWorkstation("ws2")
+
+	if err := w1.CheckOut("cells", "c1", true); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w2.CheckOut("cells", "c1", true) }()
+	select {
+	case err := <-done:
+		t.Fatalf("conflicting check-out granted: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := w1.CheckIn("cells", "c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Cancel("cells", "c1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRule4PrimeAllowsDisjointRobotCheckouts: two workstations check out FOR
+// UPDATE two different cells whose robots share effectors — concurrent under
+// rule 4′ because neither may modify the library.
+func TestRule4PrimeAllowsSharedLibraryReaders(t *testing.T) {
+	st := store.PaperDatabase()
+	// A second cell whose robot shares effector e2.
+	robot := store.NewTuple().
+		Set("robot_id", store.Str("r1")).
+		Set("trajectory", store.Str("t")).
+		Set("effectors", store.NewSet().Add("e2", store.Ref{Relation: "effectors", Key: "e2"}))
+	c2 := store.NewTuple().
+		Set("cell_id", store.Str("c2")).
+		Set("c_objects", store.NewSet()).
+		Set("robots", store.NewList().Append("r1", robot))
+	if err := st.Insert("cells", "c2", c2); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewServer(st)
+	w1 := s.NewWorkstation("ws1")
+	w2 := s.NewWorkstation("ws2")
+	if err := w1.CheckOut("cells", "c1", true); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w2.CheckOut("cells", "c2", true) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("check-outs of different cells sharing library data blocked each other")
+	}
+	_ = w1.Cancel("cells", "c1")
+	_ = w2.Cancel("cells", "c2")
+}
+
+// TestCrashRestartPreservesCheckout: the long lock survives a server crash;
+// after restart the check-in still works and conflicting access is still
+// blocked.
+func TestCrashRestartPreservesCheckout(t *testing.T) {
+	s := NewServer(store.PaperDatabase())
+	ws := s.NewWorkstation("ws1")
+	if err := ws.CheckOut("effectors", "e1", true); err != nil {
+		t.Fatal(err)
+	}
+	ws.Local("effectors", "e1").Set("tool", store.Str("t1-v2"))
+
+	if err := s.CrashAndRestart(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The durable X lock still blocks others after restart.
+	tx := s.Txns().Begin()
+	blocked := make(chan error, 1)
+	go func() { blocked <- tx.LockPath(store.P("effectors", "e1"), lock.S) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("long lock lost in crash: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	if err := ws.CheckIn("effectors", "e1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+
+	v, _ := s.Store().Lookup(store.P("effectors", "e1", "tool"))
+	if v != store.Str("t1-v2") {
+		t.Errorf("check-in after crash = %v", v)
+	}
+}
+
+func TestCrashLosesShortLocks(t *testing.T) {
+	s := NewServer(store.PaperDatabase())
+	tx := s.Txns().Begin()
+	if err := tx.LockPath(store.P("cells", "c1"), lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CrashAndRestart(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LockManager().LockCount(); got != 0 {
+		t.Errorf("short locks survived crash: %d", got)
+	}
+}
+
+func TestCheckInReadOnly(t *testing.T) {
+	s := NewServer(store.PaperDatabase())
+	ws := s.NewWorkstation("ws1")
+	if err := ws.CheckOut("cells", "c1", false); err != nil {
+		t.Fatal(err)
+	}
+	// Read-only local edits are NOT written back.
+	ws.Local("cells", "c1").Set("cell_id", store.Str("evil"))
+	if err := ws.CheckIn("cells", "c1"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Store().Lookup(store.P("cells", "c1", "cell_id"))
+	if v != store.Str("c1") {
+		t.Error("read-only check-in wrote back")
+	}
+}
+
+func TestCheckInRejectsCorruptCopy(t *testing.T) {
+	s := NewServer(store.PaperDatabase())
+	ws := s.NewWorkstation("ws1")
+	if err := ws.CheckOut("effectors", "e1", true); err != nil {
+		t.Fatal(err)
+	}
+	ws.Local("effectors", "e1").Set("tool", store.Int(42)) // wrong kind
+	err := ws.CheckIn("effectors", "e1")
+	if err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("corrupt check-in accepted: %v", err)
+	}
+	// The central copy is unharmed and the ticket still open.
+	v, _ := s.Store().Lookup(store.P("effectors", "e1", "tool"))
+	if v != store.Str("t1") {
+		t.Error("central copy damaged")
+	}
+	if len(ws.CheckedOut()) != 1 {
+		t.Error("ticket dropped on failed check-in")
+	}
+	_ = ws.Cancel("effectors", "e1")
+}
+
+func TestCheckOutErrors(t *testing.T) {
+	s := NewServer(store.PaperDatabase())
+	ws := s.NewWorkstation("ws1")
+	if err := ws.CheckOut("cells", "zz", true); err == nil {
+		t.Error("check-out of absent object succeeded")
+	}
+	if err := ws.CheckOut("cells", "c1", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.CheckOut("cells", "c1", false); err == nil {
+		t.Error("double check-out succeeded")
+	}
+	if err := ws.CheckIn("effectors", "e1"); err == nil {
+		t.Error("check-in of unchecked object succeeded")
+	}
+	if err := ws.Cancel("effectors", "e1"); err == nil {
+		t.Error("cancel of unchecked object succeeded")
+	}
+	_ = ws.Cancel("cells", "c1")
+	if s.LockManager().LockCount() != 0 {
+		t.Error("locks leaked")
+	}
+}
+
+func TestCancelDiscardsEdits(t *testing.T) {
+	s := NewServer(store.PaperDatabase())
+	ws := s.NewWorkstation("ws1")
+	if err := ws.CheckOut("effectors", "e3", true); err != nil {
+		t.Fatal(err)
+	}
+	ws.Local("effectors", "e3").Set("tool", store.Str("discarded"))
+	if err := ws.Cancel("effectors", "e3"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Store().Lookup(store.P("effectors", "e3", "tool"))
+	if v != store.Str("t3") {
+		t.Error("cancel wrote back")
+	}
+	if ws.Local("effectors", "e3") != nil {
+		t.Error("local copy kept after cancel")
+	}
+}
+
+// TestBrowseIgnoresLocks: browse access returns the central version even
+// while the object is checked out exclusively, and never blocks.
+func TestBrowseIgnoresLocks(t *testing.T) {
+	s := NewServer(store.PaperDatabase())
+	ws := s.NewWorkstation("ws1")
+	if err := ws.CheckOut("cells", "c1", true); err != nil {
+		t.Fatal(err)
+	}
+	ws.Local("cells", "c1").Get("robots").(*store.List).
+		Get("r1").(*store.Tuple).Set("trajectory", store.Str("in-progress"))
+
+	// Browse sees the central (pre-check-in) version immediately.
+	v := s.Browse("cells", "c1")
+	if v == nil {
+		t.Fatal("browse returned nil")
+	}
+	got := v.Get("robots").(*store.List).Get("r1").(*store.Tuple).Get("trajectory")
+	if got != store.Str("tr1") {
+		t.Errorf("browse = %v, want the stale central version tr1", got)
+	}
+	// The copy is private.
+	v.Set("cell_id", store.Str("hacked"))
+	orig, _ := s.Store().Lookup(store.P("cells", "c1", "cell_id"))
+	if orig != store.Str("c1") {
+		t.Error("browse leaked a live reference")
+	}
+	if s.Browse("cells", "zz") != nil {
+		t.Error("browse of absent object non-nil")
+	}
+	if err := ws.CheckIn("cells", "c1"); err != nil {
+		t.Fatal(err)
+	}
+	// After check-in, browse sees the new version.
+	v = s.Browse("cells", "c1")
+	got = v.Get("robots").(*store.List).Get("r1").(*store.Tuple).Get("trajectory")
+	if got != store.Str("in-progress") {
+		t.Errorf("browse after check-in = %v", got)
+	}
+}

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"colock/internal/schema"
+)
+
+func TestLookupClone(t *testing.T) {
+	s := PaperDatabase()
+	v, err := s.LookupClone(ParsePath("cells/c1/robots/r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.(*Tuple).Set("trajectory", Str("mutated-clone"))
+	orig, _ := s.Lookup(ParsePath("cells/c1/robots/r1/trajectory"))
+	if orig != Str("tr1") {
+		t.Error("LookupClone returned a live reference")
+	}
+	if _, err := s.LookupClone(ParsePath("cells/zz")); err == nil {
+		t.Error("bad path accepted")
+	}
+	if _, err := s.LookupClone(ParsePath("cells")); err == nil {
+		t.Error("relation-only path accepted")
+	}
+	if _, err := s.LookupClone(Path{""}); err == nil {
+		t.Error("invalid path accepted")
+	}
+}
+
+func TestCollectionIDs(t *testing.T) {
+	s := PaperDatabase()
+	ids, err := s.CollectionIDs(ParsePath("cells/c1/robots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "r1" || ids[1] != "r2" {
+		t.Errorf("robots = %v (list order)", ids)
+	}
+	ids, err = s.CollectionIDs(ParsePath("cells/c1/robots/r1/effectors"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "e1" {
+		t.Errorf("effectors = %v (sorted)", ids)
+	}
+	if _, err := s.CollectionIDs(ParsePath("cells/c1/cell_id")); err == nil {
+		t.Error("atomic path accepted")
+	}
+	if _, err := s.CollectionIDs(ParsePath("cells/zz/robots")); err == nil {
+		t.Error("bad object accepted")
+	}
+	if _, err := s.CollectionIDs(ParsePath("cells")); err == nil {
+		t.Error("relation-only path accepted")
+	}
+	if _, err := s.CollectionIDs(Path{""}); err == nil {
+		t.Error("invalid path accepted")
+	}
+}
+
+func TestCatalogAccessor(t *testing.T) {
+	s := PaperDatabase()
+	if s.Catalog() == nil || s.Catalog().Database != "db1" {
+		t.Error("Catalog accessor broken")
+	}
+}
+
+func TestAtomicStringKinds(t *testing.T) {
+	// Insert with non-string keys exercises atomicString for each kind.
+	cat := schema.NewCatalog("db")
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "ints", Segment: "s", Key: "id",
+		Type: schema.Tuple(schema.F("id", schema.Int())),
+	})
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "reals", Segment: "s", Key: "id",
+		Type: schema.Tuple(schema.F("id", schema.Real())),
+	})
+	_ = cat.AddRelation(&schema.Relation{
+		Name: "bools", Segment: "s", Key: "id",
+		Type: schema.Tuple(schema.F("id", schema.Bool())),
+	})
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := New(cat)
+	if err := s.Insert("ints", "42", NewTuple().Set("id", Int(42))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("reals", "2.5", NewTuple().Set("id", Real(2.5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("bools", "true", NewTuple().Set("id", Bool(true))); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("ints", "42") == nil || s.Get("reals", "2.5") == nil || s.Get("bools", "true") == nil {
+		t.Error("non-string keys broken")
+	}
+}
+
+// TestConcurrentReadWriteSafety: concurrent SetAtomic and traversing reads
+// (Refs, LookupClone, CollectionIDs, BackRefs) must be memory-safe. Run with
+// -race to exercise the locking discipline this guards.
+func TestConcurrentReadWriteSafety(t *testing.T) {
+	s := PaperDatabase()
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := Str("t")
+			if i%2 == 0 {
+				v = Str("u")
+			}
+			if _, err := s.SetAtomic(ParsePath("effectors/e2/tool"), v); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := s.Refs(ParsePath("cells/c1")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.LookupClone(ParsePath("effectors/e2")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.CollectionIDs(ParsePath("cells/c1/robots")); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = s.BackRefs("effectors", "e2")
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+}

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"fmt"
+
+	"colock/internal/schema"
+)
+
+// PaperDatabase builds the example database of the paper's Figures 6 and 7
+// over the Figure 1 schema:
+//
+//	cell c1
+//	  c_objects: { c_object o1 (o1, on1) }
+//	  robots:    [ robot r1 (r1, tr1, effectors {→e1, →e2}),
+//	               robot r2 (r2, tr2, effectors {→e2, →e3}) ]
+//	effectors library: e1 (t1), e2 (t2), e3 (t3)
+//
+// Effector e2 is shared by robots r1 and r2, which is exactly what makes Q2
+// and Q3 of Figure 7 interesting: both queries touch e2.
+func PaperDatabase() *Store {
+	cat := schema.PaperSchema()
+	s := New(cat)
+
+	for _, e := range []struct{ id, tool string }{
+		{"e1", "t1"}, {"e2", "t2"}, {"e3", "t3"},
+	} {
+		eff := NewTuple().Set("eff_id", Str(e.id)).Set("tool", Str(e.tool))
+		mustInsert(s, "effectors", e.id, eff)
+	}
+
+	robot := func(id, traj string, effs ...string) *Tuple {
+		set := NewSet()
+		for _, e := range effs {
+			set.Add(e, Ref{Relation: "effectors", Key: e})
+		}
+		return NewTuple().
+			Set("robot_id", Str(id)).
+			Set("trajectory", Str(traj)).
+			Set("effectors", set)
+	}
+
+	c1 := NewTuple().
+		Set("cell_id", Str("c1")).
+		Set("c_objects", NewSet().Add("o1",
+			NewTuple().Set("obj_id", Int(1)).Set("obj_name", Str("on1")))).
+		Set("robots", NewList().
+			Append("r1", robot("r1", "tr1", "e1", "e2")).
+			Append("r2", robot("r2", "tr2", "e2", "e3")))
+	mustInsert(s, "cells", "c1", c1)
+
+	if err := s.CheckIntegrity(); err != nil {
+		panic(err) // the paper database is consistent by construction
+	}
+	return s
+}
+
+func mustInsert(s *Store, rel, key string, obj *Tuple) {
+	if err := s.Insert(rel, key, obj); err != nil {
+		panic(fmt.Sprintf("store: paper database: %v", err))
+	}
+}

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"testing"
+)
+
+func TestDataSnapshotRoundTrip(t *testing.T) {
+	s := PaperDatabase()
+	data, err := s.EncodeData()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate and shrink the original, then restore.
+	if _, err := s.SetAtomic(ParsePath("effectors/e1/tool"), Str("mutated")); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("effectors", "e3")
+	if err := s.RestoreData(data); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := s.Lookup(ParsePath("effectors/e1/tool"))
+	if err != nil || v != Str("t1") {
+		t.Errorf("restore lost e1 state: %v %v", v, err)
+	}
+	if s.Get("effectors", "e3") == nil {
+		t.Error("restore lost e3")
+	}
+	if err := s.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// The deep structure round-trips (list order, set IDs, refs).
+	ids, err := s.CollectionIDs(ParsePath("cells/c1/robots"))
+	if err != nil || len(ids) != 2 || ids[0] != "r1" {
+		t.Errorf("robots order lost: %v %v", ids, err)
+	}
+	v, _ = s.Lookup(ParsePath("cells/c1/robots/r2/effectors/e3"))
+	if v != (Ref{Relation: "effectors", Key: "e3"}) {
+		t.Errorf("ref lost: %v", v)
+	}
+}
+
+func TestDataSnapshotDeterministic(t *testing.T) {
+	a, err := PaperDatabase().EncodeData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PaperDatabase().EncodeData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("snapshots of identical stores differ")
+	}
+}
+
+func TestRestoreDataErrors(t *testing.T) {
+	s := PaperDatabase()
+	before, _ := s.EncodeData()
+
+	if err := s.RestoreData([]byte("garbage")); err == nil {
+		t.Error("garbage restored")
+	}
+
+	// A snapshot from a different catalog fails type checks, and the store
+	// must be left unchanged.
+	other := New(s.Catalog())
+	bad := NewTuple().Set("eff_id", Str("x")).Set("tool", Str("t"))
+	if err := other.Insert("effectors", "x", bad); err != nil {
+		t.Fatal(err)
+	}
+	// Dangle a reference by hand-crafting an inconsistent snapshot: a cell
+	// referencing a missing effector.
+	cell := NewTuple().
+		Set("cell_id", Str("cx")).
+		Set("c_objects", NewSet()).
+		Set("robots", NewList().Append("r1", NewTuple().
+			Set("robot_id", Str("r1")).
+			Set("trajectory", Str("t")).
+			Set("effectors", NewSet().Add("gone", Ref{Relation: "effectors", Key: "gone"}))))
+	if err := other.Insert("cells", "cx", cell); err != nil {
+		t.Fatal(err)
+	}
+	other.Delete("effectors", "x")
+	dangling, err := other.EncodeData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RestoreData(dangling); err == nil {
+		t.Error("dangling snapshot restored")
+	}
+	// Original content intact after the failed restore.
+	after, _ := s.EncodeData()
+	if string(before) != string(after) {
+		t.Error("failed restore changed the store")
+	}
+}
+
+func TestSnapshotAllValueKinds(t *testing.T) {
+	// Round-trip every atomic kind through the wire format.
+	for _, v := range []Value{Str("s"), Int(-7), Real(2.25), Bool(true),
+		Ref{Relation: "r", Key: "k"}} {
+		got, err := fromWire(toWire(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("round trip %v → %v", v, got)
+		}
+	}
+	if _, err := fromWire(wireValue{Kind: 99}); err == nil {
+		t.Error("unknown wire kind accepted")
+	}
+}

@@ -1,0 +1,382 @@
+// Package store implements an in-memory storage engine for extended-NF²
+// complex objects: values (atomic, set, list, tuple, reference), a
+// database/segment/relation store with key-addressed complex objects,
+// hierarchical path navigation, type checking against a schema catalog,
+// reference resolution and reverse-reference scans, and the concrete example
+// database of the paper's Figure 6 (cell c1 and the effectors library).
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"colock/internal/schema"
+)
+
+// Value is a data value of the extended NF² model.
+type Value interface {
+	// Kind returns the schema kind this value inhabits.
+	Kind() schema.Kind
+	// Clone returns a deep copy.
+	Clone() Value
+	// String renders the value for display.
+	String() string
+}
+
+// Str is an atomic string value.
+type Str string
+
+// Kind implements Value.
+func (Str) Kind() schema.Kind { return schema.KindStr }
+
+// Clone implements Value.
+func (v Str) Clone() Value { return v }
+
+// String implements Value.
+func (v Str) String() string { return strconv.Quote(string(v)) }
+
+// Int is an atomic integer value.
+type Int int64
+
+// Kind implements Value.
+func (Int) Kind() schema.Kind { return schema.KindInt }
+
+// Clone implements Value.
+func (v Int) Clone() Value { return v }
+
+// String implements Value.
+func (v Int) String() string { return strconv.FormatInt(int64(v), 10) }
+
+// Real is an atomic floating-point value.
+type Real float64
+
+// Kind implements Value.
+func (Real) Kind() schema.Kind { return schema.KindReal }
+
+// Clone implements Value.
+func (v Real) Clone() Value { return v }
+
+// String implements Value.
+func (v Real) String() string { return strconv.FormatFloat(float64(v), 'g', -1, 64) }
+
+// Bool is an atomic boolean value.
+type Bool bool
+
+// Kind implements Value.
+func (Bool) Kind() schema.Kind { return schema.KindBool }
+
+// Clone implements Value.
+func (v Bool) Clone() Value { return v }
+
+// String implements Value.
+func (v Bool) String() string { return strconv.FormatBool(bool(v)) }
+
+// Ref is a reference to a complex object of another relation — the paper's
+// "reference to common data". The implementation (key values vs. surrogates)
+// is deliberately simple; the paper makes no assumption about it.
+type Ref struct {
+	Relation string
+	Key      string
+}
+
+// Kind implements Value.
+func (Ref) Kind() schema.Kind { return schema.KindRef }
+
+// Clone implements Value.
+func (v Ref) Clone() Value { return v }
+
+// String implements Value.
+func (v Ref) String() string { return "->" + v.Relation + "/" + v.Key }
+
+// Tuple is a (complex) tuple value with named fields.
+type Tuple struct {
+	fields map[string]Value
+}
+
+// NewTuple returns an empty tuple value.
+func NewTuple() *Tuple { return &Tuple{fields: make(map[string]Value)} }
+
+// Kind implements Value.
+func (*Tuple) Kind() schema.Kind { return schema.KindTuple }
+
+// Set stores a field value, replacing any previous one, and returns the
+// tuple for chaining.
+func (t *Tuple) Set(name string, v Value) *Tuple {
+	t.fields[name] = v
+	return t
+}
+
+// Get returns the named field value, or nil.
+func (t *Tuple) Get(name string) Value { return t.fields[name] }
+
+// FieldNames returns the field names in sorted order.
+func (t *Tuple) FieldNames() []string {
+	out := make([]string, 0, len(t.fields))
+	for n := range t.fields {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone implements Value.
+func (t *Tuple) Clone() Value {
+	c := NewTuple()
+	for n, v := range t.fields {
+		c.fields[n] = v.Clone()
+	}
+	return c
+}
+
+// String implements Value.
+func (t *Tuple) String() string {
+	parts := make([]string, 0, len(t.fields))
+	for _, n := range t.FieldNames() {
+		parts = append(parts, n+":"+t.fields[n].String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Set is an unordered collection of identified elements. Element IDs give
+// subobjects a stable identity, which the lock technique needs to name
+// lockable units (e.g. "c_object o1"). For sets of references the
+// conventional ID is the referenced key.
+type Set struct {
+	elems map[string]Value
+}
+
+// NewSet returns an empty set value.
+func NewSet() *Set { return &Set{elems: make(map[string]Value)} }
+
+// Kind implements Value.
+func (*Set) Kind() schema.Kind { return schema.KindSet }
+
+// Add inserts (or replaces) the element with the given ID and returns the
+// set for chaining.
+func (s *Set) Add(id string, v Value) *Set {
+	s.elems[id] = v
+	return s
+}
+
+// Remove deletes the element and returns its previous value (nil if absent).
+func (s *Set) Remove(id string) Value {
+	v := s.elems[id]
+	delete(s.elems, id)
+	return v
+}
+
+// Get returns the element with the given ID, or nil.
+func (s *Set) Get(id string) Value { return s.elems[id] }
+
+// Len returns the number of elements.
+func (s *Set) Len() int { return len(s.elems) }
+
+// IDs returns the element IDs in sorted order.
+func (s *Set) IDs() []string {
+	out := make([]string, 0, len(s.elems))
+	for id := range s.elems {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone implements Value.
+func (s *Set) Clone() Value {
+	c := NewSet()
+	for id, v := range s.elems {
+		c.elems[id] = v.Clone()
+	}
+	return c
+}
+
+// String implements Value.
+func (s *Set) String() string {
+	parts := make([]string, 0, len(s.elems))
+	for _, id := range s.IDs() {
+		parts = append(parts, id+"="+s.elems[id].String())
+	}
+	return "S{" + strings.Join(parts, ", ") + "}"
+}
+
+// List is an ordered collection of identified elements (e.g. the robots of a
+// cell, ordered by robot_id).
+type List struct {
+	ids   []string
+	elems map[string]Value
+}
+
+// NewList returns an empty list value.
+func NewList() *List { return &List{elems: make(map[string]Value)} }
+
+// Kind implements Value.
+func (*List) Kind() schema.Kind { return schema.KindList }
+
+// Append adds an element at the end; appending an existing ID replaces the
+// value in place. Returns the list for chaining.
+func (l *List) Append(id string, v Value) *List {
+	if _, ok := l.elems[id]; !ok {
+		l.ids = append(l.ids, id)
+	}
+	l.elems[id] = v
+	return l
+}
+
+// Remove deletes the element and returns its previous value (nil if absent).
+func (l *List) Remove(id string) Value {
+	v, ok := l.elems[id]
+	if !ok {
+		return nil
+	}
+	delete(l.elems, id)
+	for i, x := range l.ids {
+		if x == id {
+			l.ids = append(l.ids[:i], l.ids[i+1:]...)
+			break
+		}
+	}
+	return v
+}
+
+// Get returns the element with the given ID, or nil.
+func (l *List) Get(id string) Value { return l.elems[id] }
+
+// Len returns the number of elements.
+func (l *List) Len() int { return len(l.ids) }
+
+// IDs returns the element IDs in list order.
+func (l *List) IDs() []string {
+	out := make([]string, len(l.ids))
+	copy(out, l.ids)
+	return out
+}
+
+// Clone implements Value.
+func (l *List) Clone() Value {
+	c := NewList()
+	for _, id := range l.ids {
+		c.Append(id, l.elems[id].Clone())
+	}
+	return c
+}
+
+// String implements Value.
+func (l *List) String() string {
+	parts := make([]string, 0, len(l.ids))
+	for _, id := range l.ids {
+		parts = append(parts, id+"="+l.elems[id].String())
+	}
+	return "L[" + strings.Join(parts, ", ") + "]"
+}
+
+// collection is the common interface of Set and List used by navigation.
+type collection interface {
+	Get(id string) Value
+	IDs() []string
+	Len() int
+}
+
+var (
+	_ collection = (*Set)(nil)
+	_ collection = (*List)(nil)
+)
+
+// Check validates that v conforms to type t.
+func Check(v Value, t *schema.Type) error {
+	if t == nil {
+		return fmt.Errorf("store: nil type")
+	}
+	if v == nil {
+		return fmt.Errorf("store: nil value for type %v", t)
+	}
+	switch t.Kind {
+	case schema.KindStr, schema.KindInt, schema.KindReal, schema.KindBool:
+		if v.Kind() != t.Kind {
+			return fmt.Errorf("store: value kind %v, want %v", v.Kind(), t.Kind)
+		}
+		return nil
+	case schema.KindRef:
+		r, ok := v.(Ref)
+		if !ok {
+			return fmt.Errorf("store: value kind %v, want ref", v.Kind())
+		}
+		if r.Relation != t.Target {
+			return fmt.Errorf("store: reference targets %q, want %q", r.Relation, t.Target)
+		}
+		return nil
+	case schema.KindSet:
+		s, ok := v.(*Set)
+		if !ok {
+			return fmt.Errorf("store: value kind %v, want set", v.Kind())
+		}
+		for _, id := range s.IDs() {
+			if err := Check(s.Get(id), t.Elem); err != nil {
+				return fmt.Errorf("element %q: %w", id, err)
+			}
+		}
+		return nil
+	case schema.KindList:
+		l, ok := v.(*List)
+		if !ok {
+			return fmt.Errorf("store: value kind %v, want list", v.Kind())
+		}
+		for _, id := range l.IDs() {
+			if err := Check(l.Get(id), t.Elem); err != nil {
+				return fmt.Errorf("element %q: %w", id, err)
+			}
+		}
+		return nil
+	case schema.KindTuple:
+		tp, ok := v.(*Tuple)
+		if !ok {
+			return fmt.Errorf("store: value kind %v, want tuple", v.Kind())
+		}
+		for _, f := range t.Fields {
+			fv := tp.Get(f.Name)
+			if fv == nil {
+				return fmt.Errorf("store: missing field %q", f.Name)
+			}
+			if err := Check(fv, f.Type); err != nil {
+				return fmt.Errorf("field %q: %w", f.Name, err)
+			}
+		}
+		for _, n := range tp.FieldNames() {
+			if t.Field(n) == nil {
+				return fmt.Errorf("store: unexpected field %q", n)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("store: invalid type kind %v", t.Kind)
+}
+
+// ZeroValue constructs the empty value of a type (empty strings and
+// collections, zero numbers). References have no meaningful zero and yield
+// an empty Ref to the target relation.
+func ZeroValue(t *schema.Type) Value {
+	switch t.Kind {
+	case schema.KindStr:
+		return Str("")
+	case schema.KindInt:
+		return Int(0)
+	case schema.KindReal:
+		return Real(0)
+	case schema.KindBool:
+		return Bool(false)
+	case schema.KindRef:
+		return Ref{Relation: t.Target}
+	case schema.KindSet:
+		return NewSet()
+	case schema.KindList:
+		return NewList()
+	case schema.KindTuple:
+		tp := NewTuple()
+		for _, f := range t.Fields {
+			tp.Set(f.Name, ZeroValue(f.Type))
+		}
+		return tp
+	}
+	return nil
+}

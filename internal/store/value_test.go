@@ -1,0 +1,221 @@
+package store
+
+import (
+	"testing"
+
+	"colock/internal/schema"
+)
+
+func TestAtomicValues(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind schema.Kind
+		str  string
+	}{
+		{Str("hi"), schema.KindStr, `"hi"`},
+		{Int(-4), schema.KindInt, "-4"},
+		{Real(2.5), schema.KindReal, "2.5"},
+		{Bool(true), schema.KindBool, "true"},
+		{Ref{"effectors", "e1"}, schema.KindRef, "->effectors/e1"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v Kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String = %q, want %q", c.v.String(), c.str)
+		}
+		if c.v.Clone() != c.v {
+			t.Errorf("atomic Clone not identical for %v", c.v)
+		}
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	tp := NewTuple().Set("a", Int(1)).Set("b", Str("x"))
+	if tp.Kind() != schema.KindTuple {
+		t.Error("tuple kind")
+	}
+	if tp.Get("a") != Int(1) || tp.Get("zz") != nil {
+		t.Error("tuple get")
+	}
+	names := tp.FieldNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("FieldNames = %v", names)
+	}
+	if got := tp.String(); got != `{a:1, b:"x"}` {
+		t.Errorf("String = %q", got)
+	}
+	cl := tp.Clone().(*Tuple)
+	cl.Set("a", Int(9))
+	if tp.Get("a") != Int(1) {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet().Add("b", Int(2)).Add("a", Int(1))
+	if s.Kind() != schema.KindSet || s.Len() != 2 {
+		t.Error("set basics")
+	}
+	if ids := s.IDs(); ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("IDs = %v, want sorted", ids)
+	}
+	if s.Get("a") != Int(1) || s.Get("zz") != nil {
+		t.Error("set get")
+	}
+	if got := s.String(); got != "S{a=1, b=2}" {
+		t.Errorf("String = %q", got)
+	}
+	if old := s.Remove("a"); old != Int(1) || s.Len() != 1 {
+		t.Error("remove")
+	}
+	if s.Remove("zz") != nil {
+		t.Error("remove absent")
+	}
+	cl := s.Clone().(*Set)
+	cl.Add("c", Int(3))
+	if s.Len() != 1 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestListOps(t *testing.T) {
+	l := NewList().Append("r2", Str("b")).Append("r1", Str("a"))
+	if l.Kind() != schema.KindList || l.Len() != 2 {
+		t.Error("list basics")
+	}
+	if ids := l.IDs(); ids[0] != "r2" || ids[1] != "r1" {
+		t.Errorf("IDs = %v, want insertion order", ids)
+	}
+	l.Append("r2", Str("b2")) // replace in place, order unchanged
+	if l.Len() != 2 || l.Get("r2") != Str("b2") || l.IDs()[0] != "r2" {
+		t.Error("in-place replace broken")
+	}
+	if got := l.String(); got != `L[r2="b2", r1="a"]` {
+		t.Errorf("String = %q", got)
+	}
+	if old := l.Remove("r2"); old != Str("b2") || l.Len() != 1 {
+		t.Error("remove")
+	}
+	if l.Remove("zz") != nil {
+		t.Error("remove absent")
+	}
+	cl := l.Clone().(*List)
+	cl.Append("x", Str("y"))
+	if l.Len() != 1 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestCheckConformance(t *testing.T) {
+	ty := schema.Tuple(
+		schema.F("id", schema.Str()),
+		schema.F("parts", schema.Set(schema.Ref("lib"))),
+		schema.F("tags", schema.List(schema.Int())),
+	)
+	good := NewTuple().
+		Set("id", Str("a")).
+		Set("parts", NewSet().Add("p1", Ref{"lib", "p1"})).
+		Set("tags", NewList().Append("0", Int(7)))
+	if err := Check(good, ty); err != nil {
+		t.Fatalf("valid value rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		v    Value
+	}{
+		{"missing field", NewTuple().Set("id", Str("a"))},
+		{"wrong atomic kind", NewTuple().Set("id", Int(1)).
+			Set("parts", NewSet()).Set("tags", NewList())},
+		{"wrong ref target", NewTuple().Set("id", Str("a")).
+			Set("parts", NewSet().Add("p1", Ref{"other", "p1"})).Set("tags", NewList())},
+		{"non-set for set", NewTuple().Set("id", Str("a")).
+			Set("parts", NewList()).Set("tags", NewList())},
+		{"bad list elem", NewTuple().Set("id", Str("a")).
+			Set("parts", NewSet()).Set("tags", NewList().Append("0", Str("x")))},
+		{"extra field", NewTuple().Set("id", Str("a")).
+			Set("parts", NewSet()).Set("tags", NewList()).Set("zz", Int(1))},
+	}
+	for _, c := range bad {
+		if err := Check(c.v, ty); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if err := Check(nil, ty); err == nil {
+		t.Error("nil value accepted")
+	}
+	if err := Check(Str("x"), nil); err == nil {
+		t.Error("nil type accepted")
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	ty := schema.Tuple(
+		schema.F("s", schema.Str()),
+		schema.F("i", schema.Int()),
+		schema.F("r", schema.Real()),
+		schema.F("b", schema.Bool()),
+		schema.F("set", schema.Set(schema.Int())),
+		schema.F("lst", schema.List(schema.Str())),
+	)
+	v := ZeroValue(ty)
+	if err := Check(v, ty); err != nil {
+		t.Fatalf("zero value does not conform: %v", err)
+	}
+	tp := v.(*Tuple)
+	if tp.Get("s") != Str("") || tp.Get("i") != Int(0) || tp.Get("r") != Real(0) || tp.Get("b") != Bool(false) {
+		t.Error("zero atomics wrong")
+	}
+	if tp.Get("set").(*Set).Len() != 0 || tp.Get("lst").(*List).Len() != 0 {
+		t.Error("zero collections not empty")
+	}
+	if rv := ZeroValue(schema.Ref("lib")); rv.(Ref).Relation != "lib" {
+		t.Error("zero ref wrong")
+	}
+}
+
+func TestPathOps(t *testing.T) {
+	p := ParsePath("cells/c1/robots/r1")
+	if p.String() != "cells/c1/robots/r1" {
+		t.Errorf("String = %q", p.String())
+	}
+	if p.Relation() != "cells" || p.Key() != "c1" {
+		t.Error("Relation/Key")
+	}
+	if ParsePath("") != nil {
+		t.Error("empty parse")
+	}
+	c := p.Child("trajectory")
+	if c.String() != "cells/c1/robots/r1/trajectory" || len(p) != 4 {
+		t.Error("Child")
+	}
+	if !c.Parent().Equal(p) {
+		t.Error("Parent")
+	}
+	if Path(nil).Parent() != nil || Path(nil).Relation() != "" || (Path{"x"}).Key() != "" {
+		t.Error("edge accessors")
+	}
+	if !c.HasPrefix(p) || p.HasPrefix(c) || !p.HasPrefix(p) {
+		t.Error("HasPrefix")
+	}
+	if !p.Clone().Equal(p) {
+		t.Error("Clone/Equal")
+	}
+	if P("a", "b").Equal(P("a")) || P("a", "b").Equal(P("a", "c")) {
+		t.Error("Equal false cases")
+	}
+	if err := (Path{}).Validate(); err == nil {
+		t.Error("empty path validated")
+	}
+	if err := P("a", "").Validate(); err == nil {
+		t.Error("empty segment validated")
+	}
+	if err := P("a/b").Validate(); err == nil {
+		t.Error("slash segment validated")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("good path rejected: %v", err)
+	}
+}

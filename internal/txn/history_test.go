@@ -1,0 +1,233 @@
+package txn
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"colock/internal/store"
+)
+
+func TestAccessKindString(t *testing.T) {
+	if AccessR.String() != "r" || AccessW.String() != "w" {
+		t.Error("kind strings")
+	}
+}
+
+func TestPathsConflict(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"cells/c1", "cells/c1", true},
+		{"cells/c1", "cells/c1/robots", true},
+		{"cells/c1/robots", "cells/c1", true},
+		{"cells/c1", "cells/c2", false},
+		{"cells/c1", "cells/c10", false}, // prefix of string but not of path
+		{"cells/c1/robots/r1", "cells/c1/robots/r2", false},
+		{"cells", "effectors", false},
+	}
+	for _, c := range cases {
+		if got := pathsConflict(c.a, c.b); got != c.want {
+			t.Errorf("pathsConflict(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestHistorySerialRunIsSerializable: two sequential committed transactions
+// touching the same data produce an acyclic precedence graph.
+func TestHistorySerialRunIsSerializable(t *testing.T) {
+	m := newManager(t)
+	h := NewHistory()
+	m.EnableHistory(h)
+
+	p := store.P("effectors", "e1", "tool")
+	t1 := m.Begin()
+	if err := t1.UpdateAtomic(p, store.Str("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := m.Begin()
+	if _, err := t2.Read(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.UpdateAtomic(p, store.Str("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := h.CheckConflictSerializable(); err != nil {
+		t.Fatal(err)
+	}
+	if h.CommittedCount() != 2 {
+		t.Errorf("committed = %d", h.CommittedCount())
+	}
+	if len(h.Accesses()) == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+// TestHistoryDropsAborted: aborted transactions impose no constraints.
+func TestHistoryDropsAborted(t *testing.T) {
+	m := newManager(t)
+	h := NewHistory()
+	m.EnableHistory(h)
+
+	tx := m.Begin()
+	if err := tx.UpdateAtomic(store.P("effectors", "e1", "tool"), store.Str("x")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	for _, a := range h.Accesses() {
+		if a.Txn == tx.ID() {
+			t.Error("aborted access kept")
+		}
+	}
+}
+
+// TestHistoryDetectsInjectedAnomaly: a hand-built non-serializable history
+// (a classic write skew made into a cycle: T1 reads then writes after T2's
+// conflicting write, and vice versa) is flagged.
+func TestHistoryDetectsInjectedAnomaly(t *testing.T) {
+	h := NewHistory()
+	// T1: r(x) … w(y); T2: r(y) … w(x); interleaved so that
+	// T1 r(x) < T2 w(x)  → T1→T2, and T2 r(y) < T1 w(y) → T2→T1.
+	h.record(1, AccessR, store.P("x"))
+	h.record(2, AccessR, store.P("y"))
+	h.record(2, AccessW, store.P("x"))
+	h.record(1, AccessW, store.P("y"))
+	h.commit(1)
+	h.commit(2)
+	err := h.CheckConflictSerializable()
+	if err == nil {
+		t.Fatal("cyclic history accepted")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error does not name the cycle: %v", err)
+	}
+}
+
+// TestHistoryIgnoresUncommitted: accesses of still-active transactions are
+// not part of the check.
+func TestHistoryIgnoresUncommitted(t *testing.T) {
+	h := NewHistory()
+	h.record(1, AccessW, store.P("x"))
+	h.record(2, AccessW, store.P("x"))
+	h.record(1, AccessW, store.P("y"))
+	h.record(2, AccessW, store.P("y"))
+	// Neither committed: vacuously serializable.
+	if err := h.CheckConflictSerializable(); err != nil {
+		t.Fatal(err)
+	}
+	h.commit(1)
+	if err := h.CheckConflictSerializable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWorkloadIsConflictSerializable is the end-to-end oracle:
+// random concurrent read/write transactions under the full protocol stack
+// must always produce a conflict-serializable history.
+func TestConcurrentWorkloadIsConflictSerializable(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		m := newManager(t)
+		h := NewHistory()
+		m.EnableHistory(h)
+
+		paths := []store.Path{
+			store.P("effectors", "e1", "tool"),
+			store.P("effectors", "e2", "tool"),
+			store.P("effectors", "e3", "tool"),
+			store.P("cells", "c1", "robots", "r1", "trajectory"),
+			store.P("cells", "c1", "robots", "r2", "trajectory"),
+			store.P("cells", "c1", "c_objects", "o1", "obj_name"),
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 6)
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed*100 + int64(w)))
+				for i := 0; i < 8; i++ {
+					err := m.RunWithRetry(50, func(tx *Txn) error {
+						for op := 0; op < 3; op++ {
+							p := paths[rng.Intn(len(paths))]
+							if rng.Intn(2) == 0 {
+								if _, err := tx.Read(p); err != nil {
+									return err
+								}
+							} else {
+								if err := tx.UpdateAtomic(p, store.Str(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+									return err
+								}
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		if err := h.CheckConflictSerializable(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if h.CommittedCount() == 0 {
+			t.Fatal("nothing committed")
+		}
+	}
+}
+
+// TestHistoryHierarchicalConflicts: a coarse read of a whole object
+// conflicts with a fine write inside it — the prefix rule.
+func TestHistoryHierarchicalConflicts(t *testing.T) {
+	m := newManager(t)
+	h := NewHistory()
+	m.EnableHistory(h)
+
+	t1 := m.Begin()
+	if _, err := t1.Read(store.P("cells", "c1")); err != nil { // coarse read
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := m.Begin()
+	if err := t2.UpdateAtomic(store.P("cells", "c1", "robots", "r1", "trajectory"), store.Str("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckConflictSerializable(); err != nil {
+		t.Fatal(err)
+	}
+	// The precedence edge T1→T2 exists (read before conflicting write);
+	// verify via the recorded accesses that the conflict is seen at all.
+	var sawConflict bool
+	acc := h.Accesses()
+	for i := 0; i < len(acc); i++ {
+		for j := i + 1; j < len(acc); j++ {
+			if acc[i].Txn != acc[j].Txn && pathsConflict(acc[i].Path, acc[j].Path) {
+				sawConflict = true
+			}
+		}
+	}
+	if !sawConflict {
+		t.Error("hierarchical conflict not visible in history")
+	}
+}

@@ -1,0 +1,124 @@
+package txn
+
+import (
+	"testing"
+
+	"colock/internal/store"
+)
+
+func TestSavepointPartialRollback(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	p1 := store.P("effectors", "e1", "tool")
+	p2 := store.P("effectors", "e2", "tool")
+
+	if err := tx.UpdateAtomic(p1, store.Str("keep")); err != nil {
+		t.Fatal(err)
+	}
+	sp := tx.Savepoint()
+	if err := tx.UpdateAtomic(p2, store.Str("discard")); err != nil {
+		t.Fatal(err)
+	}
+	coll := store.P("cells", "c1", "robots", "r1", "effectors")
+	if err := tx.AddElem(coll, "e3", store.Ref{Relation: "effectors", Key: "e3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-savepoint changes are gone, pre-savepoint ones stay.
+	v2, _ := m.Store().Lookup(p2)
+	if v2 != store.Str("t2") {
+		t.Errorf("e2 tool = %v, want t2", v2)
+	}
+	ids, _ := m.Store().CollectionIDs(coll)
+	if len(ids) != 2 {
+		t.Errorf("collection = %v", ids)
+	}
+	v1, _ := m.Store().Lookup(p1)
+	if v1 != store.Str("keep") {
+		t.Errorf("e1 tool = %v, want keep", v1)
+	}
+
+	// Work continues after partial rollback; full abort still undoes the
+	// pre-savepoint change.
+	if err := tx.UpdateAtomic(p2, store.Str("second-try")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	v1, _ = m.Store().Lookup(p1)
+	v2, _ = m.Store().Lookup(p2)
+	if v1 != store.Str("t1") || v2 != store.Str("t2") {
+		t.Errorf("after abort: %v, %v", v1, v2)
+	}
+}
+
+func TestSavepointNested(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	p := store.P("effectors", "e1", "tool")
+
+	sp1 := tx.Savepoint()
+	if err := tx.UpdateAtomic(p, store.Str("v1")); err != nil {
+		t.Fatal(err)
+	}
+	sp2 := tx.Savepoint()
+	if err := tx.UpdateAtomic(p, store.Str("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.RollbackTo(sp2); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Store().Lookup(p)
+	if v != store.Str("v1") {
+		t.Errorf("after inner rollback = %v", v)
+	}
+	if err := tx.RollbackTo(sp1); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = m.Store().Lookup(p)
+	if v != store.Str("t1") {
+		t.Errorf("after outer rollback = %v", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSavepointErrors(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	sp := tx.Savepoint()
+	if err := tx.RollbackTo(Savepoint(99)); err == nil {
+		t.Error("future savepoint accepted")
+	}
+	if err := tx.RollbackTo(Savepoint(-1)); err == nil {
+		t.Error("negative savepoint accepted")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.RollbackTo(sp); err == nil {
+		t.Error("rollback on finished txn accepted")
+	}
+}
+
+// TestSavepointKeepsLocks: rolling back to a savepoint keeps the locks
+// acquired after it (2PL discipline).
+func TestSavepointKeepsLocks(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	sp := tx.Savepoint()
+	p := store.P("effectors", "e1", "tool")
+	if err := tx.UpdateAtomic(p, store.Str("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Protocol().Manager().HeldLocks(tx.ID())) == 0 {
+		t.Error("locks dropped by partial rollback")
+	}
+	tx.Abort()
+}

@@ -1,0 +1,511 @@
+// Package txn implements transactions over the complex-object store and the
+// core lock protocol: strict two-phase locking (degree 3 consistency,
+// GLPT76), undo-based rollback, commit/abort, deadlock-victim handling, and
+// long ("conversational") transactions whose locks are durable and survive
+// simulated system crashes — the workstation–server transaction model the
+// paper's introduction motivates.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+// State is the lifecycle state of a transaction.
+type State uint8
+
+const (
+	// Active transactions may lock and mutate data.
+	Active State = iota
+	// Committed transactions are finished; their effects are permanent.
+	Committed
+	// Aborted transactions are finished; their effects were undone.
+	Aborted
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// ErrNotActive is returned when operating on a finished transaction.
+var ErrNotActive = errors.New("txn: transaction not active")
+
+// Manager creates and tracks transactions.
+type Manager struct {
+	proto *core.Protocol
+	st    *store.Store
+	next  atomic.Uint64
+
+	mu      sync.Mutex
+	active  map[lock.TxnID]*Txn
+	history *History
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// NewManager returns a transaction manager over a protocol and its store.
+func NewManager(proto *core.Protocol, st *store.Store) *Manager {
+	return &Manager{proto: proto, st: st, active: make(map[lock.TxnID]*Txn)}
+}
+
+// Protocol returns the underlying lock protocol.
+func (m *Manager) Protocol() *core.Protocol { return m.proto }
+
+// Store returns the underlying store.
+func (m *Manager) Store() *store.Store { return m.st }
+
+// Begin starts a short transaction.
+func (m *Manager) Begin() *Txn { return m.begin(false) }
+
+// BeginLong starts a long transaction: all its locks are durable and survive
+// a simulated system restart (check-out semantics).
+func (m *Manager) BeginLong() *Txn { return m.begin(true) }
+
+func (m *Manager) begin(long bool) *Txn {
+	t := &Txn{
+		id:   lock.TxnID(m.next.Add(1)),
+		m:    m,
+		long: long,
+	}
+	m.mu.Lock()
+	m.active[t.id] = t
+	m.mu.Unlock()
+	return t
+}
+
+// Adopt re-creates a handle for a long transaction restored after a crash
+// (its durable locks are already in the lock manager). The ID space is
+// advanced past id so new transactions do not collide.
+func (m *Manager) Adopt(id lock.TxnID) *Txn {
+	for {
+		cur := m.next.Load()
+		if uint64(id) <= cur || m.next.CompareAndSwap(cur, uint64(id)) {
+			break
+		}
+	}
+	t := &Txn{id: id, m: m, long: true}
+	m.mu.Lock()
+	m.active[id] = t
+	m.mu.Unlock()
+	return t
+}
+
+// ActiveCount returns the number of unfinished transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Commits returns the number of committed transactions.
+func (m *Manager) Commits() uint64 { return m.commits.Load() }
+
+// Aborts returns the number of aborted transactions.
+func (m *Manager) Aborts() uint64 { return m.aborts.Load() }
+
+func (m *Manager) finish(t *Txn, committed bool) {
+	m.mu.Lock()
+	delete(m.active, t.id)
+	m.mu.Unlock()
+	m.recordEnd(t.id, committed)
+	if committed {
+		m.commits.Add(1)
+	} else {
+		m.aborts.Add(1)
+	}
+}
+
+// Txn is one transaction. A Txn is used by a single goroutine at a time
+// (transactions are single "threads of execution"); the manager, store and
+// lock protocol underneath are fully concurrent.
+type Txn struct {
+	id   lock.TxnID
+	m    *Manager
+	long bool
+
+	mu    sync.Mutex
+	state State
+	undo  []func() error
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() lock.TxnID { return t.id }
+
+// Long reports whether this is a long (durable-lock) transaction.
+func (t *Txn) Long() bool { return t.long }
+
+// State returns the lifecycle state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+func (t *Txn) checkActive() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != Active {
+		return fmt.Errorf("%w (%v)", ErrNotActive, t.state)
+	}
+	return nil
+}
+
+// Lock acquires a protocol lock on a node. Growing phase of 2PL; locks are
+// only released at commit or abort (strict 2PL). A deadlock-victim error is
+// returned to the caller, who must Abort.
+func (t *Txn) Lock(n core.Node, mode lock.Mode) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	if t.long {
+		return t.m.proto.LockLong(t.id, n, mode)
+	}
+	return t.m.proto.Lock(t.id, n, mode)
+}
+
+// LockPath is Lock on a data path.
+func (t *Txn) LockPath(p store.Path, mode lock.Mode) error {
+	return t.Lock(core.DataNode(p), mode)
+}
+
+// LockPathNoFollow locks a data path without downward propagation into
+// referenced common data — only safe for operations whose semantics never
+// access the referenced data (§4.5, NOFOLLOW queries).
+func (t *Txn) LockPathNoFollow(p store.Path, mode lock.Mode) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	return t.m.proto.LockNoFollow(t.id, core.DataNode(p), mode)
+}
+
+// DeEscalate trades the transaction's coarse S/X lock on a node for locks of
+// the same mode on the kept descendant paths (§5 "de-escalation"). Like any
+// early release, it is only safe once the transaction no longer depends on
+// the released parts.
+func (t *Txn) DeEscalate(n core.Node, keep []store.Path) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	return t.m.proto.DeEscalate(t.id, n, keep)
+}
+
+// Unlock releases a single lock early in leaf-to-root order (rule 5). Using
+// it gives up strictness; the caller must know the data is no longer needed.
+func (t *Txn) Unlock(n core.Node) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	return t.m.proto.Unlock(t.id, n)
+}
+
+// Read returns (a clone of) the value at path after S-locking it through the
+// protocol. The clone keeps later store mutations from leaking into the
+// reader, preserving degree-3 repeatable reads at the API boundary.
+func (t *Txn) Read(p store.Path) (store.Value, error) {
+	if err := t.LockPath(p, lock.S); err != nil {
+		return nil, err
+	}
+	t.m.recordAccess(t.id, AccessR, p)
+	return t.m.st.LookupClone(p)
+}
+
+// ReadAt returns the value at path assuming the transaction already holds a
+// sufficient lock (e.g. from a planned coarse granule); it verifies coverage
+// and fails otherwise instead of silently reading unprotected data.
+func (t *Txn) ReadAt(p store.Path) (store.Value, error) {
+	if err := t.checkActive(); err != nil {
+		return nil, err
+	}
+	em, err := t.m.proto.EffectiveMode(t.id, core.DataNode(p))
+	if err != nil {
+		return nil, err
+	}
+	if !em.Covers(lock.S) {
+		return nil, fmt.Errorf("txn %d: read of %q not covered (effective %v)", t.id, p, em)
+	}
+	t.m.recordAccess(t.id, AccessR, p)
+	return t.m.st.LookupClone(p)
+}
+
+// UpdateAtomic X-locks the path and replaces its atomic value, recording an
+// undo action.
+func (t *Txn) UpdateAtomic(p store.Path, v store.Value) error {
+	if err := t.LockPath(p, lock.X); err != nil {
+		return err
+	}
+	return t.updateLocked(p, v)
+}
+
+// UpdateAtomicAt is UpdateAtomic for callers already holding a covering X
+// lock (planned coarse granules).
+func (t *Txn) UpdateAtomicAt(p store.Path, v store.Value) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	em, err := t.m.proto.EffectiveMode(t.id, core.DataNode(p))
+	if err != nil {
+		return err
+	}
+	if !em.Covers(lock.X) {
+		return fmt.Errorf("txn %d: update of %q not covered (effective %v)", t.id, p, em)
+	}
+	return t.updateLocked(p, v)
+}
+
+func (t *Txn) updateLocked(p store.Path, v store.Value) error {
+	old, err := t.m.st.SetAtomic(p, v)
+	if err != nil {
+		return err
+	}
+	t.m.recordAccess(t.id, AccessW, p)
+	t.pushUndo(func() error {
+		_, err := t.m.st.SetAtomic(p, old)
+		return err
+	})
+	return nil
+}
+
+// AddElem X-locks the collection and inserts an element.
+func (t *Txn) AddElem(collection store.Path, id string, v store.Value) error {
+	if err := t.LockPath(collection, lock.X); err != nil {
+		return err
+	}
+	if err := t.m.st.AddElem(collection, id, v); err != nil {
+		return err
+	}
+	t.m.recordAccess(t.id, AccessW, collection)
+	t.pushUndo(func() error {
+		_, err := t.m.st.RemoveElem(collection, id)
+		return err
+	})
+	return nil
+}
+
+// AddElemAt is AddElem for callers already holding a covering X lock (e.g.
+// from a planned coarse granule or a NOFOLLOW lock).
+func (t *Txn) AddElemAt(collection store.Path, id string, v store.Value) error {
+	if err := t.requireX(collection); err != nil {
+		return err
+	}
+	if err := t.m.st.AddElem(collection, id, v); err != nil {
+		return err
+	}
+	t.m.recordAccess(t.id, AccessW, collection)
+	t.pushUndo(func() error {
+		_, err := t.m.st.RemoveElem(collection, id)
+		return err
+	})
+	return nil
+}
+
+// RemoveElem X-locks the collection and removes an element.
+func (t *Txn) RemoveElem(collection store.Path, id string) error {
+	if err := t.LockPath(collection, lock.X); err != nil {
+		return err
+	}
+	old, err := t.m.st.RemoveElem(collection, id)
+	if err != nil {
+		return err
+	}
+	t.m.recordAccess(t.id, AccessW, collection)
+	if old == nil {
+		return nil // removing an absent element needs no undo
+	}
+	t.pushUndo(func() error {
+		return t.m.st.AddElem(collection, id, old)
+	})
+	return nil
+}
+
+// RemoveElemAt is RemoveElem for callers already holding a covering X lock.
+func (t *Txn) RemoveElemAt(collection store.Path, id string) error {
+	if err := t.requireX(collection); err != nil {
+		return err
+	}
+	old, err := t.m.st.RemoveElem(collection, id)
+	if err != nil {
+		return err
+	}
+	t.m.recordAccess(t.id, AccessW, collection)
+	if old == nil {
+		return nil
+	}
+	t.pushUndo(func() error {
+		return t.m.st.AddElem(collection, id, old)
+	})
+	return nil
+}
+
+// requireX verifies the transaction effectively holds X on the path.
+func (t *Txn) requireX(p store.Path) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	em, err := t.m.proto.EffectiveMode(t.id, core.DataNode(p))
+	if err != nil {
+		return err
+	}
+	if !em.Covers(lock.X) {
+		return fmt.Errorf("txn %d: mutation of %q not covered (effective %v)", t.id, p, em)
+	}
+	return nil
+}
+
+// Insert adds a new complex object: IX on the relation (via the protocol's
+// ancestor chain) plus X on the new object's own resource, then the store
+// insert. The phantom problem proper is out of the paper's scope (§5,
+// future work).
+func (t *Txn) Insert(relation, key string, obj *store.Tuple) error {
+	p := store.P(relation, key)
+	if err := t.LockPath(p, lock.X); err != nil {
+		return err
+	}
+	if err := t.m.st.Insert(relation, key, obj); err != nil {
+		return err
+	}
+	t.m.recordAccess(t.id, AccessW, p)
+	t.pushUndo(func() error {
+		t.m.st.Delete(relation, key)
+		return nil
+	})
+	return nil
+}
+
+// Delete removes a complex object after X-locking it.
+func (t *Txn) Delete(relation, key string) error {
+	p := store.P(relation, key)
+	if err := t.LockPath(p, lock.X); err != nil {
+		return err
+	}
+	old := t.m.st.Delete(relation, key)
+	t.m.recordAccess(t.id, AccessW, p)
+	if old == nil {
+		return nil
+	}
+	t.pushUndo(func() error {
+		return t.m.st.Insert(relation, key, old)
+	})
+	return nil
+}
+
+func (t *Txn) pushUndo(fn func() error) {
+	t.mu.Lock()
+	t.undo = append(t.undo, fn)
+	t.mu.Unlock()
+}
+
+// Savepoint marks the current position in the undo log. RollbackTo undoes
+// everything after the mark.
+type Savepoint int
+
+// Savepoint returns a mark for partial rollback.
+func (t *Txn) Savepoint() Savepoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Savepoint(len(t.undo))
+}
+
+// RollbackTo undoes all mutations made after the savepoint, in reverse
+// order. Locks acquired since the savepoint are retained (releasing them
+// selectively would break two-phase locking); only the data changes are
+// rolled back.
+func (t *Txn) RollbackTo(sp Savepoint) error {
+	t.mu.Lock()
+	if t.state != Active {
+		t.mu.Unlock()
+		return fmt.Errorf("%w (%v)", ErrNotActive, t.state)
+	}
+	if sp < 0 || int(sp) > len(t.undo) {
+		t.mu.Unlock()
+		return fmt.Errorf("txn %d: invalid savepoint %d (undo log has %d entries)", t.id, sp, len(t.undo))
+	}
+	undo := t.undo[sp:]
+	t.undo = t.undo[:sp]
+	t.mu.Unlock()
+	for i := len(undo) - 1; i >= 0; i-- {
+		if err := undo[i](); err != nil {
+			return fmt.Errorf("txn %d: rollback to savepoint: %w", t.id, err)
+		}
+	}
+	return nil
+}
+
+// Commit makes the transaction's effects permanent and releases all its
+// locks (shrinking phase happens atomically at EOT — strict 2PL, which rule
+// 5 permits: "locks are released at the end of the transaction in any
+// order").
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.state != Active {
+		t.mu.Unlock()
+		return fmt.Errorf("%w (%v)", ErrNotActive, t.state)
+	}
+	t.state = Committed
+	t.undo = nil
+	t.mu.Unlock()
+	t.m.proto.Release(t.id)
+	t.m.finish(t, true)
+	return nil
+}
+
+// Abort undoes all mutations in reverse order and releases all locks.
+// Aborting a finished transaction is a no-op.
+func (t *Txn) Abort() {
+	t.mu.Lock()
+	if t.state != Active {
+		t.mu.Unlock()
+		return
+	}
+	t.state = Aborted
+	undo := t.undo
+	t.undo = nil
+	t.mu.Unlock()
+	for i := len(undo) - 1; i >= 0; i-- {
+		if err := undo[i](); err != nil {
+			// Undo against an in-memory store can only fail if the store
+			// was corrupted outside the transaction system.
+			panic(fmt.Sprintf("txn %d: undo failed: %v", t.id, err))
+		}
+	}
+	t.m.proto.Release(t.id)
+	t.m.finish(t, false)
+}
+
+// RunWithRetry executes body inside a fresh transaction, retrying when the
+// transaction is chosen as a deadlock victim. Any other error aborts and is
+// returned. The body must use the supplied transaction for all data access.
+func (m *Manager) RunWithRetry(maxAttempts int, body func(*Txn) error) error {
+	if maxAttempts <= 0 {
+		maxAttempts = 10
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		t := m.Begin()
+		err := body(t)
+		if err == nil {
+			return t.Commit()
+		}
+		t.Abort()
+		if !errors.Is(err, lock.ErrDeadlock) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("txn: giving up after %d deadlock retries: %w", maxAttempts, lastErr)
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"colock/internal/core"
+	"colock/internal/store"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Seed: 1, Cells: 5, CObjectsPerCell: 3, RobotsPerCell: 2, EffectorsPerRobot: 2, Effectors: 4}
+	st := Generate(cfg)
+	if st.Count("cells") != 5 || st.Count("effectors") != 4 {
+		t.Fatalf("counts: %d cells, %d effectors", st.Count("cells"), st.Count("effectors"))
+	}
+	robots, err := st.Lookup(store.P("cells", "c0", "robots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robots.(*store.List).Len() != 2 {
+		t.Errorf("robots = %d", robots.(*store.List).Len())
+	}
+	objs, _ := st.Lookup(store.P("cells", "c0", "c_objects"))
+	if objs.(*store.Set).Len() != 3 {
+		t.Errorf("c_objects = %d", objs.(*store.Set).Len())
+	}
+	effs, _ := st.Lookup(store.P("cells", "c0", "robots", "r0", "effectors"))
+	if effs.(*store.Set).Len() != 2 {
+		t.Errorf("effectors per robot = %d", effs.(*store.Set).Len())
+	}
+	if err := st.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Cells: 3, RobotsPerCell: 3, EffectorsPerRobot: 2, Effectors: 6}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for _, key := range a.Keys("cells") {
+		va := a.Get("cells", key)
+		vb := b.Get("cells", key)
+		if va.String() != vb.String() {
+			t.Fatalf("cell %s differs between runs", key)
+		}
+	}
+	c := Generate(Config{Seed: 43, Cells: 3, RobotsPerCell: 3, EffectorsPerRobot: 2, Effectors: 6})
+	same := true
+	for _, key := range a.Keys("cells") {
+		if a.Get("cells", key).String() != c.Get("cells", key).String() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	st := Generate(Config{})
+	if st.Count("cells") == 0 || st.Count("effectors") == 0 {
+		t.Error("defaults produced empty database")
+	}
+}
+
+// TestGenerateSharingDegree: with a small library, effectors really are
+// shared between robots.
+func TestGenerateSharingDegree(t *testing.T) {
+	st := Generate(Config{Seed: 7, Cells: 10, RobotsPerCell: 4, EffectorsPerRobot: 2, Effectors: 4})
+	shared := 0
+	for _, e := range st.Keys("effectors") {
+		if len(st.BackRefs("effectors", e)) > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no effector is shared")
+	}
+}
+
+func TestGenerateChainShape(t *testing.T) {
+	cfg := ChainConfig{Seed: 1, Depth: 4, PerLevel: 5, Fanout: 2}
+	st := GenerateChain(cfg)
+	for i := 0; i < 4; i++ {
+		if st.Count(LevelRelation(i)) != 5 {
+			t.Errorf("level %d count = %d", i, st.Count(LevelRelation(i)))
+		}
+	}
+	if err := st.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Catalog().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The bottom level has no subs attribute.
+	if st.Catalog().Relation(LevelRelation(3)).Type.Field("subs") != nil {
+		t.Error("bottom level has subs")
+	}
+	// Units computed over the chain reach full depth.
+	nm := core.NewNamer(st.Catalog(), false)
+	u, err := core.ComputeUnits(st, nm, store.P(LevelRelation(0), "n0_0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDepth := 0
+	for _, iu := range u.Inner {
+		if iu.Depth > maxDepth {
+			maxDepth = iu.Depth
+		}
+	}
+	if maxDepth != 3 {
+		t.Errorf("max inner-unit depth = %d, want 3", maxDepth)
+	}
+}
+
+func TestGenerateChainDepthOne(t *testing.T) {
+	st := GenerateChain(ChainConfig{Seed: 1, Depth: 1, PerLevel: 3})
+	if st.Count(LevelRelation(0)) != 3 {
+		t.Error("depth-1 chain wrong")
+	}
+}
+
+func TestScriptsDeterministicAndValid(t *testing.T) {
+	dbCfg := Config{Seed: 1, Cells: 4, CObjectsPerCell: 3, RobotsPerCell: 2, EffectorsPerRobot: 1, Effectors: 3}
+	st := Generate(dbCfg)
+	mix := MixConfig{Seed: 9, Txns: 8, OpsPerTxn: 5, WriteFraction: 0.5, SharedFraction: 0.3}
+	a := Scripts(dbCfg, mix)
+	b := Scripts(dbCfg, mix)
+	if len(a) != 8 {
+		t.Fatalf("scripts = %d", len(a))
+	}
+	for i := range a {
+		if len(a[i]) != 5 {
+			t.Fatalf("ops = %d", len(a[i]))
+		}
+		for j := range a[i] {
+			if a[i][j].Write != b[i][j].Write || !a[i][j].Path.Equal(b[i][j].Path) {
+				t.Fatal("scripts not deterministic")
+			}
+			// Every generated path must resolve in the database.
+			if _, err := st.Lookup(a[i][j].Path); err != nil {
+				t.Fatalf("script path %v invalid: %v", a[i][j].Path, err)
+			}
+		}
+	}
+}
+
+func TestScriptsFractions(t *testing.T) {
+	dbCfg := Config{Seed: 1}
+	all := Scripts(dbCfg, MixConfig{Seed: 3, Txns: 50, OpsPerTxn: 10, WriteFraction: 1, SharedFraction: 1})
+	for _, script := range all {
+		for _, op := range script {
+			if !op.Write {
+				t.Fatal("WriteFraction=1 produced a read")
+			}
+			if op.Path.Relation() != "effectors" {
+				t.Fatal("SharedFraction=1 produced a cell access")
+			}
+		}
+	}
+	none := Scripts(dbCfg, MixConfig{Seed: 3, Txns: 20, OpsPerTxn: 10, WriteFraction: 0, SharedFraction: 0})
+	for _, script := range none {
+		for _, op := range script {
+			if op.Write || op.Path.Relation() != "cells" {
+				t.Fatal("zero fractions violated")
+			}
+		}
+	}
+}
+
+// TestGeneratePropertyIntegrity: random small configurations always produce
+// consistent databases (property-based).
+func TestGeneratePropertyIntegrity(t *testing.T) {
+	f := func(seed int64, cells, robots, effs uint8) bool {
+		cfg := Config{
+			Seed:              seed,
+			Cells:             int(cells%8) + 1,
+			CObjectsPerCell:   2,
+			RobotsPerCell:     int(robots%5) + 1,
+			EffectorsPerRobot: 2,
+			Effectors:         int(effs%10) + 1,
+		}
+		st := Generate(cfg)
+		if err := st.CheckIntegrity(); err != nil {
+			return false
+		}
+		return st.Count("cells") == cfg.Cells && st.Count("effectors") == cfg.Effectors
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChainPropertyIntegrity: random chain configurations are always
+// consistent and acyclic.
+func TestChainPropertyIntegrity(t *testing.T) {
+	f := func(seed int64, depth, per, fan uint8) bool {
+		cfg := ChainConfig{
+			Seed:     seed,
+			Depth:    int(depth%5) + 1,
+			PerLevel: int(per%6) + 1,
+			Fanout:   int(fan%3) + 1,
+		}
+		st := GenerateChain(cfg)
+		if err := st.CheckIntegrity(); err != nil {
+			return false
+		}
+		return st.Catalog().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelRelationNames(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		if LevelRelation(i) != fmt.Sprintf("level%d", i) {
+			t.Error("LevelRelation")
+		}
+	}
+}
