@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench shardbench figures clean
+
+# ci is the gate every change must pass: vet, build, and the full test
+# suite under the race detector (the lock manager and protocol are
+# concurrent; -race is not optional here).
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# shardbench regenerates BENCH_PR1.json (sharded lock table vs the
+# single-mutex seed replica; see DESIGN.md §8).
+shardbench:
+	$(GO) run ./cmd/lockbench -shardbench -shardout BENCH_PR1.json
+
+figures:
+	$(GO) run ./cmd/figures
+
+clean:
+	$(GO) clean ./...

@@ -8,7 +8,9 @@
 package colock_test
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -126,6 +128,32 @@ func BenchmarkLockAcquireRelease(b *testing.B) {
 		}
 		mgr.ReleaseAll(1)
 	}
+}
+
+// BenchmarkLockAcquireCtxParallel measures the sharded table under
+// concurrent disjoint acquire/release (RunParallel scales goroutines with
+// -cpu); each worker owns its resource set, so throughput is bounded by
+// shard-latch and atomic-counter costs, not by lock conflicts.
+func BenchmarkLockAcquireCtxParallel(b *testing.B) {
+	mgr := lock.NewManager(lock.Options{})
+	ctx := context.Background()
+	var ids atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		id := lock.TxnID(ids.Add(1))
+		rs := make([]lock.Resource, 8)
+		for k := range rs {
+			rs[k] = lock.Resource(fmt.Sprintf("w%d/r%d", id, k))
+		}
+		for pb.Next() {
+			for _, r := range rs {
+				if err := mgr.AcquireCtx(ctx, id, r, lock.X); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mgr.ReleaseAll(id)
+		}
+	})
 }
 
 // BenchmarkProtocolLockDisjoint measures a full protocol X on a disjoint

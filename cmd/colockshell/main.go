@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 
 	"colock/internal/authz"
 	"colock/internal/core"
@@ -39,6 +40,35 @@ type shell struct {
 	prime bool
 	tx    *txn.Txn
 	out   *bufio.Writer
+	trace *traceRing
+}
+
+// traceRing keeps the most recent lock-manager events for the .trace
+// command. The OnEvent hook runs outside the manager's shard latches, so
+// the ring only needs its own small mutex.
+type traceRing struct {
+	mu  sync.Mutex
+	buf []lock.Event
+	cap int
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{cap: capacity}
+}
+
+func (t *traceRing) add(e lock.Event) {
+	t.mu.Lock()
+	t.buf = append(t.buf, e)
+	if len(t.buf) > t.cap {
+		t.buf = t.buf[len(t.buf)-t.cap:]
+	}
+	t.mu.Unlock()
+}
+
+func (t *traceRing) snapshot() []lock.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]lock.Event(nil), t.buf...)
 }
 
 func main() {
@@ -55,14 +85,16 @@ func main() {
 	if *prime {
 		opts = core.Options{Rule4Prime: true, Authorizer: auth}
 	}
-	proto := core.NewProtocol(lock.NewManager(lock.Options{}), st, nm, opts)
+	trace := newTraceRing(64)
+	proto := core.NewProtocol(lock.NewManager(lock.Options{OnEvent: trace.add}), st, nm, opts)
 	mgr := txn.NewManager(proto, st)
 
 	s := &shell{
 		st: st, proto: proto, mgr: mgr,
 		exec: query.NewExecutor(mgr, core.PlannerOptions{}),
 		auth: auth, prime: *prime,
-		out: bufio.NewWriter(os.Stdout),
+		out:   bufio.NewWriter(os.Stdout),
+		trace: trace,
 	}
 	defer s.out.Flush()
 
@@ -89,6 +121,8 @@ func (s *shell) repl(in *bufio.Scanner) {
 			s.help()
 		case line == ".locks":
 			s.showLocks()
+		case line == ".trace":
+			s.showTrace()
 		case line == ".commit":
 			s.finish(true)
 		case line == ".abort":
@@ -117,6 +151,7 @@ func (s *shell) help() {
           INSERT INTO <relation> VALUE {attr: lit, c: SET(id: {...}), r: REF(rel, 'key')}
           CREATE RELATION <name> IN SEGMENT <seg> KEY <attr> {attr: type, ...}
 Commands: .locks   show locks of the current transaction
+          .trace   show recent lock-manager events (grant/wait/convert/release/victim)
           .graph <relation>       object-specific lock graph (Fig. 5)
           .units <relation> <key> unit decomposition (Fig. 6)
           .commit  commit the current transaction (releases locks)
@@ -190,6 +225,21 @@ func (s *shell) showLocks() {
 	}
 	for _, h := range held {
 		fmt.Fprintf(s.out, "%-4s %s\n", h.Mode, h.Resource)
+	}
+}
+
+func (s *shell) showTrace() {
+	if s.trace == nil {
+		fmt.Fprintln(s.out, "tracing not enabled")
+		return
+	}
+	evs := s.trace.snapshot()
+	if len(evs) == 0 {
+		fmt.Fprintln(s.out, "no lock events yet")
+		return
+	}
+	for _, e := range evs {
+		fmt.Fprintf(s.out, "%-8s txn %-3d %-4s %s\n", e.Kind, e.Txn, e.Mode, e.Resource)
 	}
 }
 

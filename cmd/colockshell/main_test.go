@@ -24,14 +24,16 @@ func newTestShell(t *testing.T, prime bool) (*shell, *bytes.Buffer) {
 	if prime {
 		opts = core.Options{Rule4Prime: true, Authorizer: auth}
 	}
-	proto := core.NewProtocol(lock.NewManager(lock.Options{}), st, nm, opts)
+	trace := newTraceRing(64)
+	proto := core.NewProtocol(lock.NewManager(lock.Options{OnEvent: trace.add}), st, nm, opts)
 	mgr := txn.NewManager(proto, st)
 	var buf bytes.Buffer
 	return &shell{
 		st: st, proto: proto, mgr: mgr,
 		exec: query.NewExecutor(mgr, core.PlannerOptions{}),
 		auth: auth, prime: prime,
-		out: bufio.NewWriter(&buf),
+		out:   bufio.NewWriter(&buf),
+		trace: trace,
 	}, &buf
 }
 
@@ -220,5 +222,28 @@ func TestShellGraphAndUnits(t *testing.T) {
 	}
 	if strings.Count(out, "error:") != 2 {
 		t.Errorf("expected 2 errors (unknown relation, unknown object):\n%s", out)
+	}
+}
+
+func TestShellTrace(t *testing.T) {
+	s, buf := newTestShell(t, false)
+	runScript(t, s,
+		`.trace`, // empty before any query
+		`SELECT e FROM e IN effectors WHERE e.eff_id = 'e1' FOR READ`,
+		`.trace`,
+		`.commit`,
+		`.trace`, // now includes releases
+		`.quit`,
+	)
+	out := buf.String()
+	for _, want := range []string{
+		"no lock events yet",
+		"grant",
+		"S    db1/seg2/effectors/e1",
+		"release",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
 	}
 }

@@ -199,7 +199,12 @@ func figure7() {
 	core.CollectStatistics(st)
 	nm := core.NewNamer(st.Catalog(), false)
 	auth := authz.NewTable(false)
-	proto := core.NewProtocol(lock.NewManager(lock.Options{}), st, nm, core.Options{
+	// The OnEvent hook is delivered outside the manager's shard latches, so
+	// it can safely collect the acquisition trace while queries run.
+	var events []lock.Event
+	proto := core.NewProtocol(lock.NewManager(lock.Options{OnEvent: func(e lock.Event) {
+		events = append(events, e)
+	}}), st, nm, core.Options{
 		Rule4Prime: true, Authorizer: auth,
 	})
 	mgr := txn.NewManager(proto, st)
@@ -243,6 +248,14 @@ func figure7() {
 		fmt.Printf("%-40s %-8s %-8s\n", strings.Repeat(" ", depth)+r[strings.LastIndex(r, "/")+1:], q2, q3)
 	}
 	fmt.Println("\n(Q2 and Q3 both hold S on effector e2: rule 4' lets them run concurrently.)")
+
+	fmt.Println("\nLock acquisition trace of Q2 (rule 5: ancestors root-to-leaf, common data first):")
+	for _, e := range events {
+		if e.Txn != tx2.ID() {
+			continue
+		}
+		fmt.Printf("  %-8s %-4s %s\n", e.Kind, e.Mode, e.Resource)
+	}
 	tx2.Abort()
 	tx3.Abort()
 	if proto.Manager().LockCount() != 0 {

@@ -40,7 +40,8 @@ func TestFigurePrinters(t *testing.T) {
 		{figure4, []string{"HeLU", "HoLU", "BLU", "validate against this general graph"}},
 		{figure5, []string{`HoLU (Relation "cells")`, `BLU ("ref")  - - -> HeLU (C.O. "effectors")`, `BLU ("tool")`}},
 		{figure6, []string{"Outer unit", "Inner unit \"effectors/e2\"", "superunit of effectors/e1"}},
-		{figure7, []string{"Q2: IX", "Q3: IX", "Q2: X", "Q3: X", "Q2: S    Q3: S"}},
+		{figure7, []string{"Q2: IX", "Q3: IX", "Q2: X", "Q3: X", "Q2: S    Q3: S",
+			"Lock acquisition trace of Q2", "grant    IX   db1", "grant    X    db1/seg1/cells/c1/robots/r1"}},
 	}
 	for i, c := range cases {
 		out := capture(t, c.fn)

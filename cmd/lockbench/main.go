@@ -5,6 +5,7 @@
 //	lockbench              # run the full suite (EXPERIMENTS.md scale)
 //	lockbench -quick       # small-scale smoke run
 //	lockbench -e E3,E5     # run selected experiments (E1..E13)
+//	lockbench -shardbench  # before/after sharded-table benchmark → BENCH_PR1.json
 package main
 
 import (
@@ -111,7 +112,28 @@ func main() {
 	log.SetPrefix("lockbench: ")
 	quick := flag.Bool("quick", false, "run a small-scale suite")
 	sel := flag.String("e", "", "comma-separated experiment ids (E1..E13); empty = all")
+	shardbench := flag.Bool("shardbench", false, "run the sharded-lock-table before/after benchmark and write -shardout")
+	shardout := flag.String("shardout", "BENCH_PR1.json", "output path for the -shardbench JSON report")
 	flag.Parse()
+
+	if *shardbench {
+		dur := 2 * time.Second
+		if *quick {
+			dur = 300 * time.Millisecond
+		}
+		rep, err := writeShardBench(*shardout, []int{1, 4, 16}, dur)
+		if err != nil {
+			log.Fatalf("shardbench: %v", err)
+		}
+		fmt.Printf("shardbench (GOMAXPROCS=%d, %d shards, %d locks/txn):\n",
+			rep.GOMAXPROCS, rep.Shards, rep.LocksPerTxn)
+		for _, r := range rep.Results {
+			fmt.Printf("  %2d goroutines: before %12.0f ops/s   after %12.0f ops/s   speedup %.2fx\n",
+				r.Goroutines, r.BeforeOpsPerSec, r.AfterOpsPerSec, r.Speedup)
+		}
+		fmt.Printf("report written to %s\n", *shardout)
+		return
+	}
 
 	runners := experimentRunners()
 	order := experimentOrder

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+)
+
+func TestSeedManagerGrantRelease(t *testing.T) {
+	m := newSeedManager()
+	m.acquire(1, "a", lock.X)
+	m.acquire(1, "b", lock.S)
+	m.acquire(1, "a", lock.S) // covered regrant, no new entry
+	if got := m.tableSize(); got != 2 {
+		t.Errorf("tableSize = %d, want 2", got)
+	}
+	if m.maxTableSize != 2 {
+		t.Errorf("maxTableSize = %d, want 2", m.maxTableSize)
+	}
+	m.releaseAll(1)
+	if got := m.tableSize(); got != 0 {
+		t.Errorf("tableSize after release = %d, want 0", got)
+	}
+	if len(m.res) != 0 || len(m.held) != 0 {
+		t.Error("seed replica leaked entries")
+	}
+}
+
+func TestWriteShardBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep, err := writeShardBench(path, []int{1, 2}, 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.BeforeOpsPerSec <= 0 || r.AfterOpsPerSec <= 0 {
+			t.Errorf("non-positive throughput at %d goroutines: %+v", r.Goroutines, r)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round shardBenchReport
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if round.Benchmark != "shardbench" || round.LocksPerTxn != locksPerTxn {
+		t.Errorf("round-tripped report = %+v", round)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"colock/internal/authz"
@@ -76,18 +77,36 @@ func (p *Protocol) Namer() *Namer { return p.nm }
 // from the lock manager is returned unchanged and the transaction must
 // abort.
 func (p *Protocol) Lock(txn lock.TxnID, n Node, mode lock.Mode) error {
-	return p.lock(txn, n, mode, false)
+	return p.LockCtx(context.Background(), txn, n, mode)
+}
+
+// LockCtx is Lock with a context: a canceled or expired context withdraws
+// the blocked lock-manager waiter and returns its error. Locks already
+// acquired for earlier nodes of the protocol chain are NOT rolled back —
+// the transaction must abort, exactly as after a deadlock victim error.
+func (p *Protocol) LockCtx(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode) error {
+	return p.lockOpts(ctx, txn, n, mode, false, false)
 }
 
 // LockLong is Lock with durable ("long") locks, as used for check-out in
 // workstation–server environments.
 func (p *Protocol) LockLong(txn lock.TxnID, n Node, mode lock.Mode) error {
-	return p.lock(txn, n, mode, true)
+	return p.LockLongCtx(context.Background(), txn, n, mode)
+}
+
+// LockLongCtx is LockLong with a context (see LockCtx).
+func (p *Protocol) LockLongCtx(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode) error {
+	return p.lockOpts(ctx, txn, n, mode, true, false)
 }
 
 // LockPath is shorthand for Lock on a data node.
 func (p *Protocol) LockPath(txn lock.TxnID, path store.Path, mode lock.Mode) error {
 	return p.Lock(txn, DataNode(path), mode)
+}
+
+// LockPathCtx is shorthand for LockCtx on a data node.
+func (p *Protocol) LockPathCtx(ctx context.Context, txn lock.TxnID, path store.Path, mode lock.Mode) error {
+	return p.LockCtx(ctx, txn, DataNode(path), mode)
 }
 
 // LockNoFollow acquires the lock without implicit downward propagation into
@@ -97,14 +116,10 @@ func (p *Protocol) LockPath(txn lock.TxnID, path store.Path, mode lock.Mode) err
 // effectors — needs "no locks on common data at all". The caller must
 // guarantee the operation really never touches the referenced data.
 func (p *Protocol) LockNoFollow(txn lock.TxnID, n Node, mode lock.Mode) error {
-	return p.lockOpts(txn, n, mode, false, true)
+	return p.lockOpts(context.Background(), txn, n, mode, false, true)
 }
 
-func (p *Protocol) lock(txn lock.TxnID, n Node, mode lock.Mode, durable bool) error {
-	return p.lockOpts(txn, n, mode, durable, false)
-}
-
-func (p *Protocol) lockOpts(txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool) error {
+func (p *Protocol) lockOpts(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool) error {
 	switch mode {
 	case lock.IS, lock.IX, lock.S, lock.X:
 	default:
@@ -122,10 +137,10 @@ func (p *Protocol) lockOpts(txn lock.TxnID, n Node, mode lock.Mode, durable, noF
 	// within this call, so that diamond-shaped sharing does not reprocess
 	// entry points.
 	requested := make(map[lock.Resource]lock.Mode)
-	return p.lockRec(txn, n, mode, durable, noFollow, requested)
+	return p.lockRec(ctx, txn, n, mode, durable, noFollow, requested)
 }
 
-func (p *Protocol) lockRec(txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, requested map[lock.Resource]lock.Mode) error {
+func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, requested map[lock.Resource]lock.Mode) error {
 	res, err := p.nm.Resource(n)
 	if err != nil {
 		return err
@@ -153,7 +168,7 @@ func (p *Protocol) lockRec(txn lock.TxnID, n Node, mode lock.Mode, durable, noFo
 			if prev, ok := requested[ares]; ok && prev.Covers(intent) {
 				continue
 			}
-			if err := p.acquire(txn, ares, intent, durable); err != nil {
+			if err := p.acquire(ctx, txn, ares, intent, durable); err != nil {
 				return err
 			}
 			requested[ares] = lock.Sup(requested[ares], intent)
@@ -182,23 +197,23 @@ func (p *Protocol) lockRec(txn lock.TxnID, n Node, mode lock.Mode, durable, noFo
 				// Rule 4′: non-modifiable inner units are only S-locked.
 				em = lock.S
 			}
-			if err := p.lockRec(txn, DataNode(ep), em, durable, noFollow, requested); err != nil {
+			if err := p.lockRec(ctx, txn, DataNode(ep), em, durable, noFollow, requested); err != nil {
 				return err
 			}
 		}
 	}
 
-	if err := p.acquire(txn, res, mode, durable); err != nil {
+	if err := p.acquire(ctx, txn, res, mode, durable); err != nil {
 		return err
 	}
 	return nil
 }
 
-func (p *Protocol) acquire(txn lock.TxnID, res lock.Resource, mode lock.Mode, durable bool) error {
+func (p *Protocol) acquire(ctx context.Context, txn lock.TxnID, res lock.Resource, mode lock.Mode, durable bool) error {
 	if durable {
-		return p.mgr.AcquireDurable(txn, res, mode)
+		return p.mgr.AcquireCtx(ctx, txn, res, mode, lock.WithDurable())
 	}
-	return p.mgr.Acquire(txn, res, mode)
+	return p.mgr.AcquireCtx(ctx, txn, res, mode)
 }
 
 // Release drops all locks of a transaction (EOT, rule 5: "locks are

@@ -1,19 +1,47 @@
 package lock
 
-// Deadlock detection: the waits-for graph has an edge T1 → T2 whenever T1
-// has an outstanding waiter that is incompatible with a lock granted to T2,
-// or that queues behind an earlier incompatible waiter of T2. Detection runs
-// whenever a new waiter is enqueued; the victim is the youngest (highest
-// TxnID) transaction on the detected cycle.
+// Deadlock detection over the sharded lock table. The waits-for graph has an
+// edge T1 → T2 whenever T1 has an outstanding waiter that is incompatible
+// with a lock granted to T2, or that queues behind an earlier incompatible
+// waiter of T2. Detection runs whenever a new waiter is enqueued; the victim
+// is the youngest (highest TxnID) transaction on the detected cycle.
+//
+// Sharding makes detection a cross-shard concern: the detector never holds
+// more than one shard latch at a time. It walks the graph edge set by edge
+// set — the waits-for registry (wf) names the resource each blocked
+// transaction waits on, and the out-edges of one transaction are computed
+// under that single resource's shard latch. Each edge is therefore accurate
+// at the moment it is read, and a genuine cycle is stable (every member is
+// blocked), so the waiter whose arrival closed the cycle always finds it.
+// Under heavy churn an edge read early in the walk can be gone by the end —
+// a transiently observed "cycle" may then abort a victim spuriously, which
+// is safe (the victim retries) and is the classic price of latch-local
+// detection.
 
-// waitsForLocked computes the out-edges of txn in the waits-for graph.
-func (m *Manager) waitsForLocked(txn TxnID) []TxnID {
-	rec := m.waiting[txn]
+// waitsFor computes the out-edges of txn in the waits-for graph, latching
+// only the single shard of the resource txn waits on.
+func (m *Manager) waitsFor(txn TxnID) []TxnID {
+	rec := m.wf.get(txn)
 	if rec == nil {
 		return nil
 	}
-	e := m.res[rec.res]
+	s := m.shardFor(rec.res)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.res[rec.res]
 	if e == nil {
+		return nil
+	}
+	pos := -1
+	for i, w := range e.queue {
+		if w == rec.w {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		// The waiter was granted or withdrawn between registry and shard
+		// lookup; it no longer blocks on anything.
 		return nil
 	}
 	var out []TxnID
@@ -30,10 +58,7 @@ func (m *Manager) waitsForLocked(txn TxnID) []TxnID {
 		}
 	}
 	// Earlier incompatible waiters also block us (FIFO).
-	for _, w := range e.queue {
-		if w == rec.w {
-			break
-		}
+	for _, w := range e.queue[:pos] {
 		if !rec.w.mode.Compatible(w.mode) {
 			add(w.txn)
 		}
@@ -41,9 +66,10 @@ func (m *Manager) waitsForLocked(txn TxnID) []TxnID {
 	return out
 }
 
-// findDeadlockVictimLocked searches for a waits-for cycle reachable from
-// start and, if one exists, returns the youngest transaction on it.
-func (m *Manager) findDeadlockVictimLocked(start TxnID) (TxnID, bool) {
+// findDeadlockVictim searches for a waits-for cycle reachable from start
+// and, if one exists, returns the youngest transaction on it. It holds at
+// most one shard latch at any moment (inside waitsFor).
+func (m *Manager) findDeadlockVictim(start TxnID) (TxnID, bool) {
 	const (
 		white = 0 // unvisited
 		grey  = 1 // on the current DFS path
@@ -57,7 +83,7 @@ func (m *Manager) findDeadlockVictimLocked(start TxnID) (TxnID, bool) {
 	dfs = func(t TxnID) bool {
 		color[t] = grey
 		path = append(path, t)
-		for _, next := range m.waitsForLocked(t) {
+		for _, next := range m.waitsFor(t) {
 			switch color[next] {
 			case grey:
 				// Found a cycle: the path suffix starting at next.
@@ -88,4 +114,65 @@ func (m *Manager) findDeadlockVictimLocked(start TxnID) (TxnID, bool) {
 		}
 	}
 	return victim, true
+}
+
+// resolveDeadlock runs cycle detection for a freshly enqueued waiter and
+// resolves any cycle found. It returns (err, true) when txn's own request is
+// finished — either txn was chosen as the victim (err wraps ErrDeadlock), or
+// the request completed concurrently and err is its outcome (nil on a raced
+// grant). (nil, false) means the caller should keep waiting.
+func (m *Manager) resolveDeadlock(txn TxnID, r Resource, w *waiter, target Mode) (error, bool) {
+	victim, ok := m.findDeadlockVictim(txn)
+	if !ok {
+		return nil, false
+	}
+	if victim != txn {
+		m.abortWaiter(victim)
+		return nil, false
+	}
+	s := m.shardFor(r)
+	var evs []Event
+	s.mu.Lock()
+	select {
+	case err := <-w.ready:
+		// A grant (or a concurrent detector's abort) raced the detection;
+		// that outcome stands.
+		s.mu.Unlock()
+		return err, true
+	default:
+	}
+	s.removeWaiter(r, w)
+	m.wf.delete(txn)
+	s.stats.deadlocks.Add(1)
+	evs = m.ev(evs, "victim", txn, r, target)
+	evs = m.grantWaitersLocked(s, r, evs)
+	s.mu.Unlock()
+	m.deliver(evs)
+	return lockErr(txn, r, target, ErrDeadlock), true
+}
+
+// abortWaiter makes victim's outstanding wait fail with ErrDeadlock. It
+// reports false when the victim had no withdrawable waiter (already granted
+// or withdrawn — the supposed cycle is then broken anyway).
+func (m *Manager) abortWaiter(victim TxnID) bool {
+	rec := m.wf.get(victim)
+	if rec == nil {
+		return false
+	}
+	s := m.shardFor(rec.res)
+	var evs []Event
+	s.mu.Lock()
+	if !s.removeWaiter(rec.res, rec.w) {
+		s.mu.Unlock()
+		return false
+	}
+	m.wf.delete(victim)
+	s.stats.deadlocks.Add(1)
+	evs = m.ev(evs, "victim", victim, rec.res, rec.w.mode)
+	rec.w.ready <- lockErr(victim, rec.res, rec.w.mode, ErrDeadlock)
+	// The victim's departure may unblock others.
+	evs = m.grantWaitersLocked(s, rec.res, evs)
+	s.mu.Unlock()
+	m.deliver(evs)
+	return true
 }

@@ -25,17 +25,22 @@ type DurableLock struct {
 }
 
 // Snapshot returns all durable locks, sorted by (Txn, Resource) for
-// deterministic encoding.
+// deterministic encoding. The shards are visited one at a time (latch
+// ordering rule 3), so the snapshot is per-shard consistent; durable locks
+// belong to long check-out transactions whose grants are stable, which is
+// what makes the stitched view coherent in practice.
 func (m *Manager) Snapshot() []DurableLock {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var out []DurableLock
-	for r, e := range m.res {
-		for t, h := range e.granted {
-			if h.durable {
-				out = append(out, DurableLock{Txn: t, Resource: r, Mode: h.mode})
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for r, e := range s.res {
+			for t, h := range e.granted {
+				if h.durable {
+					out = append(out, DurableLock{Txn: t, Resource: r, Mode: h.mode})
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Txn != out[j].Txn {
@@ -70,19 +75,25 @@ func DecodeSnapshot(data []byte) ([]DurableLock, error) {
 // locks — which cannot occur for a snapshot taken from a consistent table —
 // is reported as an error.
 func (m *Manager) Restore(locks []DurableLock) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, dl := range locks {
-		e := m.entryFor(dl.Resource)
+		s := m.shardFor(dl.Resource)
+		var evs []Event
+		s.mu.Lock()
+		e := s.entryFor(dl.Resource)
 		if !e.compatibleWithGranted(dl.Txn, dl.Mode) {
+			s.maybeDropEntry(dl.Resource)
+			s.mu.Unlock()
 			return fmt.Errorf("lock: restore conflict on %q for txn %d (%v)", dl.Resource, dl.Txn, dl.Mode)
 		}
 		if h := e.granted[dl.Txn]; h != nil {
 			h.mode = Sup(h.mode, dl.Mode)
 			h.durable = true
+			s.mu.Unlock()
 			continue
 		}
-		m.grantLocked(e, dl.Txn, dl.Resource, dl.Mode, true, false)
+		evs = m.grantLocked(s, e, dl.Txn, dl.Resource, dl.Mode, true, false, evs)
+		s.mu.Unlock()
+		m.deliver(evs)
 	}
 	return nil
 }

@@ -1,0 +1,32 @@
+package lock
+
+import "fmt"
+
+// LockError is the structured error returned by AcquireCtx (and, through the
+// deprecated wrappers, by Acquire/AcquireTimeout/TryAcquire) when a request
+// fails. It records WHICH request failed — transaction, resource and mode —
+// while Cause carries the sentinel (ErrDeadlock, ErrTimeout, ErrWouldBlock)
+// or the context error (context.Canceled, context.DeadlineExceeded), so both
+// forms compose:
+//
+//	var le *lock.LockError
+//	if errors.As(err, &le) { report(le.Resource) }
+//	if errors.Is(err, lock.ErrDeadlock) { abortAndRetry() }
+type LockError struct {
+	Txn      TxnID
+	Resource Resource
+	Mode     Mode
+	Cause    error
+}
+
+// Error formats the failure with its full request context.
+func (e *LockError) Error() string {
+	return fmt.Sprintf("%v (txn %d requesting %v on %q)", e.Cause, e.Txn, e.Mode, e.Resource)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *LockError) Unwrap() error { return e.Cause }
+
+func lockErr(txn TxnID, r Resource, mode Mode, cause error) error {
+	return &LockError{Txn: txn, Resource: r, Mode: mode, Cause: cause}
+}

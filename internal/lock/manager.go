@@ -1,10 +1,12 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,13 +25,13 @@ type Resource string
 // transaction and release all its locks.
 var ErrDeadlock = errors.New("lock: deadlock victim")
 
-// ErrWouldBlock is returned by TryAcquire when the request cannot be granted
-// immediately.
+// ErrWouldBlock is returned by TryAcquire (or AcquireCtx with WithNoWait)
+// when the request cannot be granted immediately.
 var ErrWouldBlock = errors.New("lock: would block")
 
-// ErrTimeout is returned by AcquireTimeout when the deadline passes before
-// the lock is granted. The request is withdrawn; locks already held by the
-// transaction are unaffected.
+// ErrTimeout is returned by AcquireTimeout (or AcquireCtx with WithTimeout)
+// when the deadline passes before the lock is granted. The request is
+// withdrawn; locks already held by the transaction are unaffected.
 var ErrTimeout = errors.New("lock: acquire timeout")
 
 // Held describes one granted lock, as reported by HeldLocks.
@@ -42,7 +44,7 @@ type Held struct {
 
 // Event is a lock-manager trace event, delivered to the OnEvent hook.
 type Event struct {
-	Kind     string // "grant", "wait", "convert", "release", "victim"
+	Kind     string // "grant", "wait", "convert", "release", "victim", "downgrade", "timeout", "cancel"
 	Txn      TxnID
 	Resource Resource
 	Mode     Mode
@@ -73,13 +75,20 @@ func (p Policy) String() string {
 
 // Options configures a Manager.
 type Options struct {
-	// OnEvent, if non-nil, is invoked (under the manager's mutex; it must
-	// not call back into the manager) for every grant, wait, conversion,
-	// release and deadlock-victim event. Used by the figure reproductions
-	// and the trace shell.
+	// OnEvent, if non-nil, is invoked for every grant, wait, conversion,
+	// release, downgrade, withdrawal and deadlock-victim event. Events are
+	// delivered by the goroutine performing the operation AFTER all manager
+	// latches have been released, so the hook may safely call back into the
+	// manager. Events of one operation arrive in order; ordering across
+	// concurrent operations on different resources is best-effort.
 	OnEvent func(Event)
 	// Policy selects deadlock handling (default PolicyDetect).
 	Policy Policy
+	// Shards is the number of lock-table stripes. 0 picks an automatic
+	// GOMAXPROCS-scaled power of two (at least 16); other values are
+	// rounded up to a power of two. Shards=1 degenerates to the classic
+	// single-latch lock table (useful as a benchmark baseline).
+	Shards int
 }
 
 type heldLock struct {
@@ -101,46 +110,78 @@ type entry struct {
 	queue   []*waiter // conversions are kept ahead of plain waiters
 }
 
-// Manager is a blocking multi-granularity lock manager. All methods are safe
-// for concurrent use.
+// Manager is a blocking multi-granularity lock manager over a sharded lock
+// table. All methods are safe for concurrent use; see shard.go for the
+// latch-ordering discipline.
 type Manager struct {
-	mu      sync.Mutex
-	res     map[Resource]*entry
-	held    map[TxnID]map[Resource]*heldLock
-	waiting map[TxnID]*waitRecord // at most one outstanding request per txn
-	seq     uint64
-	stats   Stats
 	opts    Options
-}
-
-type waitRecord struct {
-	res Resource
-	w   *waiter
+	shards  []*tableShard
+	mask    uint32
+	txns    []*txnShard
+	txnMask uint32
+	wf      waitTable
+	seq     atomic.Uint64 // global grant sequence
+	size    atomic.Int64  // granted lock-table entries across all shards
+	high    atomic.Int64  // high-water mark of size
 }
 
 // NewManager returns an empty lock manager.
 func NewManager(opts Options) *Manager {
-	return &Manager{
-		res:     make(map[Resource]*entry),
-		held:    make(map[TxnID]map[Resource]*heldLock),
-		waiting: make(map[TxnID]*waitRecord),
+	n := opts.Shards
+	if n <= 0 {
+		n = 8 * runtime.GOMAXPROCS(0)
+		if n < 16 {
+			n = 16
+		}
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	n = nextPow2(n)
+	m := &Manager{
 		opts:    opts,
+		shards:  make([]*tableShard, n),
+		mask:    uint32(n - 1),
+		txns:    make([]*txnShard, n),
+		txnMask: uint32(n - 1),
 	}
+	for i := 0; i < n; i++ {
+		m.shards[i] = newTableShard()
+		m.txns[i] = newTxnShard()
+	}
+	m.wf.waiting = make(map[TxnID]*waitRecord)
+	return m
 }
 
-func (m *Manager) emit(kind string, txn TxnID, r Resource, mode Mode) {
-	if m.opts.OnEvent != nil {
-		m.opts.OnEvent(Event{Kind: kind, Txn: txn, Resource: r, Mode: mode})
-	}
+// NumShards returns the number of lock-table stripes.
+func (m *Manager) NumShards() int { return len(m.shards) }
+
+func (m *Manager) shardIndex(r Resource) uint32 { return shardHash(r) & m.mask }
+
+func (m *Manager) shardFor(r Resource) *tableShard { return m.shards[m.shardIndex(r)] }
+
+func (m *Manager) txnShardFor(txn TxnID) *txnShard {
+	return m.txns[uint32(txn)&m.txnMask]
 }
 
-func (m *Manager) entryFor(r Resource) *entry {
-	e := m.res[r]
-	if e == nil {
-		e = &entry{granted: make(map[TxnID]*heldLock)}
-		m.res[r] = e
+// ev appends a trace event to the operation's buffer (only when a hook is
+// installed, to keep the hot path allocation-free).
+func (m *Manager) ev(evs []Event, kind string, txn TxnID, r Resource, mode Mode) []Event {
+	if m.opts.OnEvent == nil {
+		return evs
 	}
-	return e
+	return append(evs, Event{Kind: kind, Txn: txn, Resource: r, Mode: mode})
+}
+
+// deliver invokes the OnEvent hook for each buffered event. MUST be called
+// with no manager latch held.
+func (m *Manager) deliver(evs []Event) {
+	if m.opts.OnEvent == nil {
+		return
+	}
+	for _, e := range evs {
+		m.opts.OnEvent(e)
+	}
 }
 
 // compatibleWithGranted reports whether txn may hold mode on e given the
@@ -157,164 +198,6 @@ func (e *entry) compatibleWithGranted(txn TxnID, mode Mode) bool {
 	return true
 }
 
-// Acquire obtains (or converts to) a lock of at least the given mode on r
-// for txn, blocking until it is granted or the transaction is chosen as a
-// deadlock victim. Durable locks survive Snapshot/Restore (simulated
-// shutdown); requesting a durable lock on a resource already held
-// non-durably makes the held lock durable.
-func (m *Manager) Acquire(txn TxnID, r Resource, mode Mode) error {
-	return m.acquire(txn, r, mode, false, true, 0)
-}
-
-// AcquireTimeout is Acquire with a deadline: if the lock is not granted
-// within d, the request is withdrawn and ErrTimeout returned. Useful in
-// workstation-server environments where blocking behind a days-long
-// check-out lock is not acceptable for interactive transactions.
-func (m *Manager) AcquireTimeout(txn TxnID, r Resource, mode Mode, d time.Duration) error {
-	return m.acquire(txn, r, mode, false, true, d)
-}
-
-// AcquireDurable is Acquire with the durable ("long lock") flag set.
-func (m *Manager) AcquireDurable(txn TxnID, r Resource, mode Mode) error {
-	return m.acquire(txn, r, mode, true, true, 0)
-}
-
-// TryAcquire is a non-blocking Acquire: it returns ErrWouldBlock instead of
-// waiting.
-func (m *Manager) TryAcquire(txn TxnID, r Resource, mode Mode) error {
-	return m.acquire(txn, r, mode, false, false, 0)
-}
-
-func (m *Manager) acquire(txn TxnID, r Resource, mode Mode, durable, wait bool, timeout time.Duration) error {
-	if !mode.Valid() || mode == None {
-		return fmt.Errorf("lock: invalid mode %v", mode)
-	}
-	m.mu.Lock()
-	m.stats.Requests++
-
-	e := m.entryFor(r)
-	h := e.granted[txn]
-	if h != nil {
-		if durable {
-			h.durable = true
-		}
-		if h.mode.Covers(mode) {
-			m.stats.Regrants++
-			m.mu.Unlock()
-			return nil
-		}
-	}
-
-	target := mode
-	convert := false
-	if h != nil {
-		target = Sup(h.mode, mode)
-		convert = true
-	}
-
-	grantable := e.compatibleWithGranted(txn, target) &&
-		(convert || !e.hasBlockingQueue(txn, target))
-	if grantable {
-		m.grantLocked(e, txn, r, target, durable || (h != nil && h.durable), convert)
-		m.mu.Unlock()
-		return nil
-	}
-
-	if !wait {
-		m.stats.Conflicts++
-		m.mu.Unlock()
-		return fmt.Errorf("%w: %v on %q for txn %d", ErrWouldBlock, mode, r, txn)
-	}
-
-	if m.opts.Policy == PolicyWaitDie && m.mustDieLocked(e, txn, target) {
-		m.stats.Conflicts++
-		m.stats.Deadlocks++
-		m.emit("victim", txn, r, target)
-		m.mu.Unlock()
-		return fmt.Errorf("%w: wait-die: txn %d on %q", ErrDeadlock, txn, r)
-	}
-
-	// Enqueue. Conversions are placed after existing conversion waiters but
-	// ahead of plain waiters, giving them the classic conversion priority.
-	w := &waiter{txn: txn, mode: target, convert: convert, durable: durable, ready: make(chan error, 1)}
-	if convert {
-		i := 0
-		for i < len(e.queue) && e.queue[i].convert {
-			i++
-		}
-		e.queue = append(e.queue, nil)
-		copy(e.queue[i+1:], e.queue[i:])
-		e.queue[i] = w
-	} else {
-		e.queue = append(e.queue, w)
-	}
-	m.waiting[txn] = &waitRecord{res: r, w: w}
-	m.stats.Conflicts++
-	m.stats.Waits++
-	m.emit("wait", txn, r, target)
-
-	// Deadlock check: did enqueuing this waiter close a cycle? (Under
-	// wait-die no cycle can form — the young-waits-for-old edge was refused
-	// above — so detection is skipped.)
-	if m.opts.Policy == PolicyDetect {
-		if victim, ok := m.findDeadlockVictimLocked(txn); ok {
-			m.stats.Deadlocks++
-			if victim == txn {
-				m.removeWaiterLocked(r, w)
-				delete(m.waiting, txn)
-				m.emit("victim", txn, r, target)
-				m.mu.Unlock()
-				return fmt.Errorf("%w: txn %d on %q", ErrDeadlock, txn, r)
-			}
-			m.abortWaiterLocked(victim)
-		}
-	}
-	m.mu.Unlock()
-
-	if timeout <= 0 {
-		return <-w.ready
-	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case err := <-w.ready:
-		return err
-	case <-timer.C:
-		m.mu.Lock()
-		// The grant may have raced the timer: the ready channel is buffered,
-		// so a completed grant is drained here and the lock kept.
-		select {
-		case err := <-w.ready:
-			m.mu.Unlock()
-			return err
-		default:
-		}
-		m.removeWaiterLocked(r, w)
-		delete(m.waiting, txn)
-		m.stats.Timeouts++
-		m.emit("timeout", txn, r, target)
-		m.mu.Unlock()
-		return fmt.Errorf("%w: %v on %q for txn %d after %v", ErrTimeout, mode, r, txn, timeout)
-	}
-}
-
-// mustDieLocked implements the wait-die rule: the requester dies if it is
-// younger (higher TxnID) than any incompatible current holder or any
-// incompatible earlier waiter it would queue behind.
-func (m *Manager) mustDieLocked(e *entry, txn TxnID, mode Mode) bool {
-	for t, h := range e.granted {
-		if t != txn && !mode.Compatible(h.mode) && txn > t {
-			return true
-		}
-	}
-	for _, w := range e.queue {
-		if w.txn != txn && !mode.Compatible(w.mode) && txn > w.txn {
-			return true
-		}
-	}
-	return false
-}
-
 // hasBlockingQueue reports whether a new (non-conversion) request in mode
 // mode by txn must queue behind existing waiters for fairness.
 func (e *entry) hasBlockingQueue(txn TxnID, mode Mode) bool {
@@ -329,79 +212,280 @@ func (e *entry) hasBlockingQueue(txn TxnID, mode Mode) bool {
 	return false
 }
 
-func (m *Manager) grantLocked(e *entry, txn TxnID, r Resource, mode Mode, durable, convert bool) {
-	m.seq++
+// mustDie implements the wait-die rule: the requester dies if it is younger
+// (higher TxnID) than any incompatible current holder or any incompatible
+// earlier waiter it would queue behind.
+func (e *entry) mustDie(txn TxnID, mode Mode) bool {
+	for t, h := range e.granted {
+		if t != txn && !mode.Compatible(h.mode) && txn > t {
+			return true
+		}
+	}
+	for _, w := range e.queue {
+		if w.txn != txn && !mode.Compatible(w.mode) && txn > w.txn {
+			return true
+		}
+	}
+	return false
+}
+
+// AcquireOption customizes a single AcquireCtx request.
+type AcquireOption func(*acquireConfig)
+
+type acquireConfig struct {
+	durable bool
+	noWait  bool
+	timeout time.Duration
+}
+
+// WithDurable marks the request as a durable ("long") lock that survives
+// Snapshot/Restore (simulated shutdown); requesting a durable lock on a
+// resource already held non-durably makes the held lock durable.
+func WithDurable() AcquireOption {
+	return func(c *acquireConfig) { c.durable = true }
+}
+
+// WithNoWait makes the request non-blocking: if it cannot be granted
+// immediately, AcquireCtx returns a *LockError wrapping ErrWouldBlock
+// instead of queueing.
+func WithNoWait() AcquireOption {
+	return func(c *acquireConfig) { c.noWait = true }
+}
+
+// WithTimeout withdraws the request after d and returns a *LockError
+// wrapping ErrTimeout. d <= 0 means no deadline. Useful in
+// workstation-server environments where blocking behind a days-long
+// check-out lock is not acceptable for interactive transactions.
+func WithTimeout(d time.Duration) AcquireOption {
+	return func(c *acquireConfig) { c.timeout = d }
+}
+
+// Acquire obtains (or converts to) a lock of at least the given mode on r
+// for txn, blocking until it is granted or the transaction is chosen as a
+// deadlock victim.
+//
+// Deprecated: use AcquireCtx.
+func (m *Manager) Acquire(txn TxnID, r Resource, mode Mode) error {
+	return m.AcquireCtx(context.Background(), txn, r, mode)
+}
+
+// AcquireTimeout is Acquire with a deadline: if the lock is not granted
+// within d, the request is withdrawn and an error wrapping ErrTimeout
+// returned.
+//
+// Deprecated: use AcquireCtx with WithTimeout (or a context deadline).
+func (m *Manager) AcquireTimeout(txn TxnID, r Resource, mode Mode, d time.Duration) error {
+	return m.AcquireCtx(context.Background(), txn, r, mode, WithTimeout(d))
+}
+
+// AcquireDurable is Acquire with the durable ("long lock") flag set.
+//
+// Deprecated: use AcquireCtx with WithDurable.
+func (m *Manager) AcquireDurable(txn TxnID, r Resource, mode Mode) error {
+	return m.AcquireCtx(context.Background(), txn, r, mode, WithDurable())
+}
+
+// TryAcquire is a non-blocking Acquire: it returns an error wrapping
+// ErrWouldBlock instead of waiting.
+//
+// Deprecated: use AcquireCtx with WithNoWait.
+func (m *Manager) TryAcquire(txn TxnID, r Resource, mode Mode) error {
+	return m.AcquireCtx(context.Background(), txn, r, mode, WithNoWait())
+}
+
+// AcquireCtx obtains (or converts to) a lock of at least the given mode on r
+// for txn. Without options it blocks until the lock is granted, the context
+// is done, or the transaction is chosen as a deadlock victim. A canceled or
+// expired context withdraws the waiter (no queue entry is leaked) and
+// returns a *LockError whose Cause is ctx.Err(), so
+// errors.Is(err, context.Canceled) holds. All failures are reported as
+// *LockError values wrapping one of the sentinel errors.
+func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mode, opts ...AcquireOption) error {
+	if !mode.Valid() || mode == None {
+		return fmt.Errorf("lock: invalid mode %v", mode)
+	}
+	var cfg acquireConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return lockErr(txn, r, mode, err)
+	}
+
+	s := m.shardFor(r)
+	var evs []Event
+	s.mu.Lock()
+	s.stats.requests.Add(1)
+
+	e := s.entryFor(r)
+	h := e.granted[txn]
+	if h != nil {
+		if cfg.durable {
+			h.durable = true
+		}
+		if h.mode.Covers(mode) {
+			s.stats.regrants.Add(1)
+			s.mu.Unlock()
+			return nil
+		}
+	}
+
+	target := mode
+	convert := false
+	if h != nil {
+		target = Sup(h.mode, mode)
+		convert = true
+	}
+
+	grantable := e.compatibleWithGranted(txn, target) &&
+		(convert || !e.hasBlockingQueue(txn, target))
+	if grantable {
+		evs = m.grantLocked(s, e, txn, r, target, cfg.durable || (h != nil && h.durable), convert, evs)
+		s.mu.Unlock()
+		m.deliver(evs)
+		return nil
+	}
+
+	if cfg.noWait {
+		s.stats.conflicts.Add(1)
+		s.maybeDropEntry(r)
+		s.mu.Unlock()
+		return lockErr(txn, r, mode, ErrWouldBlock)
+	}
+
+	if m.opts.Policy == PolicyWaitDie && e.mustDie(txn, target) {
+		s.stats.conflicts.Add(1)
+		s.stats.deadlocks.Add(1)
+		s.maybeDropEntry(r)
+		evs = m.ev(evs, "victim", txn, r, target)
+		s.mu.Unlock()
+		m.deliver(evs)
+		return lockErr(txn, r, mode, ErrDeadlock)
+	}
+
+	// Enqueue. Conversions are placed after existing conversion waiters but
+	// ahead of plain waiters, giving them the classic conversion priority.
+	w := &waiter{txn: txn, mode: target, convert: convert, durable: cfg.durable, ready: make(chan error, 1)}
+	if convert {
+		i := 0
+		for i < len(e.queue) && e.queue[i].convert {
+			i++
+		}
+		e.queue = append(e.queue, nil)
+		copy(e.queue[i+1:], e.queue[i:])
+		e.queue[i] = w
+	} else {
+		e.queue = append(e.queue, w)
+	}
+	m.wf.put(txn, &waitRecord{res: r, w: w})
+	s.stats.conflicts.Add(1)
+	s.stats.waits.Add(1)
+	evs = m.ev(evs, "wait", txn, r, target)
+	s.mu.Unlock()
+	m.deliver(evs)
+
+	// Deadlock check: did enqueuing this waiter close a cycle? Runs with NO
+	// shard latch held — the detector latches one shard at a time (see
+	// deadlock.go). Under wait-die no cycle can form (the young-waits-for-old
+	// edge was refused above), so detection is skipped.
+	if m.opts.Policy == PolicyDetect {
+		if err, victim := m.resolveDeadlock(txn, r, w, target); victim {
+			return err
+		}
+	}
+
+	return m.await(ctx, cfg, txn, r, w, mode, target)
+}
+
+// await blocks on the waiter's ready channel, the context and the optional
+// timeout, withdrawing the waiter on context/timeout expiry.
+func (m *Manager) await(ctx context.Context, cfg acquireConfig, txn TxnID, r Resource, w *waiter, mode, target Mode) error {
+	var timerC <-chan time.Time
+	if cfg.timeout > 0 {
+		timer := time.NewTimer(cfg.timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	select {
+	case err := <-w.ready:
+		return err
+	case <-ctx.Done():
+		return m.withdraw(txn, r, w, mode, target, ctx.Err(), "cancel")
+	case <-timerC:
+		return m.withdraw(txn, r, w, mode, target, ErrTimeout, "timeout")
+	}
+}
+
+// withdraw removes an expired or canceled waiter from its queue. The grant
+// may have raced the wakeup: the ready channel is buffered, so a completed
+// grant (or a deadlock abort) is drained here and that outcome returned
+// instead.
+func (m *Manager) withdraw(txn TxnID, r Resource, w *waiter, mode, target Mode, cause error, kind string) error {
+	s := m.shardFor(r)
+	var evs []Event
+	s.mu.Lock()
+	select {
+	case err := <-w.ready:
+		s.mu.Unlock()
+		return err
+	default:
+	}
+	s.removeWaiter(r, w)
+	m.wf.delete(txn)
+	if kind == "timeout" {
+		s.stats.timeouts.Add(1)
+	} else {
+		s.stats.cancels.Add(1)
+	}
+	evs = m.ev(evs, kind, txn, r, target)
+	// The withdrawn waiter may have been the FIFO barrier for later ones.
+	evs = m.grantWaitersLocked(s, r, evs)
+	s.mu.Unlock()
+	m.deliver(evs)
+	return lockErr(txn, r, mode, cause)
+}
+
+// grantLocked installs (or converts) txn's lock on r. Caller holds s.mu;
+// trace events are appended to evs for delivery after unlock.
+func (m *Manager) grantLocked(s *tableShard, e *entry, txn TxnID, r Resource, mode Mode, durable, convert bool, evs []Event) []Event {
 	h := e.granted[txn]
 	if h == nil {
 		h = &heldLock{}
 		e.granted[txn] = h
-		tl := m.held[txn]
-		if tl == nil {
-			tl = make(map[Resource]*heldLock)
-			m.held[txn] = tl
+		m.txnShardFor(txn).add(txn, r)
+		s.stats.grants.Add(1)
+		n := m.size.Add(1)
+		for {
+			hi := m.high.Load()
+			if n <= hi || m.high.CompareAndSwap(hi, n) {
+				break
+			}
 		}
-		tl[r] = h
-		m.stats.Grants++
 	} else {
-		m.stats.Conversions++
+		s.stats.conversions.Add(1)
 	}
 	h.mode = mode
 	h.durable = h.durable || durable
-	h.seq = m.seq
-	if n := m.tableSize(); n > m.stats.MaxTableSize {
-		m.stats.MaxTableSize = n
-	}
+	h.seq = m.seq.Add(1)
+	kind := "grant"
 	if convert {
-		m.emit("convert", txn, r, mode)
-	} else {
-		m.emit("grant", txn, r, mode)
+		kind = "convert"
 	}
-}
-
-func (m *Manager) tableSize() int {
-	n := 0
-	for _, e := range m.res {
-		n += len(e.granted)
-	}
-	return n
-}
-
-// removeWaiterLocked removes w from r's queue.
-func (m *Manager) removeWaiterLocked(r Resource, w *waiter) {
-	e := m.res[r]
-	if e == nil {
-		return
-	}
-	for i, q := range e.queue {
-		if q == w {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			return
-		}
-	}
-}
-
-// abortWaiterLocked makes txn's outstanding wait fail with ErrDeadlock.
-func (m *Manager) abortWaiterLocked(txn TxnID) {
-	rec := m.waiting[txn]
-	if rec == nil {
-		return
-	}
-	m.removeWaiterLocked(rec.res, rec.w)
-	delete(m.waiting, txn)
-	m.emit("victim", txn, rec.res, rec.w.mode)
-	rec.w.ready <- fmt.Errorf("%w: txn %d on %q", ErrDeadlock, txn, rec.res)
-	// The victim's departure may unblock others.
-	m.grantWaitersLocked(rec.res)
+	return m.ev(evs, kind, txn, r, mode)
 }
 
 // grantWaitersLocked scans r's queue front to back, granting every waiter
 // that has become compatible. Conversions (kept at the front) may be granted
 // even when a later plain waiter cannot; the scan stops at the first
-// non-grantable plain waiter so that plain requests stay FIFO.
-func (m *Manager) grantWaitersLocked(r Resource) {
-	e := m.res[r]
+// non-grantable plain waiter so that plain requests stay FIFO. Caller holds
+// s.mu.
+func (m *Manager) grantWaitersLocked(s *tableShard, r Resource, evs []Event) []Event {
+	e := s.res[r]
 	if e == nil {
-		return
+		return evs
 	}
 	for progress := true; progress; {
 		progress = false
@@ -409,8 +493,8 @@ func (m *Manager) grantWaitersLocked(r Resource) {
 			ok := e.compatibleWithGranted(w.txn, w.mode)
 			if ok {
 				e.queue = append(e.queue[:i], e.queue[i+1:]...)
-				delete(m.waiting, w.txn)
-				m.grantLocked(e, w.txn, r, w.mode, w.durable, w.convert)
+				m.wf.delete(w.txn)
+				evs = m.grantLocked(s, e, w.txn, r, w.mode, w.durable, w.convert, evs)
 				w.ready <- nil
 				progress = true
 				break
@@ -420,13 +504,8 @@ func (m *Manager) grantWaitersLocked(r Resource) {
 			}
 		}
 	}
-	m.maybeDropEntryLocked(r)
-}
-
-func (m *Manager) maybeDropEntryLocked(r Resource) {
-	if e := m.res[r]; e != nil && len(e.granted) == 0 && len(e.queue) == 0 {
-		delete(m.res, r)
-	}
+	s.maybeDropEntry(r)
+	return evs
 }
 
 // Downgrade atomically lowers txn's lock on r to a weaker mode (e.g. X→IX
@@ -434,75 +513,80 @@ func (m *Manager) maybeDropEntryLocked(r Resource) {
 // with. Downgrading to None releases the lock. It is an error if txn holds
 // no lock on r or if mode is not weaker than (or equal to) the held mode.
 func (m *Manager) Downgrade(txn TxnID, r Resource, mode Mode) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.res[r]
+	s := m.shardFor(r)
+	var evs []Event
+	s.mu.Lock()
+	e := s.res[r]
 	var h *heldLock
 	if e != nil {
 		h = e.granted[txn]
 	}
 	if h == nil {
+		s.mu.Unlock()
 		return fmt.Errorf("lock: downgrade of unheld %q by txn %d", r, txn)
 	}
 	if !h.mode.Covers(mode) {
-		return fmt.Errorf("lock: %v on %q cannot be downgraded to %v", h.mode, r, mode)
+		held := h.mode
+		s.mu.Unlock()
+		return fmt.Errorf("lock: %v on %q cannot be downgraded to %v", held, r, mode)
 	}
 	if mode == None {
-		m.releaseLocked(txn, r)
+		evs = m.releaseLocked(s, txn, r, evs)
+		s.mu.Unlock()
+		m.deliver(evs)
 		return nil
 	}
 	h.mode = mode
-	m.stats.Downgrades++
-	m.emit("downgrade", txn, r, mode)
-	m.grantWaitersLocked(r)
+	s.stats.downgrades.Add(1)
+	evs = m.ev(evs, "downgrade", txn, r, mode)
+	evs = m.grantWaitersLocked(s, r, evs)
+	s.mu.Unlock()
+	m.deliver(evs)
 	return nil
 }
 
 // Release drops txn's lock on r (leaf-to-root early release). Releasing a
 // resource that is not held is a no-op.
 func (m *Manager) Release(txn TxnID, r Resource) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.releaseLocked(txn, r)
+	s := m.shardFor(r)
+	var evs []Event
+	s.mu.Lock()
+	evs = m.releaseLocked(s, txn, r, evs)
+	s.mu.Unlock()
+	m.deliver(evs)
 }
 
-func (m *Manager) releaseLocked(txn TxnID, r Resource) {
-	e := m.res[r]
+// releaseLocked drops txn's granted lock on r and wakes unblocked waiters.
+// Caller holds s.mu.
+func (m *Manager) releaseLocked(s *tableShard, txn TxnID, r Resource, evs []Event) []Event {
+	e := s.res[r]
 	if e == nil || e.granted[txn] == nil {
-		return
+		return evs
 	}
 	delete(e.granted, txn)
-	if tl := m.held[txn]; tl != nil {
-		delete(tl, r)
-		if len(tl) == 0 {
-			delete(m.held, txn)
-		}
-	}
-	m.stats.Releases++
-	m.emit("release", txn, r, None)
-	m.grantWaitersLocked(r)
+	m.txnShardFor(txn).remove(txn, r)
+	m.size.Add(-1)
+	s.stats.releases.Add(1)
+	evs = m.ev(evs, "release", txn, r, None)
+	return m.grantWaitersLocked(s, r, evs)
 }
 
 // ReleaseAll drops every lock held by txn (end of transaction). Any granted
-// waiters are woken.
+// waiters are woken. The transaction's locks are found through the
+// sharded-by-txn held index, so release cost is proportional to the locks
+// held, not to the table size.
 func (m *Manager) ReleaseAll(txn TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tl := m.held[txn]
-	rs := make([]Resource, 0, len(tl))
-	for r := range tl {
-		rs = append(rs, r)
-	}
-	for _, r := range rs {
-		m.releaseLocked(txn, r)
+	for _, r := range m.txnShardFor(txn).snapshot(txn) {
+		m.Release(txn, r)
 	}
 }
 
 // HeldMode returns the mode txn currently holds on r (None if unheld).
 func (m *Manager) HeldMode(txn TxnID, r Resource) Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if e := m.res[r]; e != nil {
+	s := m.shardFor(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.res[r]; e != nil {
 		if h := e.granted[txn]; h != nil {
 			return h.mode
 		}
@@ -512,30 +596,35 @@ func (m *Manager) HeldMode(txn TxnID, r Resource) Mode {
 
 // HeldLocks returns all locks currently held by txn, in acquisition order.
 func (m *Manager) HeldLocks(txn TxnID) []Held {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Held, 0, len(m.held[txn]))
-	for r, h := range m.held[txn] {
-		out = append(out, Held{Resource: r, Mode: h.mode, Durable: h.durable, Seq: h.seq})
+	rs := m.txnShardFor(txn).snapshot(txn)
+	out := make([]Held, 0, len(rs))
+	for _, r := range rs {
+		s := m.shardFor(r)
+		s.mu.Lock()
+		if e := s.res[r]; e != nil {
+			if h := e.granted[txn]; h != nil {
+				out = append(out, Held{Resource: r, Mode: h.mode, Durable: h.durable, Seq: h.seq})
+			}
+		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 
 // LockCount returns the number of granted lock-table entries (across all
-// transactions).
+// transactions and shards). It reads an atomic counter and takes no latch.
 func (m *Manager) LockCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tableSize()
+	return int(m.size.Load())
 }
 
 // Holders returns the transactions holding a lock on r and their modes.
 func (m *Manager) Holders(r Resource) map[TxnID]Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.shardFor(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make(map[TxnID]Mode)
-	if e := m.res[r]; e != nil {
+	if e := s.res[r]; e != nil {
 		for t, h := range e.granted {
 			out[t] = h.mode
 		}
@@ -543,16 +632,22 @@ func (m *Manager) Holders(r Resource) map[TxnID]Mode {
 	return out
 }
 
-// Stats returns a copy of the manager's counters.
+// Stats returns the manager's counters, aggregated lock-free across the
+// shards' atomic stripes.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	var st Stats
+	for _, s := range m.shards {
+		s.stats.addTo(&st)
+	}
+	st.MaxTableSize = int(m.high.Load())
+	return st
 }
 
-// ResetStats zeroes the counters (the lock table is untouched).
+// ResetStats zeroes the counters (the lock table is untouched; the
+// high-water mark restarts from the current table size).
 func (m *Manager) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
+	for _, s := range m.shards {
+		s.stats.reset()
+	}
+	m.high.Store(m.size.Load())
 }

@@ -3,11 +3,14 @@
 // of Consistency in a Shared Data Base", 1976).
 //
 // It provides the five classic lock modes (IS, IX, S, SIX, X) with their
-// compatibility matrix and supremum lattice, a lock table with FIFO wait
-// queues and in-place lock conversion, waits-for deadlock detection with
-// youngest-victim abort, and durable ("long") locks that survive a simulated
-// system shutdown — the substrate required by the complex-object lock
-// protocol of Herrmann et al. (EDBT 1990) implemented in package core.
+// compatibility matrix and supremum lattice, a sharded lock table (striped
+// by resource hash, one latch per shard — see shard.go for the ordering
+// discipline) with FIFO wait queues and in-place lock conversion, cross-
+// shard waits-for deadlock detection with youngest-victim abort, a
+// context-aware AcquireCtx entry point with cancellation, and durable
+// ("long") locks that survive a simulated system shutdown — the substrate
+// required by the complex-object lock protocol of Herrmann et al.
+// (EDBT 1990) implemented in package core.
 package lock
 
 import "fmt"

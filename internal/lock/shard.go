@@ -1,0 +1,218 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The lock table is striped into power-of-two shards, each owning a slice of
+// the resource namespace (fnv-1a hash of the Resource string) behind its own
+// latch. Disjoint-resource traffic — the common case the paper's
+// fine-granularity protocol is designed to produce — therefore never
+// serializes behind a single hot mutex.
+//
+// Latch-ordering discipline (violations deadlock the manager itself):
+//
+//  1. table-shard latch → txn-shard latch        (never the reverse)
+//  2. table-shard latch → waits-for-table latch  (never the reverse)
+//  3. at most ONE table-shard latch at a time; cross-shard work (ReleaseAll,
+//     HeldLocks, Snapshot, deadlock detection) snapshots under one latch,
+//     releases it, and re-latches the next shard.
+//  4. txn-shard and waits-for latches are leaves: code holding them may not
+//     acquire any other manager latch.
+//
+// OnEvent callbacks are delivered with NO latch held (see Options.OnEvent).
+
+// tableShard is one stripe of the lock table: a resource→entry map and the
+// stripe's statistics counters.
+type tableShard struct {
+	mu    sync.Mutex
+	res   map[Resource]*entry
+	stats shardStats
+}
+
+func newTableShard() *tableShard {
+	return &tableShard{res: make(map[Resource]*entry)}
+}
+
+// entryFor returns (creating on demand) the shard's entry for r. Caller
+// holds s.mu.
+func (s *tableShard) entryFor(r Resource) *entry {
+	e := s.res[r]
+	if e == nil {
+		e = &entry{granted: make(map[TxnID]*heldLock)}
+		s.res[r] = e
+	}
+	return e
+}
+
+// removeWaiter removes w from r's queue, reporting whether it was present.
+// Caller holds s.mu. A false return means the waiter was already granted or
+// withdrawn by a concurrent actor (its ready channel then carries the
+// outcome).
+func (s *tableShard) removeWaiter(r Resource, w *waiter) bool {
+	e := s.res[r]
+	if e == nil {
+		return false
+	}
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// maybeDropEntry frees r's entry once nothing is granted or queued. Caller
+// holds s.mu.
+func (s *tableShard) maybeDropEntry(r Resource) {
+	if e := s.res[r]; e != nil && len(e.granted) == 0 && len(e.queue) == 0 {
+		delete(s.res, r)
+	}
+}
+
+// shardStats are one stripe's cumulative counters. They are plain atomics so
+// that Stats() aggregates lock-free while the stripe stays hot; increments
+// happen on the shard that serviced the request, keeping the cache line
+// local under disjoint workloads.
+type shardStats struct {
+	requests    atomic.Uint64
+	regrants    atomic.Uint64
+	grants      atomic.Uint64
+	conversions atomic.Uint64
+	conflicts   atomic.Uint64
+	waits       atomic.Uint64
+	deadlocks   atomic.Uint64
+	timeouts    atomic.Uint64
+	cancels     atomic.Uint64
+	downgrades  atomic.Uint64
+	releases    atomic.Uint64
+}
+
+func (ss *shardStats) addTo(st *Stats) {
+	st.Requests += ss.requests.Load()
+	st.Regrants += ss.regrants.Load()
+	st.Grants += ss.grants.Load()
+	st.Conversions += ss.conversions.Load()
+	st.Conflicts += ss.conflicts.Load()
+	st.Waits += ss.waits.Load()
+	st.Deadlocks += ss.deadlocks.Load()
+	st.Timeouts += ss.timeouts.Load()
+	st.Cancels += ss.cancels.Load()
+	st.Downgrades += ss.downgrades.Load()
+	st.Releases += ss.releases.Load()
+}
+
+func (ss *shardStats) reset() {
+	ss.requests.Store(0)
+	ss.regrants.Store(0)
+	ss.grants.Store(0)
+	ss.conversions.Store(0)
+	ss.conflicts.Store(0)
+	ss.waits.Store(0)
+	ss.deadlocks.Store(0)
+	ss.timeouts.Store(0)
+	ss.cancels.Store(0)
+	ss.downgrades.Store(0)
+	ss.releases.Store(0)
+}
+
+// txnShard is one stripe of the per-transaction held-lock index (sharded by
+// TxnID), so that commit/abort release and HeldLocks never sweep the
+// resource shards looking for a transaction's locks.
+type txnShard struct {
+	mu   sync.Mutex
+	held map[TxnID]map[Resource]struct{}
+}
+
+func newTxnShard() *txnShard {
+	return &txnShard{held: make(map[TxnID]map[Resource]struct{})}
+}
+
+func (ts *txnShard) add(txn TxnID, r Resource) {
+	ts.mu.Lock()
+	set := ts.held[txn]
+	if set == nil {
+		set = make(map[Resource]struct{})
+		ts.held[txn] = set
+	}
+	set[r] = struct{}{}
+	ts.mu.Unlock()
+}
+
+func (ts *txnShard) remove(txn TxnID, r Resource) {
+	ts.mu.Lock()
+	if set := ts.held[txn]; set != nil {
+		delete(set, r)
+		if len(set) == 0 {
+			delete(ts.held, txn)
+		}
+	}
+	ts.mu.Unlock()
+}
+
+// snapshot returns the resources txn holds at the moment of the call.
+func (ts *txnShard) snapshot(txn TxnID) []Resource {
+	ts.mu.Lock()
+	set := ts.held[txn]
+	out := make([]Resource, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	ts.mu.Unlock()
+	return out
+}
+
+// waitRecord is a transaction's single outstanding lock request.
+type waitRecord struct {
+	res Resource
+	w   *waiter
+}
+
+// waitTable is the cross-shard waits-for registry: which resource each
+// blocked transaction is waiting on. It is the only structure the deadlock
+// detector needs besides one resource shard at a time; its latch is a leaf
+// in the ordering discipline.
+type waitTable struct {
+	mu      sync.Mutex
+	waiting map[TxnID]*waitRecord
+}
+
+func (wt *waitTable) put(txn TxnID, rec *waitRecord) {
+	wt.mu.Lock()
+	wt.waiting[txn] = rec
+	wt.mu.Unlock()
+}
+
+func (wt *waitTable) get(txn TxnID) *waitRecord {
+	wt.mu.Lock()
+	rec := wt.waiting[txn]
+	wt.mu.Unlock()
+	return rec
+}
+
+func (wt *waitTable) delete(txn TxnID) {
+	wt.mu.Lock()
+	delete(wt.waiting, txn)
+	wt.mu.Unlock()
+}
+
+// shardHash is fnv-1a over the resource name.
+func shardHash(r Resource) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(r); i++ {
+		h ^= uint32(r[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// nextPow2 rounds n up to the next power of two (n ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -18,8 +18,11 @@ type Stats struct {
 	Waits uint64
 	// Deadlocks counts detected deadlock cycles.
 	Deadlocks uint64
-	// Timeouts counts requests withdrawn by AcquireTimeout deadlines.
+	// Timeouts counts requests withdrawn by AcquireTimeout/WithTimeout
+	// deadlines.
 	Timeouts uint64
+	// Cancels counts requests withdrawn by AcquireCtx context cancellation.
+	Cancels uint64
 	// Downgrades counts in-place mode downgrades (de-escalation).
 	Downgrades uint64
 	// Releases counts dropped lock-table entries.
@@ -38,6 +41,7 @@ func (s Stats) Add(o Stats) Stats {
 	s.Waits += o.Waits
 	s.Deadlocks += o.Deadlocks
 	s.Timeouts += o.Timeouts
+	s.Cancels += o.Cancels
 	s.Downgrades += o.Downgrades
 	s.Releases += o.Releases
 	if o.MaxTableSize > s.MaxTableSize {
@@ -57,6 +61,7 @@ func (s Stats) Sub(o Stats) Stats {
 	s.Waits -= o.Waits
 	s.Deadlocks -= o.Deadlocks
 	s.Timeouts -= o.Timeouts
+	s.Cancels -= o.Cancels
 	s.Downgrades -= o.Downgrades
 	s.Releases -= o.Releases
 	return s

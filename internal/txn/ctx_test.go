@@ -1,0 +1,68 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+// TestLockCtxCancelWithdraws checks that a canceled context withdraws the
+// blocked protocol waiter and surfaces an error satisfying
+// errors.Is(err, context.Canceled), after which the transaction can Abort
+// cleanly (no leaked lock-table entries).
+func TestLockCtxCancelWithdraws(t *testing.T) {
+	m := newManager(t)
+	p := store.P("cells", "c1", "robots", "r1", "trajectory")
+
+	writer := m.Begin()
+	if err := writer.UpdateAtomic(p, store.Str("held")); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := m.Begin()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- reader.LockPathCtx(ctx, p, lock.S) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var le *lock.LockError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is not a *lock.LockError: %v", err)
+	}
+	reader.Abort()
+	writer.Abort()
+	if got := m.Protocol().Manager().LockCount(); got != 0 {
+		t.Errorf("locks leaked after aborts: %d", got)
+	}
+}
+
+// TestLockCtxDeadline checks deadline expiry on the protocol path.
+func TestLockCtxDeadline(t *testing.T) {
+	m := newManager(t)
+	p := store.P("cells", "c1", "robots", "r1")
+
+	writer := m.Begin()
+	if err := writer.LockPath(p, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	reader := m.Begin()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := reader.LockPathCtx(ctx, p, lock.X)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	reader.Abort()
+	writer.Abort()
+	if got := m.Protocol().Manager().LockCount(); got != 0 {
+		t.Errorf("locks leaked: %d", got)
+	}
+}

@@ -7,6 +7,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -170,18 +171,32 @@ func (t *Txn) checkActive() error {
 // only released at commit or abort (strict 2PL). A deadlock-victim error is
 // returned to the caller, who must Abort.
 func (t *Txn) Lock(n core.Node, mode lock.Mode) error {
+	return t.LockCtx(context.Background(), n, mode)
+}
+
+// LockCtx is Lock with a context: cancellation or deadline expiry withdraws
+// the blocked lock request and returns an error satisfying
+// errors.Is(err, ctx.Err()). Locks acquired earlier in the protocol chain
+// stay held (2PL forbids selective release) — after a canceled LockCtx the
+// transaction should Abort, just as after a deadlock victim error.
+func (t *Txn) LockCtx(ctx context.Context, n core.Node, mode lock.Mode) error {
 	if err := t.checkActive(); err != nil {
 		return err
 	}
 	if t.long {
-		return t.m.proto.LockLong(t.id, n, mode)
+		return t.m.proto.LockLongCtx(ctx, t.id, n, mode)
 	}
-	return t.m.proto.Lock(t.id, n, mode)
+	return t.m.proto.LockCtx(ctx, t.id, n, mode)
 }
 
 // LockPath is Lock on a data path.
 func (t *Txn) LockPath(p store.Path, mode lock.Mode) error {
-	return t.Lock(core.DataNode(p), mode)
+	return t.LockCtx(context.Background(), core.DataNode(p), mode)
+}
+
+// LockPathCtx is LockCtx on a data path.
+func (t *Txn) LockPathCtx(ctx context.Context, p store.Path, mode lock.Mode) error {
+	return t.LockCtx(ctx, core.DataNode(p), mode)
 }
 
 // LockPathNoFollow locks a data path without downward propagation into
