@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench shardbench figures clean
+.PHONY: ci fmt vet build test race bench shardbench obsbench obs-demo figures clean
 
-# ci is the gate every change must pass: vet, build, and the full test
-# suite under the race detector (the lock manager and protocol are
-# concurrent; -race is not optional here).
-ci: vet build race
+# ci is the gate every change must pass: formatting, vet, build, and the
+# full test suite under the race detector (the lock manager and protocol
+# are concurrent; -race is not optional here).
+ci: fmt vet build race
+
+# fmt fails if any file needs gofmt, listing the offenders.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +31,19 @@ bench:
 # single-mutex seed replica; see DESIGN.md §8).
 shardbench:
 	$(GO) run ./cmd/lockbench -shardbench -shardout BENCH_PR1.json
+
+# obsbench regenerates BENCH_PR2.json (collector overhead + latency
+# quantiles; see DESIGN.md §9).
+obsbench:
+	$(GO) run ./cmd/lockbench -obsbench -obsout BENCH_PR2.json
+
+# obs-demo runs a scripted colockshell session that takes locks and dumps
+# the .metrics tables, the wait-queue view, and the waits-for DOT graph.
+obs-demo:
+	@printf "%s\n" \
+		"SELECT r FROM c IN cells, r IN c.robots WHERE c.cell_id = 'c1' AND r.robot_id = 'r1' FOR UPDATE" \
+		".metrics" ".queues all" ".dot" ".commit" ".quit" \
+		| $(GO) run ./cmd/colockshell
 
 figures:
 	$(GO) run ./cmd/figures

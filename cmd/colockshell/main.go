@@ -11,7 +11,9 @@
 //	> .help
 //
 // Flags: -rule4prime enables authorization cooperation (the shell's
-// transaction may then modify "cells" but not "effectors").
+// transaction may then modify "cells" but not "effectors"); -deadlock
+// selects the deadlock policy (detect, waitdie, none); -obs starts the
+// observability HTTP endpoint on the given address.
 package main
 
 import (
@@ -26,6 +28,8 @@ import (
 	"colock/internal/authz"
 	"colock/internal/core"
 	"colock/internal/lock"
+	"colock/internal/metrics"
+	"colock/internal/obs"
 	"colock/internal/query"
 	"colock/internal/store"
 	"colock/internal/txn"
@@ -41,6 +45,7 @@ type shell struct {
 	tx    *txn.Txn
 	out   *bufio.Writer
 	trace *traceRing
+	col   *obs.Collector
 }
 
 // traceRing keeps the most recent lock-manager events for the .trace
@@ -71,32 +76,75 @@ func (t *traceRing) snapshot() []lock.Event {
 	return append([]lock.Event(nil), t.buf...)
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("colockshell: ")
-	prime := flag.Bool("rule4prime", true, "enable authorization cooperation (rule 4')")
-	flag.Parse()
-
+// newShell builds a fully wired shell (shared by main and the tests): the
+// lock manager's event stream feeds both the .trace ring (OnEvent hook) and
+// the obs collector (sink), composed without double-buffering.
+func newShell(prime bool, policy lock.Policy, out *bufio.Writer) *shell {
 	st := store.PaperDatabase()
 	core.CollectStatistics(st)
 	nm := core.NewNamer(st.Catalog(), false)
 	auth := authz.NewTable(false)
 	opts := core.Options{}
-	if *prime {
+	if prime {
 		opts = core.Options{Rule4Prime: true, Authorizer: auth}
 	}
 	trace := newTraceRing(64)
-	proto := core.NewProtocol(lock.NewManager(lock.Options{OnEvent: trace.add}), st, nm, opts)
-	mgr := txn.NewManager(proto, st)
-
-	s := &shell{
-		st: st, proto: proto, mgr: mgr,
-		exec: query.NewExecutor(mgr, core.PlannerOptions{}),
-		auth: auth, prime: *prime,
-		out:   bufio.NewWriter(os.Stdout),
+	col := obs.NewCollector(obs.Options{
+		KindLabels: core.UnitKindLabels,
+		KindOf:     core.UnitKindOf(nm),
+	})
+	mgr := lock.NewManager(lock.Options{
+		Policy:  policy,
+		OnEvent: trace.add,
+		Sinks:   []lock.EventSink{col},
+	})
+	proto := core.NewProtocol(mgr, st, nm, opts)
+	tm := txn.NewManager(proto, st)
+	return &shell{
+		st: st, proto: proto, mgr: tm,
+		exec: query.NewExecutor(tm, core.PlannerOptions{}),
+		auth: auth, prime: prime,
+		out:   out,
 		trace: trace,
+		col:   col,
 	}
+}
+
+func parsePolicy(name string) (lock.Policy, error) {
+	switch name {
+	case "detect":
+		return lock.PolicyDetect, nil
+	case "waitdie":
+		return lock.PolicyWaitDie, nil
+	case "none":
+		return lock.PolicyNone, nil
+	}
+	return lock.PolicyDetect, fmt.Errorf("unknown deadlock policy %q (detect, waitdie, none)", name)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("colockshell: ")
+	prime := flag.Bool("rule4prime", true, "enable authorization cooperation (rule 4')")
+	deadlock := flag.String("deadlock", "detect", "deadlock policy: detect, waitdie or none")
+	obsAddr := flag.String("obs", "", "serve the observability HTTP endpoint on this address (e.g. 127.0.0.1:8023)")
+	flag.Parse()
+
+	policy, err := parsePolicy(*deadlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := newShell(*prime, policy, bufio.NewWriter(os.Stdout))
 	defer s.out.Flush()
+
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, s.proto.Manager(), s.col, s.proto.WriteMetrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(s.out, "observability endpoint on http://%s/ (/metrics, /queues, /dot)\n", srv.Addr())
+	}
 
 	fmt.Fprintln(s.out, "colock shell over the paper's example database (Figures 1/6).")
 	fmt.Fprintln(s.out, "Enter HDBL queries or .help; rule 4' is", map[bool]string{true: "ON", false: "OFF"}[*prime])
@@ -123,6 +171,12 @@ func (s *shell) repl(in *bufio.Scanner) {
 			s.showLocks()
 		case line == ".trace":
 			s.showTrace()
+		case line == ".metrics":
+			s.showMetrics()
+		case strings.HasPrefix(line, ".queues"):
+			s.showQueues(strings.TrimSpace(strings.TrimPrefix(line, ".queues")) == "all")
+		case line == ".dot":
+			s.showDOT()
 		case line == ".commit":
 			s.finish(true)
 		case line == ".abort":
@@ -152,6 +206,9 @@ func (s *shell) help() {
           CREATE RELATION <name> IN SEGMENT <seg> KEY <attr> {attr: type, ...}
 Commands: .locks   show locks of the current transaction
           .trace   show recent lock-manager events (grant/wait/convert/release/victim)
+          .metrics lock-manager and protocol telemetry (latencies, counters)
+          .queues [all]  live lock queues (contended only, or all)
+          .dot     waits-for graph in Graphviz DOT format
           .graph <relation>       object-specific lock graph (Fig. 5)
           .units <relation> <key> unit decomposition (Fig. 6)
           .commit  commit the current transaction (releases locks)
@@ -241,6 +298,88 @@ func (s *shell) showTrace() {
 	for _, e := range evs {
 		fmt.Fprintf(s.out, "%-8s txn %-3d %-4s %s\n", e.Kind, e.Txn, e.Mode, e.Resource)
 	}
+}
+
+func (s *shell) showMetrics() {
+	m := s.proto.Manager()
+	st := m.Stats()
+
+	ops := metrics.NewTable("Lock-manager counters", "counter", "value")
+	for _, kv := range []struct {
+		name string
+		val  uint64
+	}{
+		{"requests", st.Requests}, {"regrants", st.Regrants},
+		{"grants", st.Grants}, {"conversions", st.Conversions},
+		{"conflicts", st.Conflicts}, {"waits", st.Waits},
+		{"deadlocks", st.Deadlocks}, {"releases", st.Releases},
+	} {
+		ops.Addf(kv.name, kv.val)
+	}
+	ops.Addf("max table size", st.MaxTableSize)
+	ops.Addf("active txns", m.ActiveTxns())
+	ops.Addf("waiting txns", m.WaitingTxns())
+	fmt.Fprint(s.out, ops)
+
+	ps := s.proto.Stats()
+	rules := metrics.NewTable("Protocol rule applications", "rule", "count")
+	rules.Addf("requests", ps.Requests)
+	rules.Addf("upward locks (1-4, order 5)", ps.UpwardLocks)
+	rules.Addf("downward propagations (3/4)", ps.DownwardPropagations)
+	rules.Addf("rule 4' weakened to S", ps.Rule4PrimeWeakened)
+	rules.Addf("memo hits", ps.MemoHits)
+	rules.Addf("no-follow requests", ps.NoFollow)
+	fmt.Fprintf(s.out, "\n%s", rules)
+
+	lat := metrics.NewTable("Latencies by op, mode and unit kind",
+		"op", "mode", "unit", "count", "p50", "p95", "p99", "max")
+	views := s.col.Histograms()
+	for _, v := range views {
+		lat.Addf(v.Op.String(), v.Mode.String(), v.Kind, v.Snap.Count,
+			v.Snap.Quantile(0.50), v.Snap.Quantile(0.95), v.Snap.Quantile(0.99), v.Snap.Max)
+	}
+	if len(views) == 0 {
+		fmt.Fprintln(s.out, "\nno latency observations yet")
+		return
+	}
+	fmt.Fprintf(s.out, "\n%s", lat)
+}
+
+func (s *shell) showQueues(all bool) {
+	qs := s.proto.Manager().SnapshotQueues()
+	shown := 0
+	for _, q := range qs {
+		if !all && !q.Contended() {
+			continue
+		}
+		shown++
+		fmt.Fprintf(s.out, "%s (shard %d)\n", q.Resource, q.Shard)
+		for _, g := range q.Granted {
+			durable := ""
+			if g.Durable {
+				durable = " durable"
+			}
+			fmt.Fprintf(s.out, "  granted txn %-3d %s%s\n", g.Txn, g.Mode, durable)
+		}
+		for _, w := range q.Waiting {
+			convert := ""
+			if w.Convert {
+				convert = " (conversion)"
+			}
+			fmt.Fprintf(s.out, "  waiting txn %-3d %s%s\n", w.Txn, w.Mode, convert)
+		}
+	}
+	if shown == 0 {
+		if all {
+			fmt.Fprintln(s.out, "lock table is empty")
+		} else {
+			fmt.Fprintln(s.out, "no contended resources (.queues all shows every entry)")
+		}
+	}
+}
+
+func (s *shell) showDOT() {
+	fmt.Fprint(s.out, s.proto.Manager().WaitsForDOT())
 }
 
 func (s *shell) showGraph(relation string) {

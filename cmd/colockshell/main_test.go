@@ -6,35 +6,18 @@ import (
 	"strings"
 	"testing"
 
-	"colock/internal/authz"
-	"colock/internal/core"
 	"colock/internal/lock"
-	"colock/internal/query"
-	"colock/internal/store"
-	"colock/internal/txn"
 )
 
 func newTestShell(t *testing.T, prime bool) (*shell, *bytes.Buffer) {
 	t.Helper()
-	st := store.PaperDatabase()
-	core.CollectStatistics(st)
-	nm := core.NewNamer(st.Catalog(), false)
-	auth := authz.NewTable(false)
-	opts := core.Options{}
-	if prime {
-		opts = core.Options{Rule4Prime: true, Authorizer: auth}
-	}
-	trace := newTraceRing(64)
-	proto := core.NewProtocol(lock.NewManager(lock.Options{OnEvent: trace.add}), st, nm, opts)
-	mgr := txn.NewManager(proto, st)
+	return newTestShellPolicy(t, prime, lock.PolicyDetect)
+}
+
+func newTestShellPolicy(t *testing.T, prime bool, policy lock.Policy) (*shell, *bytes.Buffer) {
+	t.Helper()
 	var buf bytes.Buffer
-	return &shell{
-		st: st, proto: proto, mgr: mgr,
-		exec: query.NewExecutor(mgr, core.PlannerOptions{}),
-		auth: auth, prime: prime,
-		out:   bufio.NewWriter(&buf),
-		trace: trace,
-	}, &buf
+	return newShell(prime, policy, bufio.NewWriter(&buf)), &buf
 }
 
 func runScript(t *testing.T, s *shell, lines ...string) string {

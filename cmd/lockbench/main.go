@@ -6,6 +6,7 @@
 //	lockbench -quick       # small-scale smoke run
 //	lockbench -e E3,E5     # run selected experiments (E1..E13)
 //	lockbench -shardbench  # before/after sharded-table benchmark → BENCH_PR1.json
+//	lockbench -obsbench    # collector-overhead + latency benchmark → BENCH_PR2.json
 package main
 
 import (
@@ -114,7 +115,23 @@ func main() {
 	sel := flag.String("e", "", "comma-separated experiment ids (E1..E13); empty = all")
 	shardbench := flag.Bool("shardbench", false, "run the sharded-lock-table before/after benchmark and write -shardout")
 	shardout := flag.String("shardout", "BENCH_PR1.json", "output path for the -shardbench JSON report")
+	obsbench := flag.Bool("obsbench", false, "run the observability-overhead benchmark and write -obsout")
+	obsout := flag.String("obsout", "BENCH_PR2.json", "output path for the -obsbench JSON report")
 	flag.Parse()
+
+	if *obsbench {
+		dur := 2 * time.Second
+		if *quick {
+			dur = 300 * time.Millisecond
+		}
+		rep, err := writeObsBench(*obsout, []int{1, 4, 16}, dur)
+		if err != nil {
+			log.Fatalf("obsbench: %v", err)
+		}
+		printObsBench(rep)
+		fmt.Printf("report written to %s\n", *obsout)
+		return
+	}
 
 	if *shardbench {
 		dur := 2 * time.Second

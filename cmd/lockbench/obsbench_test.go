@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWriteObsBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep, err := writeObsBench(path, []int{1, 2}, 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Overhead) != 2 {
+		t.Fatalf("overhead rows = %d, want 2", len(rep.Overhead))
+	}
+	for _, r := range rep.Overhead {
+		if r.DisabledOpsPerSec <= 0 || r.EnabledOpsPerSec <= 0 {
+			t.Errorf("non-positive throughput at %d goroutines: %+v", r.Goroutines, r)
+		}
+	}
+	// The contended phase must produce real latency observations: every
+	// acquire is recorded, and contention forces at least some waits.
+	if rep.Acquire.Count == 0 {
+		t.Error("contended phase recorded no acquire latencies")
+	}
+	if rep.Wait.Count == 0 {
+		t.Error("contended phase recorded no wait latencies")
+	}
+	if rep.Hold.Count == 0 {
+		t.Error("contended phase recorded no hold latencies")
+	}
+	if rep.Wait.P50NS <= 0 || rep.Wait.P99NS < rep.Wait.P50NS {
+		t.Errorf("implausible wait quantiles: %+v", rep.Wait)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round obsBenchReport
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if round.Benchmark != "obsbench" || round.SampleShift != obsSampleShift {
+		t.Errorf("round-tripped report = %+v", round)
+	}
+
+	// The console renderer must not panic and must include the quantile
+	// columns the issue asks for.
+	printObsBench(rep)
+}

@@ -37,6 +37,9 @@ type Protocol struct {
 	// plain rule 4: X requests propagate X onto every dependent entry
 	// point.
 	rule4Prime bool
+
+	// counters tallies rule applications; see ProtocolStats.
+	counters protoCounters
 }
 
 // Options configures a Protocol.
@@ -120,6 +123,10 @@ func (p *Protocol) LockNoFollow(txn lock.TxnID, n Node, mode lock.Mode) error {
 }
 
 func (p *Protocol) lockOpts(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool) error {
+	p.counters.requests.Add(1)
+	if noFollow {
+		p.counters.noFollow.Add(1)
+	}
 	switch mode {
 	case lock.IS, lock.IX, lock.S, lock.X:
 	default:
@@ -146,6 +153,7 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 		return err
 	}
 	if prev, ok := requested[res]; ok && prev.Covers(mode) {
+		p.counters.memoHits.Add(1)
 		return nil
 	}
 
@@ -166,11 +174,13 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 				return err
 			}
 			if prev, ok := requested[ares]; ok && prev.Covers(intent) {
+				p.counters.memoHits.Add(1)
 				continue
 			}
 			if err := p.acquire(ctx, txn, ares, intent, durable); err != nil {
 				return err
 			}
+			p.counters.upwardLocks.Add(1)
 			requested[ares] = lock.Sup(requested[ares], intent)
 		}
 	}
@@ -187,6 +197,7 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 	// it. Downward propagation crosses superunit boundaries and recurses,
 	// because common data may again contain common data.
 	if (mode == lock.S || mode == lock.X) && !noFollow {
+		p.counters.entryScans.Add(1)
 		entries, err := EntryPointsUnder(p.st, p.nm, n)
 		if err != nil {
 			return err
@@ -196,7 +207,9 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 			if mode == lock.X && p.rule4Prime && !p.auth.CanModify(txn, ep.Relation()) {
 				// Rule 4′: non-modifiable inner units are only S-locked.
 				em = lock.S
+				p.counters.rule4Weakened.Add(1)
 			}
+			p.counters.downward.Add(1)
 			if err := p.lockRec(ctx, txn, DataNode(ep), em, durable, noFollow, requested); err != nil {
 				return err
 			}
@@ -206,6 +219,7 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 	if err := p.acquire(ctx, txn, res, mode, durable); err != nil {
 		return err
 	}
+	p.counters.nodeLocks.Add(1)
 	return nil
 }
 

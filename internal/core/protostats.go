@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+// ProtocolStats counts the protocol's rule applications (§4.4.2, rules 1–5
+// and rule 4′), quantifying how much implicit propagation the scheme costs
+// on top of the explicit requests. All counters are cumulative and safe for
+// concurrent use.
+type ProtocolStats struct {
+	// Requests counts top-level Lock/LockCtx/LockLong/LockNoFollow calls.
+	Requests uint64
+	// NoFollow counts the subset of Requests that suppressed downward
+	// propagation (the §4.5 reference-only optimization).
+	NoFollow uint64
+	// MemoHits counts resources skipped because the same call had already
+	// requested a covering mode (diamond-shaped sharing, reference cycles).
+	MemoHits uint64
+	// UpwardLocks counts intention locks placed on immediate parents —
+	// rules 1–4's requirement serviced in the rule 5 root-to-leaf order,
+	// including the implicit upward propagation above entry points.
+	UpwardLocks uint64
+	// EntryPointScans counts store walks discovering the dependent entry
+	// points below a node (the downward half of rules 3 and 4).
+	EntryPointScans uint64
+	// DownwardPropagations counts entry points recursively locked by
+	// downward propagation (rule 3 for S, rule 4 for X).
+	DownwardPropagations uint64
+	// Rule4PrimeWeakened counts X propagations demoted to S by rule 4′
+	// because the transaction lacks modify authorization on the inner unit.
+	Rule4PrimeWeakened uint64
+	// NodeLocks counts locks acquired on the explicitly requested nodes
+	// themselves (Requests minus validation failures, plus recursion
+	// targets).
+	NodeLocks uint64
+}
+
+// protoCounters is the atomic backing store embedded in Protocol.
+type protoCounters struct {
+	requests      atomic.Uint64
+	noFollow      atomic.Uint64
+	memoHits      atomic.Uint64
+	upwardLocks   atomic.Uint64
+	entryScans    atomic.Uint64
+	downward      atomic.Uint64
+	rule4Weakened atomic.Uint64
+	nodeLocks     atomic.Uint64
+}
+
+func (pc *protoCounters) snapshot() ProtocolStats {
+	return ProtocolStats{
+		Requests:             pc.requests.Load(),
+		NoFollow:             pc.noFollow.Load(),
+		MemoHits:             pc.memoHits.Load(),
+		UpwardLocks:          pc.upwardLocks.Load(),
+		EntryPointScans:      pc.entryScans.Load(),
+		DownwardPropagations: pc.downward.Load(),
+		Rule4PrimeWeakened:   pc.rule4Weakened.Load(),
+		NodeLocks:            pc.nodeLocks.Load(),
+	}
+}
+
+func (pc *protoCounters) reset() {
+	pc.requests.Store(0)
+	pc.noFollow.Store(0)
+	pc.memoHits.Store(0)
+	pc.upwardLocks.Store(0)
+	pc.entryScans.Store(0)
+	pc.downward.Store(0)
+	pc.rule4Weakened.Store(0)
+	pc.nodeLocks.Store(0)
+}
+
+// Stats returns a snapshot of the protocol's rule counters.
+func (p *Protocol) Stats() ProtocolStats { return p.counters.snapshot() }
+
+// ResetStats zeroes the rule counters.
+func (p *Protocol) ResetStats() { p.counters.reset() }
+
+// WriteMetrics writes the rule counters in Prometheus text format, for
+// composition with obs.Handler's extra writers.
+func (p *Protocol) WriteMetrics(w io.Writer) {
+	st := p.Stats()
+	fmt.Fprintf(w, "# HELP colock_protocol_ops_total Protocol rule applications (rules 1-5, 4').\n")
+	fmt.Fprintf(w, "# TYPE colock_protocol_ops_total counter\n")
+	for _, kv := range []struct {
+		name string
+		val  uint64
+	}{
+		{"requests", st.Requests},
+		{"no_follow", st.NoFollow},
+		{"memo_hits", st.MemoHits},
+		{"upward_locks", st.UpwardLocks},
+		{"entry_point_scans", st.EntryPointScans},
+		{"downward_propagations", st.DownwardPropagations},
+		{"rule4prime_weakened", st.Rule4PrimeWeakened},
+		{"node_locks", st.NodeLocks},
+	} {
+		fmt.Fprintf(w, "colock_protocol_ops_total{op=%q} %d\n", kv.name, kv.val)
+	}
+}
+
+// UnitKindLabels is the lockable-unit-kind dimension UnitKindOf classifies
+// into, for use as obs.Options.KindLabels.
+var UnitKindLabels = []string{"database", "segment", "relation", "entry-point", "BLU", "HoLU", "HeLU", "other"}
+
+// UnitKindOf returns an obs classifier that maps lock resource names back
+// to the paper's lockable-unit kinds via the namer's schema walk: the first
+// three path levels are the database, segment and relation, a
+// complex-object root is an entry point, and deeper nodes classify as
+// BLU/HoLU/HeLU by the §4.3 derivation rules. Use with obs.Options:
+//
+//	obs.Options{KindLabels: core.UnitKindLabels, KindOf: core.UnitKindOf(nm)}
+func UnitKindOf(nm *Namer) func(lock.Resource) int {
+	return func(r lock.Resource) int {
+		parts := strings.Split(string(r), "/")
+		switch len(parts) {
+		case 1:
+			return 0 // database
+		case 2:
+			return 1 // segment
+		case 3:
+			return 2 // relation
+		case 4:
+			return 3 // complex-object root: the entry-point granularity
+		}
+		if parts[len(parts)-1] == bluLabel {
+			return 4 // coalesced per-level BLU (footnote 3)
+		}
+		info, err := nm.Classify(store.Path(parts[2:]))
+		if err != nil {
+			return len(UnitKindLabels) - 1
+		}
+		switch info.Kind {
+		case BLU:
+			return 4
+		case HoLU:
+			return 5
+		case HeLU:
+			return 6
+		}
+		return len(UnitKindLabels) - 1
+	}
+}

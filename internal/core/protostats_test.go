@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"colock/internal/authz"
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+func TestProtocolStatsCountsRules(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	if p.Stats() != (ProtocolStats{}) {
+		t.Fatalf("fresh protocol has non-zero stats: %+v", p.Stats())
+	}
+
+	// X on a robot: upward locks on db/segment/relation/cell (rule 5 order),
+	// downward propagation into the two referenced effectors (rule 4), each
+	// of which needs its own upward chain.
+	if err := p.LockPath(1, store.P("cells", "c1", "robots", "r1"), lock.X); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Requests != 1 {
+		t.Errorf("Requests = %d, want 1", st.Requests)
+	}
+	if st.NodeLocks < 3 {
+		t.Errorf("NodeLocks = %d, want ≥ 3 (robot + 2 effectors)", st.NodeLocks)
+	}
+	if st.DownwardPropagations != 2 {
+		t.Errorf("DownwardPropagations = %d, want 2 (e1, e2)", st.DownwardPropagations)
+	}
+	if st.EntryPointScans < 3 {
+		t.Errorf("EntryPointScans = %d, want ≥ 3 (robot + 2 effectors)", st.EntryPointScans)
+	}
+	if st.UpwardLocks < 6 {
+		t.Errorf("UpwardLocks = %d, want ≥ 6 (two root-to-leaf chains)", st.UpwardLocks)
+	}
+	if st.Rule4PrimeWeakened != 0 || st.NoFollow != 0 {
+		t.Errorf("unexpected rule-4'/no-follow counts: %+v", st)
+	}
+	// The two effectors share db1/seg2 ancestors: the second chain memoizes.
+	if st.MemoHits == 0 {
+		t.Error("MemoHits = 0, want > 0 (shared ancestor chains)")
+	}
+
+	p.ResetStats()
+	if p.Stats() != (ProtocolStats{}) {
+		t.Errorf("ResetStats left %+v", p.Stats())
+	}
+}
+
+func TestProtocolStatsRule4PrimeAndNoFollow(t *testing.T) {
+	auth := authz.NewTable(false)
+	auth.Grant(1, "cells")
+	p, _ := newProto(t, Options{Rule4Prime: true, Authorizer: auth})
+	if err := p.LockPath(1, store.P("cells", "c1", "robots", "r1"), lock.X); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Rule4PrimeWeakened != 2 {
+		t.Errorf("Rule4PrimeWeakened = %d, want 2 (both effectors demoted)", st.Rule4PrimeWeakened)
+	}
+
+	if err := p.LockNoFollow(2, DataNode(store.P("cells", "c2")), lock.X); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.NoFollow != 1 {
+		t.Errorf("NoFollow = %d, want 1", st.NoFollow)
+	}
+	p.Release(1)
+	p.Release(2)
+}
+
+func TestProtocolWriteMetrics(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	if err := p.LockPath(1, store.P("cells", "c1"), lock.S); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	p.WriteMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE colock_protocol_ops_total counter",
+		`colock_protocol_ops_total{op="requests"} 1`,
+		`colock_protocol_ops_total{op="upward_locks"}`,
+		`colock_protocol_ops_total{op="downward_propagations"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnitKindOfClassifier(t *testing.T) {
+	st := store.PaperDatabase()
+	nm := NewNamer(st.Catalog(), false)
+	kindOf := UnitKindOf(nm)
+	cases := map[lock.Resource]string{
+		"db1":                                    "database",
+		"db1/seg1":                               "segment",
+		"db1/seg1/cells":                         "relation",
+		"db1/seg1/cells/c1":                      "entry-point",
+		"db1/seg1/cells/c1/robots":               "HoLU",
+		"db1/seg1/cells/c1/robots/r1":            "HeLU",
+		"db1/seg1/cells/c1/robots/r1/trajectory": "BLU",
+		"db1/seg1/cells/c1/robots/r1/#attrs":     "BLU",
+		"db1/seg1/nosuchrel/x/y/z":               "other",
+	}
+	for r, want := range cases {
+		if got := UnitKindLabels[kindOf(r)]; got != want {
+			t.Errorf("UnitKindOf(%q) = %s, want %s", r, got, want)
+		}
+	}
+}

@@ -21,16 +21,25 @@ package lock
 // waitsFor computes the out-edges of txn in the waits-for graph, latching
 // only the single shard of the resource txn waits on.
 func (m *Manager) waitsFor(txn TxnID) []TxnID {
+	_, _, out := m.blockers(txn)
+	return out
+}
+
+// blockers returns the resource and mode of txn's outstanding request plus
+// the transactions blocking it (its waits-for out-edges), latching only the
+// single shard of that resource. The introspection layer (WaitsForEdges)
+// shares this walk with the detector.
+func (m *Manager) blockers(txn TxnID) (Resource, Mode, []TxnID) {
 	rec := m.wf.get(txn)
 	if rec == nil {
-		return nil
+		return "", None, nil
 	}
 	s := m.shardFor(rec.res)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.res[rec.res]
 	if e == nil {
-		return nil
+		return rec.res, rec.w.mode, nil
 	}
 	pos := -1
 	for i, w := range e.queue {
@@ -42,7 +51,7 @@ func (m *Manager) waitsFor(txn TxnID) []TxnID {
 	if pos < 0 {
 		// The waiter was granted or withdrawn between registry and shard
 		// lookup; it no longer blocks on anything.
-		return nil
+		return rec.res, rec.w.mode, nil
 	}
 	var out []TxnID
 	seen := make(map[TxnID]bool)
@@ -63,7 +72,7 @@ func (m *Manager) waitsFor(txn TxnID) []TxnID {
 			add(w.txn)
 		}
 	}
-	return out
+	return rec.res, rec.w.mode, out
 }
 
 // findDeadlockVictim searches for a waits-for cycle reachable from start
@@ -130,8 +139,8 @@ func (m *Manager) resolveDeadlock(txn TxnID, r Resource, w *waiter, target Mode)
 		m.abortWaiter(victim)
 		return nil, false
 	}
+	tr := m.newTracer()
 	s := m.shardFor(r)
-	var evs []Event
 	s.mu.Lock()
 	select {
 	case err := <-w.ready:
@@ -144,10 +153,10 @@ func (m *Manager) resolveDeadlock(txn TxnID, r Resource, w *waiter, target Mode)
 	s.removeWaiter(r, w)
 	m.wf.delete(txn)
 	s.stats.deadlocks.Add(1)
-	evs = m.ev(evs, "victim", txn, r, target)
-	evs = m.grantWaitersLocked(s, r, evs)
+	tr.add(Event{Kind: "victim", Txn: txn, Resource: r, Mode: target, Shard: s.idx}, w.enq)
+	m.grantWaitersLocked(tr, s, r)
 	s.mu.Unlock()
-	m.deliver(evs)
+	tr.deliver()
 	return lockErr(txn, r, target, ErrDeadlock), true
 }
 
@@ -159,8 +168,8 @@ func (m *Manager) abortWaiter(victim TxnID) bool {
 	if rec == nil {
 		return false
 	}
+	tr := m.newTracer()
 	s := m.shardFor(rec.res)
-	var evs []Event
 	s.mu.Lock()
 	if !s.removeWaiter(rec.res, rec.w) {
 		s.mu.Unlock()
@@ -168,11 +177,11 @@ func (m *Manager) abortWaiter(victim TxnID) bool {
 	}
 	m.wf.delete(victim)
 	s.stats.deadlocks.Add(1)
-	evs = m.ev(evs, "victim", victim, rec.res, rec.w.mode)
+	tr.add(Event{Kind: "victim", Txn: victim, Resource: rec.res, Mode: rec.w.mode, Shard: s.idx}, rec.w.enq)
 	rec.w.ready <- lockErr(victim, rec.res, rec.w.mode, ErrDeadlock)
 	// The victim's departure may unblock others.
-	evs = m.grantWaitersLocked(s, rec.res, evs)
+	m.grantWaitersLocked(tr, s, rec.res)
 	s.mu.Unlock()
-	m.deliver(evs)
+	tr.deliver()
 	return true
 }

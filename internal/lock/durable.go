@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Durable ("long") locks. The paper (§3.1): "Complex objects which are
@@ -76,8 +77,8 @@ func DecodeSnapshot(data []byte) ([]DurableLock, error) {
 // is reported as an error.
 func (m *Manager) Restore(locks []DurableLock) error {
 	for _, dl := range locks {
+		tr := m.newTracer()
 		s := m.shardFor(dl.Resource)
-		var evs []Event
 		s.mu.Lock()
 		e := s.entryFor(dl.Resource)
 		if !e.compatibleWithGranted(dl.Txn, dl.Mode) {
@@ -91,9 +92,13 @@ func (m *Manager) Restore(locks []DurableLock) error {
 			s.mu.Unlock()
 			continue
 		}
-		evs = m.grantLocked(s, e, dl.Txn, dl.Resource, dl.Mode, true, false, evs)
+		var start time.Time
+		if tr != nil {
+			start = tr.start
+		}
+		m.grantLocked(tr, s, e, dl.Txn, dl.Resource, dl.Mode, true, false, false, start)
 		s.mu.Unlock()
-		m.deliver(evs)
+		tr.deliver()
 	}
 	return nil
 }

@@ -1,0 +1,322 @@
+package lock
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingSink is a trivial EventSink for tests.
+type recordingSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (rs *recordingSink) Record(e Event) {
+	rs.mu.Lock()
+	rs.events = append(rs.events, e)
+	rs.mu.Unlock()
+}
+
+func (rs *recordingSink) kinds() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]string, len(rs.events))
+	for i, e := range rs.events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+// The OnEvent hook and every sink see the same event stream, in the same
+// order, without double-buffering (one tracer buffer fans out to all).
+func TestSinkComposition(t *testing.T) {
+	var hook recordingSink
+	s1, s2 := &recordingSink{}, &recordingSink{}
+	m := NewManager(Options{OnEvent: hook.Record, Sinks: []EventSink{s1, s2}})
+	if err := m.Acquire(1, "a", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+
+	want := []string{"grant", "convert", "release"}
+	for name, got := range map[string][]string{
+		"hook": hook.kinds(), "sink1": s1.kinds(), "sink2": s2.kinds(),
+	} {
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("%s saw %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestAttachSink(t *testing.T) {
+	m := NewManager(Options{})
+	// With no consumer at all, operations are untraced.
+	if err := m.Acquire(1, "a", S); err != nil {
+		t.Fatal(err)
+	}
+	late := &recordingSink{}
+	m.AttachSink(late)
+	if err := m.Acquire(1, "b", S); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	got := late.kinds()
+	// The late sink sees the post-attach grant and both releases.
+	if len(got) != 3 || got[0] != "grant" {
+		t.Errorf("late sink saw %v, want [grant release release]", got)
+	}
+}
+
+// A sink may call back into the manager: delivery happens with no latch
+// held, same contract as the OnEvent hook.
+func TestSinkMayReenter(t *testing.T) {
+	var m *Manager
+	var counts []int
+	var mu sync.Mutex
+	sink := sinkFunc(func(e Event) {
+		mu.Lock()
+		counts = append(counts, m.LockCount())
+		mu.Unlock()
+	})
+	m = NewManager(Options{Sinks: []EventSink{sink}})
+	if err := m.Acquire(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	if len(counts) != 2 || counts[0] != 1 || counts[1] != 0 {
+		t.Errorf("LockCount seen by sink = %v, want [1 0]", counts)
+	}
+}
+
+type sinkFunc func(Event)
+
+func (f sinkFunc) Record(e Event) { f(e) }
+
+// Event metadata: grants carry the serving shard and a fast-path latency;
+// releases carry the released mode and the hold time.
+func TestEventTimestampsAndDurations(t *testing.T) {
+	sink := &recordingSink{}
+	m := NewManager(Options{Sinks: []EventSink{sink}})
+	if err := m.Acquire(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	m.ReleaseAll(1)
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.events) != 2 {
+		t.Fatalf("events = %v", sink.events)
+	}
+	g, r := sink.events[0], sink.events[1]
+	if g.Kind != "grant" || g.At.IsZero() || g.Dur < 0 || g.Waited {
+		t.Errorf("grant event = %+v", g)
+	}
+	if g.Shard != int(m.shardIndex("a")) {
+		t.Errorf("grant shard = %d, want %d", g.Shard, m.shardIndex("a"))
+	}
+	if r.Kind != "release" || r.Mode != X {
+		t.Errorf("release event = %+v, want mode X", r)
+	}
+	if r.Dur < 2*time.Millisecond {
+		t.Errorf("release hold time = %v, want ≥ 2ms", r.Dur)
+	}
+	if !r.At.After(g.At) {
+		t.Errorf("release At %v not after grant At %v", r.At, g.At)
+	}
+}
+
+// Under -race: per-operation event ordering must hold through a shared sink
+// even with many concurrent operations — for any (txn, resource) the stream
+// is grant, then release, repeated, never reordered or dropped.
+func TestConcurrentEventOrdering(t *testing.T) {
+	sink := &recordingSink{}
+	m := NewManager(Options{Sinks: []EventSink{sink}})
+	const workers, iters = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			txn := TxnID(w + 1)
+			for i := 0; i < iters; i++ {
+				r := Resource(fmt.Sprintf("r%d", w%4)) // some sharing
+				if err := m.Acquire(txn, r, S); err != nil {
+					t.Error(err)
+					return
+				}
+				m.Release(txn, r)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	type key struct {
+		txn TxnID
+		res Resource
+	}
+	holding := make(map[key]bool)
+	var grants, releases int
+	for _, e := range sink.events {
+		k := key{e.Txn, e.Resource}
+		switch e.Kind {
+		case "grant":
+			if holding[k] {
+				t.Fatalf("double grant without release for %+v", k)
+			}
+			holding[k] = true
+			grants++
+		case "release":
+			if !holding[k] {
+				t.Fatalf("release without grant for %+v", k)
+			}
+			holding[k] = false
+			releases++
+		}
+	}
+	if grants != workers*iters || releases != workers*iters {
+		t.Fatalf("grants=%d releases=%d, want %d each", grants, releases, workers*iters)
+	}
+}
+
+func TestSnapshotQueues(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.Acquire(1, "a", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "a", S); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(3, "a", X) }()
+	for i := 0; m.WaitingTxns() == 0; i++ {
+		if i > 2000 {
+			t.Fatal("txn 3 never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	qs := m.SnapshotQueues()
+	if len(qs) != 1 {
+		t.Fatalf("queues = %+v, want one entry", qs)
+	}
+	q := qs[0]
+	if q.Resource != "a" || !q.Contended() {
+		t.Fatalf("queue = %+v", q)
+	}
+	if len(q.Granted) != 2 || q.Granted[0].Txn != 1 || q.Granted[1].Txn != 2 {
+		t.Errorf("granted = %+v, want txns 1,2 in grant order", q.Granted)
+	}
+	for _, g := range q.Granted {
+		if g.Mode != S {
+			t.Errorf("granted mode = %v, want S", g.Mode)
+		}
+	}
+	if len(q.Waiting) != 1 || q.Waiting[0].Txn != 3 || q.Waiting[0].Mode != X {
+		t.Errorf("waiting = %+v, want txn 3 in X", q.Waiting)
+	}
+
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+	if qs := m.SnapshotQueues(); len(qs) != 0 {
+		t.Errorf("queues after drain = %+v, want empty", qs)
+	}
+}
+
+// PolicyNone performs neither detection nor prevention: a genuine deadlock
+// persists, visible to the waits-for introspection, until a participant is
+// withdrawn by timeout or released by hand.
+func TestPolicyNoneLeavesDeadlockStanding(t *testing.T) {
+	m := NewManager(Options{Policy: PolicyNone})
+	if err := m.Acquire(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "b", X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(1, "b", X) }()
+	go func() { errs <- m.Acquire(2, "a", X) }()
+	for i := 0; m.WaitingTxns() < 2; i++ {
+		if i > 2000 {
+			t.Fatal("deadlock never formed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Still deadlocked after a grace period: nobody was aborted.
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case err := <-errs:
+		t.Fatalf("a waiter returned (%v); PolicyNone must not resolve deadlocks", err)
+	default:
+	}
+	if st := m.Stats(); st.Deadlocks != 0 {
+		t.Errorf("Deadlocks = %d, want 0 under PolicyNone", st.Deadlocks)
+	}
+
+	edges := m.WaitsForEdges()
+	if len(edges) != 2 {
+		t.Fatalf("waits-for edges = %+v, want 2", edges)
+	}
+	if edges[0].From != 1 || edges[0].To != 2 || edges[1].From != 2 || edges[1].To != 1 {
+		t.Errorf("edges = %+v, want 1→2 and 2→1", edges)
+	}
+	dot := m.WaitsForDOT()
+	if !strings.Contains(dot, "(victim)") || !strings.Contains(dot, "(victim edge)") {
+		t.Errorf("DOT missing victim annotations:\n%s", dot)
+	}
+
+	// Hand-resolve: abort the younger transaction.
+	m.ReleaseAll(2)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With timeouts, PolicyNone behaves like the timeout-based systems of the
+// paper's era: the deadlock breaks when a waiter's deadline expires.
+func TestPolicyNoneTimeoutBreaksDeadlock(t *testing.T) {
+	m := NewManager(Options{Policy: PolicyNone})
+	if err := m.Acquire(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "b", X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(1, "b", X) }()
+	go func() { errs <- m.AcquireTimeout(2, "a", X, 20*time.Millisecond) }()
+
+	var sawTimeout bool
+	err := <-errs // txn 2 times out, which lets... nothing move yet
+	if err != nil {
+		sawTimeout = true
+		m.ReleaseAll(2) // abort the timed-out transaction
+	} else {
+		t.Fatalf("txn 1 returned first with nil; expected txn 2's timeout")
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("txn 1 after timeout resolution: %v", err)
+	}
+	if !sawTimeout {
+		t.Fatal("no timeout observed")
+	}
+	m.ReleaseAll(1)
+}

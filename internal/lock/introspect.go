@@ -1,0 +1,255 @@
+package lock
+
+// Live lock-table introspection: per-resource grant/wait queues, per-shard
+// occupancy, and the waits-for graph with a Graphviz DOT export for
+// deadlock post-mortems. Everything here follows the latch-ordering
+// discipline of shard.go rule 3: at most one shard latch at a time, so the
+// result is a consistent per-resource (not a globally atomic) picture —
+// the same trade the cross-shard deadlock detector makes.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GrantInfo describes one granted lock in a queue snapshot.
+type GrantInfo struct {
+	Txn     TxnID
+	Mode    Mode
+	Durable bool
+	Seq     uint64 // global grant sequence number
+}
+
+// WaiterInfo describes one queued request in a queue snapshot.
+type WaiterInfo struct {
+	Txn     TxnID
+	Mode    Mode // target mode (post-conversion supremum for conversions)
+	Convert bool
+	Durable bool
+	// Since is the request's start time; zero when the enqueuing operation
+	// was not traced (no sinks, or sampled out).
+	Since time.Time
+}
+
+// QueueInfo is the snapshot of one resource's lock-table entry.
+type QueueInfo struct {
+	Resource Resource
+	Shard    int
+	Granted  []GrantInfo  // sorted by grant sequence
+	Waiting  []WaiterInfo // queue order (conversions first)
+}
+
+// Contended reports whether the resource has at least one queued waiter.
+func (q QueueInfo) Contended() bool { return len(q.Waiting) > 0 }
+
+// SnapshotQueues returns the granted set and wait queue of every resource
+// with a live lock-table entry, sorted by resource name. It latches one
+// shard at a time.
+func (m *Manager) SnapshotQueues() []QueueInfo {
+	var out []QueueInfo
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for r, e := range s.res {
+			q := QueueInfo{Resource: r, Shard: s.idx}
+			for t, h := range e.granted {
+				q.Granted = append(q.Granted, GrantInfo{Txn: t, Mode: h.mode, Durable: h.durable, Seq: h.seq})
+			}
+			sort.Slice(q.Granted, func(i, j int) bool { return q.Granted[i].Seq < q.Granted[j].Seq })
+			for _, w := range e.queue {
+				q.Waiting = append(q.Waiting, WaiterInfo{Txn: w.txn, Mode: w.mode, Convert: w.convert, Durable: w.durable, Since: w.enq})
+			}
+			out = append(out, q)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out
+}
+
+// ShardSizes returns the number of live lock-table entries per shard — the
+// per-stripe occupancy the exposition endpoint publishes. It latches one
+// shard at a time.
+func (m *Manager) ShardSizes() []int {
+	out := make([]int, len(m.shards))
+	for i, s := range m.shards {
+		s.mu.Lock()
+		out[i] = len(s.res)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ActiveTxns returns the number of distinct transactions currently holding
+// at least one lock.
+func (m *Manager) ActiveTxns() int {
+	n := 0
+	for _, ts := range m.txns {
+		ts.mu.Lock()
+		n += len(ts.held)
+		ts.mu.Unlock()
+	}
+	return n
+}
+
+// WaitingTxns returns the number of transactions with an outstanding
+// (blocked) lock request.
+func (m *Manager) WaitingTxns() int {
+	return len(m.wf.txns())
+}
+
+// WaitEdge is one edge of the waits-for graph: From's outstanding request
+// for Mode on Resource is blocked by To.
+type WaitEdge struct {
+	From, To TxnID
+	Resource Resource
+	Mode     Mode
+}
+
+// WaitsForEdges snapshots the waits-for graph: for every blocked
+// transaction, the transactions blocking it (incompatible holders and
+// earlier incompatible waiters). Edges are read one shard at a time, so
+// under churn the set is accurate edge-by-edge but not globally atomic —
+// genuine deadlock cycles are stable and always appear. The result is
+// sorted by (From, To).
+func (m *Manager) WaitsForEdges() []WaitEdge {
+	var out []WaitEdge
+	for _, txn := range m.wf.txns() {
+		res, mode, blockers := m.blockers(txn)
+		for _, to := range blockers {
+			out = append(out, WaitEdge{From: txn, To: to, Resource: res, Mode: mode})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// WaitsForDOT exports the current waits-for graph in Graphviz DOT format
+// for deadlock post-mortems. Transactions on a detected cycle are marked;
+// the victim — the youngest (highest-ID) member of its cycle, i.e. the
+// transaction the detector would abort — is highlighted and its outgoing
+// cycle edge is labeled "victim edge". Useful with PolicyNone, where
+// deadlocks persist instead of being resolved, and for dashboards that
+// render the live wait topology.
+func (m *Manager) WaitsForDOT() string {
+	edges := m.WaitsForEdges()
+	return waitsForDOT(edges)
+}
+
+// waitsForDOT renders an edge set; split out for deterministic testing.
+func waitsForDOT(edges []WaitEdge) string {
+	adj := make(map[TxnID][]TxnID)
+	nodes := make(map[TxnID]bool)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		nodes[e.From], nodes[e.To] = true, true
+	}
+
+	onCycle, victims, victimEdges := cycleAnalysis(adj)
+
+	ids := make([]TxnID, 0, len(nodes))
+	for t := range nodes {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var b strings.Builder
+	b.WriteString("digraph waitsfor {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=ellipse];\n")
+	for _, t := range ids {
+		switch {
+		case victims[t]:
+			fmt.Fprintf(&b, "  t%d [label=\"txn %d (victim)\", color=red, style=bold];\n", t, t)
+		case onCycle[t]:
+			fmt.Fprintf(&b, "  t%d [label=\"txn %d\", color=red];\n", t, t)
+		default:
+			fmt.Fprintf(&b, "  t%d [label=\"txn %d\"];\n", t, t)
+		}
+	}
+	for _, e := range edges {
+		label := fmt.Sprintf("%s %s", e.Mode, dotEscape(string(e.Resource)))
+		if victimEdges[[2]TxnID{e.From, e.To}] {
+			fmt.Fprintf(&b, "  t%d -> t%d [label=\"%s (victim edge)\", color=red, style=bold];\n", e.From, e.To, label)
+		} else {
+			fmt.Fprintf(&b, "  t%d -> t%d [label=\"%s\"];\n", e.From, e.To, label)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// cycleAnalysis finds the nodes on waits-for cycles, the victim of each
+// cycle (its youngest member), and the victim's outgoing edge within its
+// cycle — the edge whose removal (aborting the victim) breaks the cycle.
+func cycleAnalysis(adj map[TxnID][]TxnID) (onCycle, victims map[TxnID]bool, victimEdges map[[2]TxnID]bool) {
+	onCycle = make(map[TxnID]bool)
+	victims = make(map[TxnID]bool)
+	victimEdges = make(map[[2]TxnID]bool)
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[TxnID]int)
+	var path []TxnID
+
+	starts := make([]TxnID, 0, len(adj))
+	for t := range adj {
+		starts = append(starts, t)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	var dfs func(t TxnID)
+	dfs = func(t TxnID) {
+		color[t] = grey
+		path = append(path, t)
+		for _, next := range adj[t] {
+			switch color[next] {
+			case grey:
+				// Cycle: the path suffix from next to t.
+				i := len(path) - 1
+				for ; i >= 0 && path[i] != next; i-- {
+				}
+				cycle := path[i:]
+				victim := cycle[0]
+				for _, c := range cycle {
+					onCycle[c] = true
+					if c > victim {
+						victim = c
+					}
+				}
+				victims[victim] = true
+				// The victim's successor on the cycle.
+				for k, c := range cycle {
+					if c == victim {
+						victimEdges[[2]TxnID{victim, cycle[(k+1)%len(cycle)]}] = true
+					}
+				}
+			case white:
+				dfs(next)
+			}
+		}
+		color[t] = black
+		path = path[:len(path)-1]
+	}
+	for _, t := range starts {
+		if color[t] == white {
+			dfs(t)
+		}
+	}
+	return onCycle, victims, victimEdges
+}
+
+// dotEscape escapes a string for use inside a double-quoted DOT string.
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -42,12 +42,36 @@ type Held struct {
 	Seq      uint64 // global grant sequence number (acquisition order)
 }
 
-// Event is a lock-manager trace event, delivered to the OnEvent hook.
+// Event is a lock-manager trace event, delivered to every attached consumer
+// (the OnEvent hook and the Options.Sinks).
 type Event struct {
 	Kind     string // "grant", "wait", "convert", "release", "victim", "downgrade", "timeout", "cancel"
 	Txn      TxnID
 	Resource Resource
 	Mode     Mode
+	// Shard is the lock-table stripe that served the operation.
+	Shard int
+	// Waited reports, on grant/convert events, that the request queued
+	// before being granted (its Dur is then a real wait, not a fast-path
+	// latency).
+	Waited bool
+	// At is the monotonic timestamp taken when the event was recorded
+	// (zero when the operation fell outside the EventSampleShift sample).
+	At time.Time
+	// Dur is a kind-dependent duration: for grant/convert it is the
+	// request-to-grant latency, for release the hold time of the dropped
+	// lock, for timeout/cancel/victim the time spent blocked before the
+	// request was withdrawn. Zero for wait/downgrade events, and zero
+	// whenever the needed reference timestamp was not captured (the
+	// matching earlier operation fell outside the sample).
+	Dur time.Duration
+}
+
+// EventSink consumes trace events. Sinks are invoked exactly like the
+// OnEvent hook: by the goroutine performing the operation, after all manager
+// latches have been released, so a sink may call back into the manager.
+type EventSink interface {
+	Record(Event)
 }
 
 // Policy selects how deadlocks are handled.
@@ -63,12 +87,21 @@ const (
 	// holder. Deadlock-free by construction, at the price of spurious
 	// aborts.
 	PolicyWaitDie
+	// PolicyNone disables detection and prevention entirely: waiters block
+	// until granted or withdrawn (context, WithTimeout). Deadlocks persist,
+	// which is exactly what the waits-for introspection (WaitsForEdges,
+	// WaitsForDOT) needs for post-mortems; pair it with timeouts, as the
+	// timeout-based systems of the paper's era did.
+	PolicyNone
 )
 
 // String names the policy.
 func (p Policy) String() string {
-	if p == PolicyWaitDie {
+	switch p {
+	case PolicyWaitDie:
 		return "wait-die"
+	case PolicyNone:
+		return "none"
 	}
 	return "detect"
 }
@@ -82,6 +115,17 @@ type Options struct {
 	// manager. Events of one operation arrive in order; ordering across
 	// concurrent operations on different resources is best-effort.
 	OnEvent func(Event)
+	// Sinks are additional event consumers (e.g. an obs.Collector),
+	// composed with OnEvent: every event is delivered to the hook and to
+	// each sink, in order, under the same no-latch contract. Use
+	// AttachSink to add one after construction.
+	Sinks []EventSink
+	// EventSampleShift samples event emission by operation: only one in
+	// 2^EventSampleShift operations is traced (0, the default, traces every
+	// operation). Sampling decides per operation, so the traced operations
+	// still deliver all their events in order; it exists to keep tracing
+	// overhead negligible on benchmark-grade hot paths.
+	EventSampleShift uint8
 	// Policy selects deadlock handling (default PolicyDetect).
 	Policy Policy
 	// Shards is the number of lock-table stripes. 0 picks an automatic
@@ -95,6 +139,9 @@ type heldLock struct {
 	mode    Mode
 	durable bool
 	seq     uint64
+	// since is the grant time, kept only when the granting operation was
+	// traced; it is the reference for the release event's hold duration.
+	since time.Time
 }
 
 type waiter struct {
@@ -103,6 +150,9 @@ type waiter struct {
 	convert bool
 	durable bool
 	ready   chan error
+	// enq is the request's start time, kept only when the enqueuing
+	// operation was traced; it is the reference for wait durations.
+	enq time.Time
 }
 
 type entry struct {
@@ -123,6 +173,13 @@ type Manager struct {
 	seq     atomic.Uint64 // global grant sequence
 	size    atomic.Int64  // granted lock-table entries across all shards
 	high    atomic.Int64  // high-water mark of size
+
+	// sinks is the composed consumer list (OnEvent hook + Options.Sinks +
+	// AttachSink additions); nil when tracing is off. Copy-on-write behind
+	// an atomic pointer so the hot path pays one load.
+	sinks      atomic.Pointer[[]func(Event)]
+	opSeq      atomic.Uint64 // operation counter for event sampling
+	sampleMask uint64        // 2^EventSampleShift − 1
 }
 
 // NewManager returns an empty lock manager.
@@ -146,11 +203,44 @@ func NewManager(opts Options) *Manager {
 		txnMask: uint32(n - 1),
 	}
 	for i := 0; i < n; i++ {
-		m.shards[i] = newTableShard()
+		m.shards[i] = newTableShard(i)
 		m.txns[i] = newTxnShard()
 	}
 	m.wf.waiting = make(map[TxnID]*waitRecord)
+	m.sampleMask = (uint64(1) << opts.EventSampleShift) - 1
+	var fns []func(Event)
+	if opts.OnEvent != nil {
+		fns = append(fns, opts.OnEvent)
+	}
+	for _, s := range opts.Sinks {
+		if s != nil {
+			fns = append(fns, s.Record)
+		}
+	}
+	if len(fns) > 0 {
+		m.sinks.Store(&fns)
+	}
 	return m
+}
+
+// AttachSink adds an event consumer after construction. Safe for concurrent
+// use; operations already past their sampling decision keep the consumer
+// list they loaded.
+func (m *Manager) AttachSink(s EventSink) {
+	if s == nil {
+		return
+	}
+	for {
+		old := m.sinks.Load()
+		var fns []func(Event)
+		if old != nil {
+			fns = append(fns, *old...)
+		}
+		fns = append(fns, s.Record)
+		if m.sinks.CompareAndSwap(old, &fns) {
+			return
+		}
+	}
 }
 
 // NumShards returns the number of lock-table stripes.
@@ -164,24 +254,70 @@ func (m *Manager) txnShardFor(txn TxnID) *txnShard {
 	return m.txns[uint32(txn)&m.txnMask]
 }
 
-// ev appends a trace event to the operation's buffer (only when a hook is
-// installed, to keep the hot path allocation-free).
-func (m *Manager) ev(evs []Event, kind string, txn TxnID, r Resource, mode Mode) []Event {
-	if m.opts.OnEvent == nil {
-		return evs
-	}
-	return append(evs, Event{Kind: kind, Txn: txn, Resource: r, Mode: mode})
+// tracer buffers one operation's events for delivery to every consumer
+// after the shard latch is released. A nil *tracer (untraced operation —
+// no consumers attached, or sampled out) records nothing, so call sites
+// need no guards. This replaces the old single-hook ev/deliver pair: one
+// buffer now fans out to N consumers without double-buffering.
+type tracer struct {
+	fns   []func(Event)
+	start time.Time // operation start, the fast-path latency reference
+	evs   []Event
 }
 
-// deliver invokes the OnEvent hook for each buffered event. MUST be called
-// with no manager latch held.
-func (m *Manager) deliver(evs []Event) {
-	if m.opts.OnEvent == nil {
+// newTracer makes the per-operation tracing decision: nil when no consumer
+// is attached or the operation falls outside the 1-in-2^EventSampleShift
+// sample. Untraced operations pay one atomic load (plus one counter add
+// when sampling is on) and never touch the clock.
+func (m *Manager) newTracer() *tracer {
+	p := m.sinks.Load()
+	if p == nil || (m.sampleMask != 0 && m.opSeq.Add(1)&m.sampleMask != 0) {
+		return nil
+	}
+	return &tracer{fns: *p, start: time.Now()}
+}
+
+// add buffers an event, stamping At with now and Dur with now − ref (zero
+// ref leaves Dur zero).
+func (t *tracer) add(e Event, ref time.Time) {
+	if t == nil {
 		return
 	}
-	for _, e := range evs {
-		m.opts.OnEvent(e)
+	t.addAt(e, time.Now(), ref)
+}
+
+// addFast buffers an event stamped with the operation-start time instead of
+// a fresh clock read. Only for events emitted by short non-blocking
+// operations (release, downgrade), where the sub-microsecond staleness is
+// irrelevant but the saved time.Now call is the bulk of the traced cost.
+func (t *tracer) addFast(e Event, ref time.Time) {
+	if t == nil {
+		return
 	}
+	t.addAt(e, t.start, ref)
+}
+
+func (t *tracer) addAt(e Event, now, ref time.Time) {
+	e.At = now
+	if !ref.IsZero() {
+		e.Dur = now.Sub(ref)
+	}
+	t.evs = append(t.evs, e)
+}
+
+// deliver invokes every consumer for each buffered event, in order, and
+// resets the buffer (an operation may buffer and deliver in several rounds,
+// e.g. wait then withdraw). MUST be called with no manager latch held.
+func (t *tracer) deliver() {
+	if t == nil || len(t.evs) == 0 {
+		return
+	}
+	for _, e := range t.evs {
+		for _, fn := range t.fns {
+			fn(e)
+		}
+	}
+	t.evs = t.evs[:0]
 }
 
 // compatibleWithGranted reports whether txn may hold mode on e given the
@@ -315,8 +451,8 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 		return lockErr(txn, r, mode, err)
 	}
 
+	tr := m.newTracer()
 	s := m.shardFor(r)
-	var evs []Event
 	s.mu.Lock()
 	s.stats.requests.Add(1)
 
@@ -343,9 +479,13 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 	grantable := e.compatibleWithGranted(txn, target) &&
 		(convert || !e.hasBlockingQueue(txn, target))
 	if grantable {
-		evs = m.grantLocked(s, e, txn, r, target, cfg.durable || (h != nil && h.durable), convert, evs)
+		var start time.Time
+		if tr != nil {
+			start = tr.start
+		}
+		m.grantLocked(tr, s, e, txn, r, target, cfg.durable || (h != nil && h.durable), convert, false, start)
 		s.mu.Unlock()
-		m.deliver(evs)
+		tr.deliver()
 		return nil
 	}
 
@@ -360,15 +500,20 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 		s.stats.conflicts.Add(1)
 		s.stats.deadlocks.Add(1)
 		s.maybeDropEntry(r)
-		evs = m.ev(evs, "victim", txn, r, target)
+		if tr != nil {
+			tr.add(Event{Kind: "victim", Txn: txn, Resource: r, Mode: target, Shard: s.idx}, tr.start)
+		}
 		s.mu.Unlock()
-		m.deliver(evs)
+		tr.deliver()
 		return lockErr(txn, r, mode, ErrDeadlock)
 	}
 
 	// Enqueue. Conversions are placed after existing conversion waiters but
 	// ahead of plain waiters, giving them the classic conversion priority.
 	w := &waiter{txn: txn, mode: target, convert: convert, durable: cfg.durable, ready: make(chan error, 1)}
+	if tr != nil {
+		w.enq = tr.start
+	}
 	if convert {
 		i := 0
 		for i < len(e.queue) && e.queue[i].convert {
@@ -383,26 +528,27 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 	m.wf.put(txn, &waitRecord{res: r, w: w})
 	s.stats.conflicts.Add(1)
 	s.stats.waits.Add(1)
-	evs = m.ev(evs, "wait", txn, r, target)
+	tr.add(Event{Kind: "wait", Txn: txn, Resource: r, Mode: target, Shard: s.idx}, time.Time{})
 	s.mu.Unlock()
-	m.deliver(evs)
+	tr.deliver()
 
 	// Deadlock check: did enqueuing this waiter close a cycle? Runs with NO
 	// shard latch held — the detector latches one shard at a time (see
 	// deadlock.go). Under wait-die no cycle can form (the young-waits-for-old
-	// edge was refused above), so detection is skipped.
+	// edge was refused above), so detection is skipped; under PolicyNone the
+	// cycle is left in place for timeouts and introspection to deal with.
 	if m.opts.Policy == PolicyDetect {
 		if err, victim := m.resolveDeadlock(txn, r, w, target); victim {
 			return err
 		}
 	}
 
-	return m.await(ctx, cfg, txn, r, w, mode, target)
+	return m.await(ctx, cfg, tr, txn, r, w, mode, target)
 }
 
 // await blocks on the waiter's ready channel, the context and the optional
 // timeout, withdrawing the waiter on context/timeout expiry.
-func (m *Manager) await(ctx context.Context, cfg acquireConfig, txn TxnID, r Resource, w *waiter, mode, target Mode) error {
+func (m *Manager) await(ctx context.Context, cfg acquireConfig, tr *tracer, txn TxnID, r Resource, w *waiter, mode, target Mode) error {
 	var timerC <-chan time.Time
 	if cfg.timeout > 0 {
 		timer := time.NewTimer(cfg.timeout)
@@ -413,9 +559,9 @@ func (m *Manager) await(ctx context.Context, cfg acquireConfig, txn TxnID, r Res
 	case err := <-w.ready:
 		return err
 	case <-ctx.Done():
-		return m.withdraw(txn, r, w, mode, target, ctx.Err(), "cancel")
+		return m.withdraw(tr, txn, r, w, mode, target, ctx.Err(), "cancel")
 	case <-timerC:
-		return m.withdraw(txn, r, w, mode, target, ErrTimeout, "timeout")
+		return m.withdraw(tr, txn, r, w, mode, target, ErrTimeout, "timeout")
 	}
 }
 
@@ -423,9 +569,8 @@ func (m *Manager) await(ctx context.Context, cfg acquireConfig, txn TxnID, r Res
 // may have raced the wakeup: the ready channel is buffered, so a completed
 // grant (or a deadlock abort) is drained here and that outcome returned
 // instead.
-func (m *Manager) withdraw(txn TxnID, r Resource, w *waiter, mode, target Mode, cause error, kind string) error {
+func (m *Manager) withdraw(tr *tracer, txn TxnID, r Resource, w *waiter, mode, target Mode, cause error, kind string) error {
 	s := m.shardFor(r)
-	var evs []Event
 	s.mu.Lock()
 	select {
 	case err := <-w.ready:
@@ -440,17 +585,19 @@ func (m *Manager) withdraw(txn TxnID, r Resource, w *waiter, mode, target Mode, 
 	} else {
 		s.stats.cancels.Add(1)
 	}
-	evs = m.ev(evs, kind, txn, r, target)
+	tr.add(Event{Kind: kind, Txn: txn, Resource: r, Mode: target, Shard: s.idx}, w.enq)
 	// The withdrawn waiter may have been the FIFO barrier for later ones.
-	evs = m.grantWaitersLocked(s, r, evs)
+	m.grantWaitersLocked(tr, s, r)
 	s.mu.Unlock()
-	m.deliver(evs)
+	tr.deliver()
 	return lockErr(txn, r, mode, cause)
 }
 
 // grantLocked installs (or converts) txn's lock on r. Caller holds s.mu;
-// trace events are appended to evs for delivery after unlock.
-func (m *Manager) grantLocked(s *tableShard, e *entry, txn TxnID, r Resource, mode Mode, durable, convert bool, evs []Event) []Event {
+// the trace event (if the operation is traced) is buffered on tr for
+// delivery after unlock. ref is the latency reference: the request's start
+// for fast-path grants, the waiter's enqueue time for queued ones.
+func (m *Manager) grantLocked(tr *tracer, s *tableShard, e *entry, txn TxnID, r Resource, mode Mode, durable, convert, waited bool, ref time.Time) {
 	h := e.granted[txn]
 	if h == nil {
 		h = &heldLock{}
@@ -470,22 +617,31 @@ func (m *Manager) grantLocked(s *tableShard, e *entry, txn TxnID, r Resource, mo
 	h.mode = mode
 	h.durable = h.durable || durable
 	h.seq = m.seq.Add(1)
-	kind := "grant"
-	if convert {
-		kind = "convert"
+	if tr != nil {
+		kind := "grant"
+		if convert {
+			kind = "convert"
+		}
+		now := time.Now()
+		if h.since.IsZero() {
+			// First traced grant of this hold: the hold-duration clock
+			// starts here (conversions keep the original grant time).
+			h.since = now
+		}
+		tr.addAt(Event{Kind: kind, Txn: txn, Resource: r, Mode: mode, Shard: s.idx, Waited: waited}, now, ref)
 	}
-	return m.ev(evs, kind, txn, r, mode)
 }
 
 // grantWaitersLocked scans r's queue front to back, granting every waiter
 // that has become compatible. Conversions (kept at the front) may be granted
 // even when a later plain waiter cannot; the scan stops at the first
 // non-grantable plain waiter so that plain requests stay FIFO. Caller holds
-// s.mu.
-func (m *Manager) grantWaitersLocked(s *tableShard, r Resource, evs []Event) []Event {
+// s.mu. Grant events for woken waiters ride on the waking operation's
+// tracer (Dur measured from each waiter's own enqueue time).
+func (m *Manager) grantWaitersLocked(tr *tracer, s *tableShard, r Resource) {
 	e := s.res[r]
 	if e == nil {
-		return evs
+		return
 	}
 	for progress := true; progress; {
 		progress = false
@@ -494,7 +650,7 @@ func (m *Manager) grantWaitersLocked(s *tableShard, r Resource, evs []Event) []E
 			if ok {
 				e.queue = append(e.queue[:i], e.queue[i+1:]...)
 				m.wf.delete(w.txn)
-				evs = m.grantLocked(s, e, w.txn, r, w.mode, w.durable, w.convert, evs)
+				m.grantLocked(tr, s, e, w.txn, r, w.mode, w.durable, w.convert, true, w.enq)
 				w.ready <- nil
 				progress = true
 				break
@@ -505,7 +661,6 @@ func (m *Manager) grantWaitersLocked(s *tableShard, r Resource, evs []Event) []E
 		}
 	}
 	s.maybeDropEntry(r)
-	return evs
 }
 
 // Downgrade atomically lowers txn's lock on r to a weaker mode (e.g. X→IX
@@ -513,8 +668,8 @@ func (m *Manager) grantWaitersLocked(s *tableShard, r Resource, evs []Event) []E
 // with. Downgrading to None releases the lock. It is an error if txn holds
 // no lock on r or if mode is not weaker than (or equal to) the held mode.
 func (m *Manager) Downgrade(txn TxnID, r Resource, mode Mode) error {
+	tr := m.newTracer()
 	s := m.shardFor(r)
-	var evs []Event
 	s.mu.Lock()
 	e := s.res[r]
 	var h *heldLock
@@ -531,54 +686,67 @@ func (m *Manager) Downgrade(txn TxnID, r Resource, mode Mode) error {
 		return fmt.Errorf("lock: %v on %q cannot be downgraded to %v", held, r, mode)
 	}
 	if mode == None {
-		evs = m.releaseLocked(s, txn, r, evs)
+		m.releaseLocked(tr, s, txn, r)
 		s.mu.Unlock()
-		m.deliver(evs)
+		tr.deliver()
 		return nil
 	}
 	h.mode = mode
 	s.stats.downgrades.Add(1)
-	evs = m.ev(evs, "downgrade", txn, r, mode)
-	evs = m.grantWaitersLocked(s, r, evs)
+	tr.addFast(Event{Kind: "downgrade", Txn: txn, Resource: r, Mode: mode, Shard: s.idx}, time.Time{})
+	m.grantWaitersLocked(tr, s, r)
 	s.mu.Unlock()
-	m.deliver(evs)
+	tr.deliver()
 	return nil
 }
 
 // Release drops txn's lock on r (leaf-to-root early release). Releasing a
 // resource that is not held is a no-op.
 func (m *Manager) Release(txn TxnID, r Resource) {
+	tr := m.newTracer()
 	s := m.shardFor(r)
-	var evs []Event
 	s.mu.Lock()
-	evs = m.releaseLocked(s, txn, r, evs)
+	m.releaseLocked(tr, s, txn, r)
 	s.mu.Unlock()
-	m.deliver(evs)
+	tr.deliver()
 }
 
 // releaseLocked drops txn's granted lock on r and wakes unblocked waiters.
-// Caller holds s.mu.
-func (m *Manager) releaseLocked(s *tableShard, txn TxnID, r Resource, evs []Event) []Event {
+// Caller holds s.mu. The release event reports the dropped mode and, when
+// the grant was traced too, the hold duration.
+func (m *Manager) releaseLocked(tr *tracer, s *tableShard, txn TxnID, r Resource) {
 	e := s.res[r]
-	if e == nil || e.granted[txn] == nil {
-		return evs
+	h := (*heldLock)(nil)
+	if e != nil {
+		h = e.granted[txn]
+	}
+	if h == nil {
+		return
 	}
 	delete(e.granted, txn)
 	m.txnShardFor(txn).remove(txn, r)
 	m.size.Add(-1)
 	s.stats.releases.Add(1)
-	evs = m.ev(evs, "release", txn, r, None)
-	return m.grantWaitersLocked(s, r, evs)
+	tr.addFast(Event{Kind: "release", Txn: txn, Resource: r, Mode: h.mode, Shard: s.idx}, h.since)
+	m.grantWaitersLocked(tr, s, r)
 }
 
 // ReleaseAll drops every lock held by txn (end of transaction). Any granted
 // waiters are woken. The transaction's locks are found through the
 // sharded-by-txn held index, so release cost is proportional to the locks
-// held, not to the table size.
+// held, not to the table size. The whole call is ONE operation for event
+// sampling — a single tracer covers every released lock, so a 64-lock EOT
+// pays one sampling decision, not 64 — and events are delivered after all
+// shard latches have been dropped.
 func (m *Manager) ReleaseAll(txn TxnID) {
+	tr := m.newTracer()
 	for _, r := range m.txnShardFor(txn).snapshot(txn) {
-		m.Release(txn, r)
+		s := m.shardFor(r)
+		s.mu.Lock()
+		m.releaseLocked(tr, s, txn, r)
+		s.mu.Unlock()
 	}
+	tr.deliver()
 }
 
 // HeldMode returns the mode txn currently holds on r (None if unheld).

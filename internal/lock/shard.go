@@ -21,18 +21,20 @@ import (
 //  4. txn-shard and waits-for latches are leaves: code holding them may not
 //     acquire any other manager latch.
 //
-// OnEvent callbacks are delivered with NO latch held (see Options.OnEvent).
+// OnEvent callbacks and event sinks are delivered with NO latch held (see
+// Options.OnEvent / Options.Sinks).
 
 // tableShard is one stripe of the lock table: a resource→entry map and the
 // stripe's statistics counters.
 type tableShard struct {
 	mu    sync.Mutex
+	idx   int // stripe index, stamped into trace events
 	res   map[Resource]*entry
 	stats shardStats
 }
 
-func newTableShard() *tableShard {
-	return &tableShard{res: make(map[Resource]*entry)}
+func newTableShard(idx int) *tableShard {
+	return &tableShard{idx: idx, res: make(map[Resource]*entry)}
 }
 
 // entryFor returns (creating on demand) the shard's entry for r. Caller
@@ -196,6 +198,18 @@ func (wt *waitTable) delete(txn TxnID) {
 	wt.mu.Lock()
 	delete(wt.waiting, txn)
 	wt.mu.Unlock()
+}
+
+// txns returns the transactions with an outstanding lock request at the
+// moment of the call (unordered).
+func (wt *waitTable) txns() []TxnID {
+	wt.mu.Lock()
+	out := make([]TxnID, 0, len(wt.waiting))
+	for t := range wt.waiting {
+		out = append(out, t)
+	}
+	wt.mu.Unlock()
+	return out
 }
 
 // shardHash is fnv-1a over the resource name.

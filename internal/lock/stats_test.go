@@ -1,0 +1,48 @@
+package lock
+
+import "testing"
+
+// Pins the Stats algebra that benchmark phase-attribution relies on: Add
+// sums every counter but takes the MAX of MaxTableSize (high-water marks
+// do not add), and Sub subtracts every counter but carries MaxTableSize
+// over from the receiver unchanged (a high-water mark cannot be attributed
+// to a phase by subtraction).
+func TestStatsAddMaxVsSumAsymmetry(t *testing.T) {
+	a := Stats{Requests: 10, Waits: 4, MaxTableSize: 7}
+	b := Stats{Requests: 3, Waits: 1, MaxTableSize: 9}
+
+	ab := a.Add(b)
+	if ab.Requests != 13 || ab.Waits != 5 {
+		t.Errorf("Add counters = %+v, want field-wise sums", ab)
+	}
+	if ab.MaxTableSize != 9 {
+		t.Errorf("Add MaxTableSize = %d, want max(7,9)=9 not 16", ab.MaxTableSize)
+	}
+	ba := b.Add(a)
+	if ba != ab {
+		t.Errorf("Add not commutative: %+v vs %+v", ba, ab)
+	}
+	if aa := a.Add(a); aa.MaxTableSize != a.MaxTableSize {
+		t.Errorf("Add(self) MaxTableSize = %d, want unchanged %d", aa.MaxTableSize, a.MaxTableSize)
+	}
+}
+
+func TestStatsSubCarriesMaxTableSize(t *testing.T) {
+	before := Stats{Requests: 100, Grants: 60, Releases: 60, MaxTableSize: 12}
+	after := Stats{Requests: 250, Grants: 140, Releases: 140, MaxTableSize: 31}
+
+	phase := after.Sub(before)
+	if phase.Requests != 150 || phase.Grants != 80 || phase.Releases != 80 {
+		t.Errorf("Sub counters = %+v, want field-wise differences", phase)
+	}
+	// The high-water mark is NOT differenced: it carries over from the
+	// receiver (the "after" snapshot), because 31−12 would be meaningless.
+	if phase.MaxTableSize != 31 {
+		t.Errorf("Sub MaxTableSize = %d, want carry-over 31", phase.MaxTableSize)
+	}
+	// Round trip: (after − before) + before restores the counters and, by
+	// the max rule, the high-water mark.
+	if rt := phase.Add(before); rt != after {
+		t.Errorf("Sub/Add round trip = %+v, want %+v", rt, after)
+	}
+}

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"colock/internal/lock"
+)
+
+// Op names the three latency dimensions the collector distinguishes.
+type Op int
+
+const (
+	// OpAcquire is the request-to-grant latency of every granted request
+	// (fast-path grants included).
+	OpAcquire Op = iota
+	// OpWait is the time spent blocked: grants that queued first, plus
+	// withdrawn requests (timeout, cancel, deadlock victim).
+	OpWait
+	// OpHold is the grant-to-release hold time of a lock.
+	OpHold
+
+	nOps
+)
+
+// String names the op for labels.
+func (o Op) String() string {
+	switch o {
+	case OpAcquire:
+		return "acquire"
+	case OpWait:
+		return "wait"
+	case OpHold:
+		return "hold"
+	}
+	return "op?"
+}
+
+// nModes is the size of the lock.Mode dimension (None..X).
+const nModes = int(lock.X) + 1
+
+// eventKinds is the fixed set of event-kind counters; unknown kinds land
+// in "other".
+var eventKinds = [nEventKinds]string{"grant", "convert", "wait", "release", "downgrade", "victim", "timeout", "cancel", "other"}
+
+const nEventKinds = 9
+
+// DefaultKinds is the default lockable-unit-kind dimension, derived from
+// the hierarchical resource-name depth (database/segment/relation/object
+// path): the first four levels are the database HeLU, the segment HeLU,
+// the relation HoLU and the complex-object root — an entry point when
+// reached by downward propagation — and anything deeper is an inner node
+// of an object. Callers with schema knowledge (e.g. colockshell via
+// core.UnitKindOf) refine the deep levels into BLU/HoLU/HeLU.
+var DefaultKinds = []string{"database", "segment", "relation", "entry-point", "node", "BLU", "HoLU", "HeLU", "other"}
+
+// DepthKindOf classifies a resource by path depth into DefaultKinds.
+func DepthKindOf(r lock.Resource) int {
+	switch strings.Count(string(r), "/") {
+	case 0:
+		return 0 // database
+	case 1:
+		return 1 // segment
+	case 2:
+		return 2 // relation
+	case 3:
+		return 3 // complex-object root / entry point
+	default:
+		return 4 // inner node
+	}
+}
+
+// Options configures a Collector.
+type Options struct {
+	// RingSize is the per-ring event capacity (default 1024; negative
+	// disables event retention entirely, keeping only counters and
+	// histograms).
+	RingSize int
+	// Rings is the number of ring buffers (rounded up to a power of two,
+	// default 16). Events are routed by their lock-table shard index, so
+	// disjoint lock traffic lands on disjoint rings.
+	Rings int
+	// KindLabels and KindOf define the lockable-unit-kind dimension of the
+	// histograms; nil defaults to DefaultKinds/DepthKindOf. KindOf must
+	// return an index into KindLabels (out-of-range indexes are clamped to
+	// the last label).
+	KindLabels []string
+	KindOf     func(lock.Resource) int
+}
+
+// Collector consumes lock.Events (it is a lock.EventSink) and maintains
+// event-kind counters, acquire/wait/hold latency histograms keyed by lock
+// mode and lockable-unit kind, and per-shard ring buffers of recent events
+// drained by a reader — mirroring the manager's latch-free delivery
+// discipline: Record is called outside all manager latches and touches
+// only atomics plus one ring mutex.
+type Collector struct {
+	kindLabels []string
+	kindOf     func(lock.Resource) int
+
+	events [nEventKinds]atomic.Uint64
+	hists  []*Histogram // nOps × nModes × len(kindLabels), row-major
+
+	rings    []*ring
+	ringMask int
+}
+
+// NewCollector builds a collector.
+func NewCollector(opts Options) *Collector {
+	if opts.KindLabels == nil {
+		opts.KindLabels = DefaultKinds
+		if opts.KindOf == nil {
+			opts.KindOf = DepthKindOf
+		}
+	}
+	if opts.KindOf == nil {
+		opts.KindOf = func(lock.Resource) int { return 0 }
+	}
+	c := &Collector{
+		kindLabels: opts.KindLabels,
+		kindOf:     opts.KindOf,
+		hists:      make([]*Histogram, int(nOps)*nModes*len(opts.KindLabels)),
+	}
+	for i := range c.hists {
+		c.hists[i] = &Histogram{}
+	}
+	if opts.RingSize >= 0 {
+		size := opts.RingSize
+		if size == 0 {
+			size = 1024
+		}
+		n := opts.Rings
+		if n <= 0 {
+			n = 16
+		}
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		c.rings = make([]*ring, p)
+		for i := range c.rings {
+			c.rings[i] = &ring{cap: size}
+		}
+		c.ringMask = p - 1
+	}
+	return c
+}
+
+// hist returns the histogram for (op, mode, kind-of-resource).
+func (c *Collector) hist(op Op, mode lock.Mode, r lock.Resource) *Histogram {
+	mi := int(mode)
+	if mi >= nModes {
+		mi = nModes - 1
+	}
+	ki := c.kindOf(r)
+	if ki < 0 || ki >= len(c.kindLabels) {
+		ki = len(c.kindLabels) - 1
+	}
+	return c.hists[(int(op)*nModes+mi)*len(c.kindLabels)+ki]
+}
+
+func kindIndex(kind string) int {
+	for i, k := range eventKinds {
+		if k == kind {
+			return i
+		}
+	}
+	return len(eventKinds) - 1
+}
+
+// Record consumes one event. It is the lock.EventSink implementation and
+// runs on the operation's goroutine with no manager latch held.
+func (c *Collector) Record(e lock.Event) {
+	c.events[kindIndex(e.Kind)].Add(1)
+	switch e.Kind {
+	case "grant", "convert":
+		if e.Waited {
+			// Dur == 0 means the enqueue fell outside the event sample, so
+			// no wait reference exists — skip rather than record a zero.
+			if e.Dur > 0 {
+				c.hist(OpAcquire, e.Mode, e.Resource).Record(e.Dur)
+				c.hist(OpWait, e.Mode, e.Resource).Record(e.Dur)
+			}
+		} else {
+			c.hist(OpAcquire, e.Mode, e.Resource).Record(e.Dur)
+		}
+	case "timeout", "cancel", "victim":
+		if e.Dur > 0 {
+			c.hist(OpWait, e.Mode, e.Resource).Record(e.Dur)
+		}
+	case "release":
+		if e.Dur > 0 {
+			c.hist(OpHold, e.Mode, e.Resource).Record(e.Dur)
+		}
+	}
+	if c.rings != nil {
+		c.rings[e.Shard&c.ringMask].add(e)
+	}
+}
+
+// EventCount returns the number of events of the given kind seen so far.
+func (c *Collector) EventCount(kind string) uint64 {
+	return c.events[kindIndex(kind)].Load()
+}
+
+// EventCounts returns all event-kind counters (kind → count).
+func (c *Collector) EventCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(eventKinds))
+	for i, k := range eventKinds {
+		out[k] = c.events[i].Load()
+	}
+	return out
+}
+
+// HistView is one non-empty histogram with its labels.
+type HistView struct {
+	Op   Op
+	Mode lock.Mode
+	Kind string // lockable-unit kind label
+	Snap HistSnapshot
+}
+
+// Histograms returns a snapshot of every non-empty histogram, ordered by
+// (op, mode, kind).
+func (c *Collector) Histograms() []HistView {
+	var out []HistView
+	for op := Op(0); op < nOps; op++ {
+		for mi := 0; mi < nModes; mi++ {
+			for ki, kl := range c.kindLabels {
+				h := c.hists[(int(op)*nModes+mi)*len(c.kindLabels)+ki]
+				if h.Count() == 0 {
+					continue
+				}
+				out = append(out, HistView{Op: op, Mode: lock.Mode(mi), Kind: kl, Snap: h.Snapshot()})
+			}
+		}
+	}
+	return out
+}
+
+// Hist returns the snapshot of one (op, mode, kind-label) histogram
+// (zero-valued when the label is unknown or nothing was recorded).
+func (c *Collector) Hist(op Op, mode lock.Mode, kindLabel string) HistSnapshot {
+	for ki, kl := range c.kindLabels {
+		if kl == kindLabel {
+			mi := int(mode)
+			if mi >= nModes {
+				mi = nModes - 1
+			}
+			return c.hists[(int(op)*nModes+mi)*len(c.kindLabels)+ki].Snapshot()
+		}
+	}
+	return HistSnapshot{}
+}
+
+// Aggregate returns the merge of every histogram of one op across modes
+// and kinds — the headline acquire/wait/hold distribution.
+func (c *Collector) Aggregate(op Op) HistSnapshot {
+	var s HistSnapshot
+	for mi := 0; mi < nModes; mi++ {
+		for ki := range c.kindLabels {
+			hs := c.hists[(int(op)*nModes+mi)*len(c.kindLabels)+ki].Snapshot()
+			for b, n := range hs.Counts {
+				s.Counts[b] += n
+			}
+			s.Count += hs.Count
+			s.Sum += hs.Sum
+			if hs.Max > s.Max {
+				s.Max = hs.Max
+			}
+		}
+	}
+	return s
+}
+
+// ring is one bounded buffer of recent events behind its own small mutex
+// (Record runs outside manager latches, so a leaf mutex here is safe; ring
+// choice follows the lock-table shard, keeping disjoint traffic disjoint).
+type ring struct {
+	mu    sync.Mutex
+	buf   []lock.Event
+	start int // index of the oldest event in buf
+	cap   int
+}
+
+func (g *ring) add(e lock.Event) {
+	g.mu.Lock()
+	if len(g.buf) < g.cap {
+		g.buf = append(g.buf, e)
+	} else {
+		g.buf[g.start] = e
+		g.start = (g.start + 1) % g.cap
+	}
+	g.mu.Unlock()
+}
+
+// snapshot appends the ring's events (oldest first) to dst; clear empties
+// the ring.
+func (g *ring) snapshot(dst []lock.Event, clear bool) []lock.Event {
+	g.mu.Lock()
+	dst = append(dst, g.buf[g.start:]...)
+	dst = append(dst, g.buf[:g.start]...)
+	if clear {
+		g.buf = g.buf[:0]
+		g.start = 0
+	}
+	g.mu.Unlock()
+	return dst
+}
+
+// Drain removes and returns all buffered events, ordered by timestamp.
+// This is the reader side of the per-shard ring discipline: writers only
+// ever touch their own ring; the single reader merges.
+func (c *Collector) Drain() []lock.Event {
+	return c.collect(true)
+}
+
+// Recent returns up to n of the most recent buffered events (oldest first)
+// without consuming them. n ≤ 0 returns everything buffered.
+func (c *Collector) Recent(n int) []lock.Event {
+	evs := c.collect(false)
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+func (c *Collector) collect(clear bool) []lock.Event {
+	var evs []lock.Event
+	for _, g := range c.rings {
+		evs = g.snapshot(evs, clear)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) })
+	return evs
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+)
+
+func newTracedManager(t *testing.T, c *Collector) *lock.Manager {
+	t.Helper()
+	return lock.NewManager(lock.Options{Sinks: []lock.EventSink{c}})
+}
+
+func TestCollectorCountsAndHistograms(t *testing.T) {
+	c := NewCollector(Options{})
+	m := newTracedManager(t, c)
+
+	const db = lock.Resource("db1")
+	const rel = lock.Resource("db1/seg1/cells")
+	const obj = lock.Resource("db1/seg1/cells/c1")
+	if err := m.Acquire(1, db, lock.IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, rel, lock.IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, obj, lock.S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, obj, lock.X); err != nil { // conversion
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+
+	if got := c.EventCount("grant"); got != 3 {
+		t.Errorf("grant count = %d, want 3", got)
+	}
+	if got := c.EventCount("convert"); got != 1 {
+		t.Errorf("convert count = %d, want 1", got)
+	}
+	if got := c.EventCount("release"); got != 3 {
+		t.Errorf("release count = %d, want 3", got)
+	}
+
+	// Uncontended acquires land in the acquire histogram only.
+	if acq := c.Aggregate(OpAcquire); acq.Count != 4 {
+		t.Errorf("acquire observations = %d, want 4", acq.Count)
+	}
+	if w := c.Aggregate(OpWait); w.Count != 0 {
+		t.Errorf("wait observations = %d, want 0 (uncontended)", w.Count)
+	}
+	if h := c.Aggregate(OpHold); h.Count != 3 {
+		t.Errorf("hold observations = %d, want 3", h.Count)
+	}
+
+	// Dimension routing: db is depth 1, obj root is depth 4 ("entry-point").
+	if s := c.Hist(OpAcquire, lock.IX, "database"); s.Count != 1 {
+		t.Errorf("IX/database acquires = %d, want 1", s.Count)
+	}
+	if s := c.Hist(OpAcquire, lock.X, "entry-point"); s.Count != 1 {
+		t.Errorf("X/entry-point acquires (conversion) = %d, want 1", s.Count)
+	}
+}
+
+func TestCollectorWaitHistogram(t *testing.T) {
+	c := NewCollector(Options{})
+	m := newTracedManager(t, c)
+	r := lock.Resource("db1/seg1/cells/c1")
+
+	if err := m.Acquire(1, r, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, r, lock.X) }()
+	// Wait until txn 2 is queued, then release to grant it.
+	for i := 0; m.WaitingTxns() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("txn 2 never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+
+	w := c.Aggregate(OpWait)
+	if w.Count != 1 {
+		t.Fatalf("wait observations = %d, want 1", w.Count)
+	}
+	if w.Max < time.Millisecond {
+		t.Errorf("wait max = %v, want ≥ 1ms (we held the lock that long)", w.Max)
+	}
+	if c.EventCount("wait") != 1 {
+		t.Errorf("wait events = %d, want 1", c.EventCount("wait"))
+	}
+}
+
+func TestCollectorTimeoutFeedsWaitHistogram(t *testing.T) {
+	c := NewCollector(Options{})
+	m := newTracedManager(t, c)
+	r := lock.Resource("db1/seg1/cells/c1")
+
+	if err := m.Acquire(1, r, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	err := m.AcquireTimeout(2, r, lock.S, 5*time.Millisecond)
+	if !errors.Is(err, lock.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	m.ReleaseAll(1)
+
+	if c.EventCount("timeout") != 1 {
+		t.Fatalf("timeout events = %d, want 1", c.EventCount("timeout"))
+	}
+	w := c.Aggregate(OpWait)
+	if w.Count != 1 || w.Max < 5*time.Millisecond {
+		t.Errorf("wait hist count=%d max=%v, want 1 observation ≥ 5ms", w.Count, w.Max)
+	}
+}
+
+func TestCollectorRings(t *testing.T) {
+	c := NewCollector(Options{RingSize: 4, Rings: 2})
+	m := newTracedManager(t, c)
+	for i := 0; i < 10; i++ {
+		r := lock.Resource("db1/seg1/cells/c" + string(rune('a'+i)))
+		if err := m.Acquire(1, r, lock.S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recent := c.Recent(3)
+	if len(recent) != 3 {
+		t.Fatalf("Recent(3) returned %d events", len(recent))
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i].At.Before(recent[i-1].At) {
+			t.Fatal("Recent not time-ordered")
+		}
+	}
+	drained := c.Drain()
+	if len(drained) == 0 || len(drained) > 8 { // 2 rings × cap 4
+		t.Fatalf("Drain returned %d events, want 1..8", len(drained))
+	}
+	if got := c.Drain(); len(got) != 0 {
+		t.Fatalf("second Drain returned %d events, want 0", len(got))
+	}
+	// Counters are unaffected by draining.
+	if c.EventCount("grant") != 10 {
+		t.Errorf("grant count = %d, want 10", c.EventCount("grant"))
+	}
+	m.ReleaseAll(1)
+}
+
+func TestCollectorRingsDisabled(t *testing.T) {
+	c := NewCollector(Options{RingSize: -1})
+	m := newTracedManager(t, c)
+	if err := m.Acquire(1, "db1", lock.S); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	if evs := c.Recent(10); len(evs) != 0 {
+		t.Fatalf("retention disabled but Recent returned %d events", len(evs))
+	}
+	if c.EventCount("grant") != 1 {
+		t.Error("counters must still work with retention disabled")
+	}
+}
+
+func TestCollectorCustomKinds(t *testing.T) {
+	kinds := []string{"hot", "cold"}
+	c := NewCollector(Options{
+		KindLabels: kinds,
+		KindOf: func(r lock.Resource) int {
+			if strings.HasPrefix(string(r), "hot/") {
+				return 0
+			}
+			return 1
+		},
+	})
+	m := newTracedManager(t, c)
+	if err := m.Acquire(1, "hot/a", lock.S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, "cold/b", lock.S); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	if s := c.Hist(OpAcquire, lock.S, "hot"); s.Count != 1 {
+		t.Errorf("hot acquires = %d, want 1", s.Count)
+	}
+	if s := c.Hist(OpAcquire, lock.S, "cold"); s.Count != 1 {
+		t.Errorf("cold acquires = %d, want 1", s.Count)
+	}
+}
+
+func TestDepthKindOf(t *testing.T) {
+	cases := map[lock.Resource]string{
+		"db1":                          "database",
+		"db1/seg1":                     "segment",
+		"db1/seg1/cells":               "relation",
+		"db1/seg1/cells/c1":            "entry-point",
+		"db1/seg1/cells/c1/robots/r1":  "node",
+		"db1/seg1/cells/c1/surface/s1": "node",
+	}
+	for r, want := range cases {
+		if got := DefaultKinds[DepthKindOf(r)]; got != want {
+			t.Errorf("DepthKindOf(%q) = %s, want %s", r, got, want)
+		}
+	}
+}
+
+// Concurrent traffic through the collector must be race-free and lose no
+// counter increments (rings may overwrite, counters may not).
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(Options{RingSize: 64})
+	m := newTracedManager(t, c)
+	const goroutines, iters = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			txn := lock.TxnID(g + 1)
+			for i := 0; i < iters; i++ {
+				r := lock.Resource("db1/seg1/cells/c" + string(rune('a'+i%8)))
+				if err := m.AcquireCtx(context.Background(), txn, r, lock.S); err != nil {
+					t.Error(err)
+					return
+				}
+				m.Release(txn, r)
+			}
+		}(g)
+	}
+	wg.Wait()
+	grants := c.EventCount("grant")
+	releases := c.EventCount("release")
+	if grants != goroutines*iters || releases != goroutines*iters {
+		t.Fatalf("grants=%d releases=%d, want %d each", grants, releases, goroutines*iters)
+	}
+	if acq := c.Aggregate(OpAcquire); acq.Count != goroutines*iters {
+		t.Fatalf("acquire observations = %d, want %d", acq.Count, goroutines*iters)
+	}
+}
+
+// With sampling enabled the exact counters in Manager.Stats must keep exact
+// totals while the collector sees roughly 1/2^k of operations.
+func TestSampledCollector(t *testing.T) {
+	c := NewCollector(Options{})
+	m := lock.NewManager(lock.Options{Sinks: []lock.EventSink{c}, EventSampleShift: 2})
+	const n = 400
+	for i := 0; i < n; i++ {
+		r := lock.Resource(fmt.Sprintf("db1/seg1/cells/x%d", i))
+		if err := m.Acquire(1, r, lock.S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ReleaseAll(1)
+	if st := m.Stats(); st.Requests != n {
+		t.Fatalf("Stats.Requests = %d, want exact %d despite sampling", st.Requests, n)
+	}
+	got := c.EventCount("grant")
+	if got == 0 || got >= n {
+		t.Fatalf("sampled grant events = %d, want in (0, %d)", got, n)
+	}
+	// 1-in-4 sampling over a run of consecutive acquire operations: expect
+	// about n/4, allow generous slop for the deterministic modular pattern.
+	if got < n/8 || got > n/2 {
+		t.Errorf("sampled grant events = %d, want ≈ %d", got, n/4)
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ValidateDOT checks a string against a useful subset of the Graphviz DOT
+// grammar — enough to guarantee that Manager.WaitsForDOT output (and
+// anything of similar shape) is well-formed without shelling out to dot:
+//
+//	graph     := [ "strict" ] ( "digraph" | "graph" ) [ id ] "{" stmts "}"
+//	stmt      := node-stmt | edge-stmt | attr-stmt | id "=" id
+//	node-stmt := id [ attr-list ]
+//	edge-stmt := id edgeop id { edgeop id } [ attr-list ]
+//	attr-stmt := ( "node" | "edge" | "graph" ) attr-list
+//	attr-list := "[" [ a-list ] "]"
+//	a-list    := id "=" id { ("," | ";") id "=" id } [ "," | ";" ]
+//	id        := name | number | quoted-string
+//
+// Statements may be separated by ";" or newlines. Subgraphs, ports and
+// HTML-string IDs are not supported. Returns nil when the input parses.
+func ValidateDOT(src string) error {
+	toks, err := dotLex(src)
+	if err != nil {
+		return err
+	}
+	p := &dotParser{toks: toks}
+	if err := p.parseGraph(); err != nil {
+		return err
+	}
+	if !p.eof() {
+		return fmt.Errorf("dot: trailing input at %q", p.peek().val)
+	}
+	return nil
+}
+
+type dotToken struct {
+	kind string // "id", "punct", "edgeop"
+	val  string
+	pos  int
+}
+
+func dotLex(src string) ([]dotToken, error) {
+	var toks []dotToken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("dot: unterminated comment at offset %d", i)
+			}
+			i += 2 + end + 2
+		case c == '-' && i+1 < len(src) && (src[i+1] == '>' || src[i+1] == '-'):
+			toks = append(toks, dotToken{kind: "edgeop", val: src[i : i+2], pos: i})
+			i += 2
+		case strings.ContainsRune("{}[]=;,", rune(c)):
+			toks = append(toks, dotToken{kind: "punct", val: string(c), pos: i})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) {
+				if src[j] == '\\' && j+1 < len(src) {
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("dot: unterminated string at offset %d", i)
+			}
+			toks = append(toks, dotToken{kind: "id", val: src[i : j+1], pos: i})
+			i = j + 1
+		case c == '_' || c == '.' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) {
+				r := rune(src[j])
+				if r == '_' || r == '.' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+					j++
+					continue
+				}
+				break
+			}
+			toks = append(toks, dotToken{kind: "id", val: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("dot: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+type dotParser struct {
+	toks []dotToken
+	i    int
+}
+
+func (p *dotParser) eof() bool { return p.i >= len(p.toks) }
+
+func (p *dotParser) peek() dotToken {
+	if p.eof() {
+		return dotToken{kind: "eof", val: "<eof>", pos: -1}
+	}
+	return p.toks[p.i]
+}
+
+func (p *dotParser) next() dotToken {
+	t := p.peek()
+	if !p.eof() {
+		p.i++
+	}
+	return t
+}
+
+func (p *dotParser) accept(kind, val string) bool {
+	t := p.peek()
+	if t.kind == kind && (val == "" || t.val == val) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *dotParser) expect(kind, val string) error {
+	if p.accept(kind, val) {
+		return nil
+	}
+	t := p.peek()
+	want := val
+	if want == "" {
+		want = kind
+	}
+	return fmt.Errorf("dot: expected %q, got %q (offset %d)", want, t.val, t.pos)
+}
+
+func (p *dotParser) parseGraph() error {
+	if t := p.peek(); t.kind == "id" && t.val == "strict" {
+		p.next()
+	}
+	t := p.next()
+	if t.kind != "id" || (t.val != "digraph" && t.val != "graph") {
+		return fmt.Errorf("dot: expected \"digraph\" or \"graph\", got %q", t.val)
+	}
+	directed := t.val == "digraph"
+	if q := p.peek(); q.kind == "id" {
+		p.next() // optional graph name
+	}
+	if err := p.expect("punct", "{"); err != nil {
+		return err
+	}
+	for !p.accept("punct", "}") {
+		if p.eof() {
+			return fmt.Errorf("dot: missing closing \"}\"")
+		}
+		if err := p.parseStmt(directed); err != nil {
+			return err
+		}
+		p.accept("punct", ";") // optional statement terminator
+	}
+	return nil
+}
+
+func (p *dotParser) parseStmt(directed bool) error {
+	t := p.next()
+	if t.kind != "id" {
+		return fmt.Errorf("dot: expected statement, got %q (offset %d)", t.val, t.pos)
+	}
+	// graph-level attribute: id = id
+	if p.accept("punct", "=") {
+		return p.expect("id", "")
+	}
+	// attr-stmt: node/edge/graph [ ... ]
+	if (t.val == "node" || t.val == "edge" || t.val == "graph") && p.peek().val == "[" {
+		return p.parseAttrList()
+	}
+	// edge-stmt: id (-> id)+ [attrs]
+	sawEdge := false
+	for p.peek().kind == "edgeop" {
+		op := p.next()
+		if directed && op.val != "->" {
+			return fmt.Errorf("dot: undirected edge %q in digraph (offset %d)", op.val, op.pos)
+		}
+		if !directed && op.val != "--" {
+			return fmt.Errorf("dot: directed edge %q in graph (offset %d)", op.val, op.pos)
+		}
+		if err := p.expect("id", ""); err != nil {
+			return err
+		}
+		sawEdge = true
+	}
+	_ = sawEdge
+	// optional attr-list for both node-stmt and edge-stmt
+	if p.peek().val == "[" {
+		return p.parseAttrList()
+	}
+	return nil
+}
+
+func (p *dotParser) parseAttrList() error {
+	if err := p.expect("punct", "["); err != nil {
+		return err
+	}
+	for !p.accept("punct", "]") {
+		if p.eof() {
+			return fmt.Errorf("dot: missing closing \"]\"")
+		}
+		if err := p.expect("id", ""); err != nil {
+			return err
+		}
+		if err := p.expect("punct", "="); err != nil {
+			return err
+		}
+		if err := p.expect("id", ""); err != nil {
+			return err
+		}
+		if !p.accept("punct", ",") {
+			p.accept("punct", ";")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+)
+
+func TestValidateDOTAccepts(t *testing.T) {
+	good := []string{
+		"digraph {}",
+		"digraph waitsfor { }",
+		"strict digraph g { a; b; a -> b; }",
+		"graph g { a -- b }",
+		`digraph waitsfor {
+  rankdir=LR;
+  node [shape=ellipse];
+  t1 [label="txn 1"];
+  t2 [label="txn 2 (victim)", color=red, style=bold];
+  t1 -> t2 [label="X db1/seg1/cells/c1"];
+  t2 -> t1 [label="S \"quoted\" name (victim edge)", color=red, style=bold];
+}`,
+		"digraph { a -> b -> c [label=chain] }",
+		"digraph { // comment\n a -> b # trailing\n /* block */ }",
+	}
+	for _, src := range good {
+		if err := ValidateDOT(src); err != nil {
+			t.Errorf("ValidateDOT(%q) = %v, want nil", src, err)
+		}
+	}
+}
+
+func TestValidateDOTRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"graph",
+		"digraph {",
+		"digraph } {",
+		"digraph { a -> }",
+		"digraph { a -- b }",          // undirected edge in digraph
+		"graph { a -> b }",            // directed edge in graph
+		"digraph { a [label] }",       // attr without value
+		"digraph { a [label=\"x] }",   // unterminated string
+		"digraph { a } trailing",      // junk after graph
+		"flowchart { a --> b }",       // not DOT at all
+		"digraph { a -> b [x=1 y } }", // malformed attr list
+	}
+	for _, src := range bad {
+		if err := ValidateDOT(src); err == nil {
+			t.Errorf("ValidateDOT(%q) = nil, want error", src)
+		}
+	}
+}
+
+// The generated waits-for export must always satisfy the validator,
+// including under a real (persisting) deadlock with victim annotations.
+func TestWaitsForDOTValidates(t *testing.T) {
+	m := lock.NewManager(lock.Options{Policy: lock.PolicyNone})
+
+	// Empty graph.
+	if err := ValidateDOT(m.WaitsForDOT()); err != nil {
+		t.Fatalf("empty waits-for DOT invalid: %v", err)
+	}
+
+	// Force a two-transaction deadlock: 1 holds a, 2 holds b, then each
+	// requests the other's resource. PolicyNone leaves the cycle standing.
+	a, b := lock.Resource("db1/seg1/cells/a"), lock.Resource("db1/seg1/cells/b")
+	if err := m.Acquire(1, a, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, b, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(1, b, lock.X) }()
+	go func() { errs <- m.Acquire(2, a, lock.X) }()
+	waitForWaiters(t, m, 2)
+
+	dot := m.WaitsForDOT()
+	if err := ValidateDOT(dot); err != nil {
+		t.Fatalf("deadlock waits-for DOT invalid: %v\n%s", err, dot)
+	}
+	// Both transactions are on the cycle; txn 2 is the younger victim and
+	// its outgoing edge is the victim edge.
+	if !strings.Contains(dot, `t2 [label="txn 2 (victim)"`) {
+		t.Errorf("victim node not marked:\n%s", dot)
+	}
+	if !strings.Contains(dot, "(victim edge)") {
+		t.Errorf("victim edge not labeled:\n%s", dot)
+	}
+	if !strings.Contains(dot, "t2 -> t1") {
+		t.Errorf("missing cycle edge t2 -> t1:\n%s", dot)
+	}
+
+	// Break the cycle by hand (abort txn 2): txn 1 gets b, then releasing
+	// txn 1's locks unblocks txn 2.
+	m.ReleaseAll(2)
+	if err := <-errs; err != nil {
+		t.Fatalf("first unblocked acquire: %v", err)
+	}
+	m.ReleaseAll(1)
+	if err := <-errs; err != nil {
+		t.Fatalf("second unblocked acquire: %v", err)
+	}
+}
+
+func waitForWaiters(t *testing.T, m *lock.Manager, n int) {
+	t.Helper()
+	for i := 0; m.WaitingTxns() < n; i++ {
+		if i > 2000 {
+			t.Fatalf("only %d/%d waiters appeared", m.WaitingTxns(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every bucket boundary must be monotone, and bucketIndex must agree with
+// the [bucketLow, bucketHigh) ranges it implies.
+func TestBucketBoundsConsistent(t *testing.T) {
+	prev := uint64(0)
+	for i := 0; i < nBuckets; i++ {
+		lo, hi := bucketLow(i), bucketHigh(i)
+		if i > 0 && lo <= prev {
+			t.Fatalf("bucket %d: low %d not > previous low %d", i, lo, prev)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d: high %d <= low %d", i, hi, lo)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(low=%d) = %d, want %d", lo, got, i)
+		}
+		if hi != math.MaxUint64 {
+			if got := bucketIndex(hi - 1); got != i {
+				t.Fatalf("bucketIndex(high-1=%d) = %d, want %d", hi-1, got, i)
+			}
+		}
+		prev = lo
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{3, 3},
+		{4, 4}, // first octave bucket: 2^2 + 0
+		{math.MaxUint64, nBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// The relative error of any finite bucket is bounded by 1/nSub (25%).
+	for _, v := range []uint64{5, 100, 999, 12345, 1e6, 1e9, 1e12} {
+		i := bucketIndex(v)
+		lo, hi := bucketLow(i), bucketHigh(i)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket [%d,%d)", v, lo, hi)
+		}
+		if hi == math.MaxUint64 {
+			continue // the last bucket doubles as the clamp bucket
+		}
+		if width := hi - lo; width > lo/nSub+1 {
+			t.Errorf("bucket %d for %d too wide: [%d,%d)", i, v, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Max != 1000*time.Microsecond {
+		t.Fatalf("max = %v, want 1ms", s.Max)
+	}
+	// Bucket midpoints give ~25% resolution; allow a wide band.
+	p50 := s.Quantile(0.50)
+	if p50 < 300*time.Microsecond || p50 > 700*time.Microsecond {
+		t.Errorf("p50 = %v, want ~500µs", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 800*time.Microsecond || p99 > 1000*time.Microsecond {
+		t.Errorf("p99 = %v, want ~990µs", p99)
+	}
+	if q := s.Quantile(1); q != s.Max {
+		t.Errorf("p100 = %v, want max %v", q, s.Max)
+	}
+	if m := s.Mean(); m < 400*time.Microsecond || m > 600*time.Microsecond {
+		t.Errorf("mean = %v, want ~500µs", m)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram should report zero quantiles and mean")
+	}
+	h.Record(-time.Second) // counts as zero
+	s := h.Snapshot()
+	if s.Count != 1 || s.Counts[0] != 1 {
+		t.Fatalf("negative record: count=%d bucket0=%d, want 1/1", s.Count, s.Counts[0])
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*per+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+	if s.Max != time.Duration(goroutines*per-1) {
+		t.Fatalf("max = %v, want %v", s.Max, time.Duration(goroutines*per-1))
+	}
+}

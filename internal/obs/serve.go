@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"colock/internal/lock"
+)
+
+// The exposition endpoint is opt-in: nothing in the lock manager or the
+// collector touches the network unless Serve (or Handler) is called, and
+// every page is computed on demand from the same introspection calls a
+// test would make — there is no background goroutine besides the HTTP
+// server itself.
+
+// Handler returns an http.Handler exposing the observability surface:
+//
+//	/metrics     Prometheus text format (collector + manager + extras)
+//	/debug/vars  expvar-style JSON gauges
+//	/queues      live lock-table queue snapshot (JSON; ?contended=1 filters)
+//	/dot         waits-for graph in Graphviz DOT format
+//
+// col may be nil (manager metrics only); extra writers are appended to
+// /metrics, letting callers export their own families (e.g. the core
+// protocol's rule counters) without this package importing them.
+func Handler(m *lock.Manager, col *Collector, extra ...func(io.Writer)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if col != nil {
+			col.WriteMetrics(w)
+		}
+		WriteManagerMetrics(w, m)
+		for _, f := range extra {
+			f(w)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteVars(w, m, col)
+	})
+	mux.HandleFunc("/queues", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteQueuesJSON(w, m, r.URL.Query().Get("contended") != "")
+	})
+	mux.HandleFunc("/dot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+		io.WriteString(w, m.WaitsForDOT())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "colock observability\n\n/metrics\n/debug/vars\n/queues\n/dot\n")
+	})
+	return mux
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exposition endpoint on addr (use ":0" or "127.0.0.1:0"
+// to pick a free port, e.g. in tests) and returns once the listener is
+// bound. Close shuts it down.
+func Serve(addr string, m *lock.Manager, col *Collector, extra ...func(io.Writer)) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: Handler(m, col, extra...), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

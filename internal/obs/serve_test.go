@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"colock/internal/lock"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	c := NewCollector(Options{})
+	m := lock.NewManager(lock.Options{Sinks: []lock.EventSink{c}})
+	if err := m.Acquire(1, "db1/seg1/cells/c1", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	defer m.ReleaseAll(1)
+
+	extra := func(w io.Writer) { fmt.Fprintf(w, "colock_protocol_requests_total 7\n") }
+	srv, err := Serve("127.0.0.1:0", m, c, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		`colock_events_total{kind="grant"} 1`,
+		"# TYPE colock_acquire_latency_seconds summary",
+		`colock_acquire_latency_seconds{mode="X",unit="entry-point",quantile="0.5"}`,
+		"colock_table_entries 1",
+		"colock_active_txns 1",
+		"colock_protocol_requests_total 7", // the extra writer
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var vars Vars
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.TableEntries != 1 || vars.ActiveTxns != 1 {
+		t.Errorf("vars = %+v, want 1 table entry and 1 active txn", vars)
+	}
+	if vars.Stats["requests"] == nil {
+		t.Error("vars missing stats.requests")
+	}
+
+	var queues []map[string]any
+	if err := json.Unmarshal([]byte(get("/queues")), &queues); err != nil {
+		t.Fatalf("/queues not JSON: %v", err)
+	}
+	if len(queues) != 1 || queues[0]["resource"] != "db1/seg1/cells/c1" {
+		t.Errorf("queues = %v, want the one held resource", queues)
+	}
+	var contended []map[string]any
+	if err := json.Unmarshal([]byte(get("/queues?contended=1")), &contended); err != nil {
+		t.Fatal(err)
+	}
+	if len(contended) != 0 {
+		t.Errorf("contended queues = %v, want none", contended)
+	}
+
+	if dot := get("/dot"); ValidateDOT(dot) != nil {
+		t.Errorf("/dot output invalid:\n%s", dot)
+	}
+	if index := get("/"); !strings.Contains(index, "/metrics") {
+		t.Errorf("index page missing endpoint list:\n%s", index)
+	}
+}
+
+func TestHandlerWithoutCollector(t *testing.T) {
+	m := lock.NewManager(lock.Options{})
+	srv, err := Serve("127.0.0.1:0", m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "colock_table_entries 0") {
+		t.Errorf("manager-only metrics missing table gauge:\n%s", body)
+	}
+	if strings.Contains(string(body), "colock_events_total") {
+		t.Errorf("nil collector must not emit event counters:\n%s", body)
+	}
+}
