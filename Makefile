@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench shardbench obsbench obs-demo figures clean
+.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench obs-demo trace-demo figures clean
 
-# ci is the gate every change must pass: formatting, vet, build, and the
-# full test suite under the race detector (the lock manager and protocol
-# are concurrent; -race is not optional here).
-ci: fmt vet build race
+# ci is the gate every change must pass: formatting, vet, build, the full
+# test suite under the race detector (the lock manager and protocol are
+# concurrent; -race is not optional here), and the end-to-end incident-dump
+# demo.
+ci: fmt vet build race trace-demo
 
 # fmt fails if any file needs gofmt, listing the offenders.
 fmt:
@@ -36,6 +37,24 @@ shardbench:
 # quantiles; see DESIGN.md §9).
 obsbench:
 	$(GO) run ./cmd/lockbench -obsbench -obsout BENCH_PR2.json
+
+# tracebench regenerates BENCH_PR3.json (span-tracing overhead at 1-in-64
+# sampling; see DESIGN.md §10).
+tracebench:
+	$(GO) run ./cmd/lockbench -tracebench -traceout BENCH_PR3.json
+
+# trace-demo runs a scripted colockshell session that forces a lock timeout,
+# then asserts that an incident dump was produced and parses (via the
+# flag-gated validation test in internal/trace).
+trace-demo:
+	@dir=$$(mktemp -d) && \
+	printf "%s\n" ".forcetimeout" ".incident" ".quit" \
+		| $(GO) run ./cmd/colockshell -incidents "$$dir" && \
+	f=$$(ls "$$dir"/incident-*-timeout-*.jsonl 2>/dev/null | head -1) && \
+	if [ -z "$$f" ]; then echo "trace-demo: no incident file produced"; exit 1; fi && \
+	$(GO) test ./internal/trace -count=1 -run TestExternalIncidentFileParses -incidentfile "$$f" && \
+	echo "trace-demo: incident dump $$f parses" && \
+	rm -rf "$$dir"
 
 # obs-demo runs a scripted colockshell session that takes locks and dumps
 # the .metrics tables, the wait-queue view, and the waits-for DOT graph.

@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"colock/internal/authz"
 	"colock/internal/core"
@@ -32,20 +34,25 @@ import (
 	"colock/internal/obs"
 	"colock/internal/query"
 	"colock/internal/store"
+	"colock/internal/trace"
 	"colock/internal/txn"
 )
 
 type shell struct {
-	st    *store.Store
-	proto *core.Protocol
-	mgr   *txn.Manager
-	exec  *query.Executor
-	auth  *authz.Table
-	prime bool
-	tx    *txn.Txn
-	out   *bufio.Writer
-	trace *traceRing
-	col   *obs.Collector
+	st     *store.Store
+	proto  *core.Protocol
+	mgr    *txn.Manager
+	exec   *query.Executor
+	auth   *authz.Table
+	prime  bool
+	policy lock.Policy
+	tx     *txn.Txn
+	out    *bufio.Writer
+	trace  *traceRing
+	col    *obs.Collector
+	rec    *trace.Recorder
+	prof   *trace.Profile
+	iw     *trace.IncidentWriter
 }
 
 // traceRing keeps the most recent lock-manager events for the .trace
@@ -77,9 +84,12 @@ func (t *traceRing) snapshot() []lock.Event {
 }
 
 // newShell builds a fully wired shell (shared by main and the tests): the
-// lock manager's event stream feeds both the .trace ring (OnEvent hook) and
-// the obs collector (sink), composed without double-buffering.
-func newShell(prime bool, policy lock.Policy, out *bufio.Writer) *shell {
+// lock manager's event stream feeds the .trace ring (OnEvent hook), the obs
+// collector, the contention profile and the incident writer (sinks), and the
+// protocol records span trees into the recorder — every user statement is
+// traced (sample shift 0) since the shell is interactive. Incident dumps for
+// deadlock victims and acquire timeouts land in incidentDir.
+func newShell(prime bool, policy lock.Policy, incidentDir string, out *bufio.Writer) *shell {
 	st := store.PaperDatabase()
 	core.CollectStatistics(st)
 	nm := core.NewNamer(st.Catalog(), false)
@@ -88,25 +98,43 @@ func newShell(prime bool, policy lock.Policy, out *bufio.Writer) *shell {
 	if prime {
 		opts = core.Options{Rule4Prime: true, Authorizer: auth}
 	}
-	trace := newTraceRing(64)
+	ring := newTraceRing(64)
+	kindOf := core.UnitKindOf(nm)
 	col := obs.NewCollector(obs.Options{
 		KindLabels: core.UnitKindLabels,
-		KindOf:     core.UnitKindOf(nm),
+		KindOf:     kindOf,
 	})
 	mgr := lock.NewManager(lock.Options{
 		Policy:  policy,
-		OnEvent: trace.add,
+		OnEvent: ring.add,
 		Sinks:   []lock.EventSink{col},
 	})
+	rec := trace.NewRecorder(trace.Options{
+		ShardOf: mgr.ShardOf,
+		KindOf: func(r lock.Resource) string {
+			if k := kindOf(r); k >= 0 && k < len(core.UnitKindLabels) {
+				return core.UnitKindLabels[k]
+			}
+			return "other"
+		},
+	})
+	prof := trace.NewProfile()
+	iw := trace.NewIncidentWriter(incidentDir, rec, mgr, trace.IncidentOptions{})
+	mgr.AttachSink(prof)
+	mgr.AttachSink(iw)
+	opts.Tracer = rec
 	proto := core.NewProtocol(mgr, st, nm, opts)
 	tm := txn.NewManager(proto, st)
 	return &shell{
 		st: st, proto: proto, mgr: tm,
 		exec: query.NewExecutor(tm, core.PlannerOptions{}),
-		auth: auth, prime: prime,
+		auth: auth, prime: prime, policy: policy,
 		out:   out,
-		trace: trace,
+		trace: ring,
 		col:   col,
+		rec:   rec,
+		prof:  prof,
+		iw:    iw,
 	}
 }
 
@@ -128,23 +156,27 @@ func main() {
 	prime := flag.Bool("rule4prime", true, "enable authorization cooperation (rule 4')")
 	deadlock := flag.String("deadlock", "detect", "deadlock policy: detect, waitdie or none")
 	obsAddr := flag.String("obs", "", "serve the observability HTTP endpoint on this address (e.g. 127.0.0.1:8023)")
+	incidents := flag.String("incidents", filepath.Join(os.TempDir(), "colockshell-incidents"),
+		"directory for deadlock/timeout incident dumps (JSONL)")
 	flag.Parse()
 
 	policy, err := parsePolicy(*deadlock)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := newShell(*prime, policy, bufio.NewWriter(os.Stdout))
+	s := newShell(*prime, policy, *incidents, bufio.NewWriter(os.Stdout))
 	defer s.out.Flush()
 
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, s.proto.Manager(), s.col, s.proto.WriteMetrics)
+		ts := &obs.TraceSources{Recorder: s.rec, Incidents: s.iw, Profile: s.prof}
+		srv, err := obs.Serve(*obsAddr, s.proto.Manager(), s.col, ts, s.proto.WriteMetrics)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(s.out, "observability endpoint on http://%s/ (/metrics, /queues, /dot)\n", srv.Addr())
+		fmt.Fprintf(s.out, "observability endpoint on http://%s/ (/metrics, /queues, /dot, /trace/...)\n", srv.Addr())
 	}
+	fmt.Fprintf(s.out, "incident dumps in %s\n", *incidents)
 
 	fmt.Fprintln(s.out, "colock shell over the paper's example database (Figures 1/6).")
 	fmt.Fprintln(s.out, "Enter HDBL queries or .help; rule 4' is", map[bool]string{true: "ON", false: "OFF"}[*prime])
@@ -171,6 +203,16 @@ func (s *shell) repl(in *bufio.Scanner) {
 			s.showLocks()
 		case line == ".trace":
 			s.showTrace()
+		case line == ".spans":
+			s.showSpans()
+		case line == ".profile":
+			s.showProfile()
+		case line == ".incident":
+			s.showIncidents()
+		case line == ".forcetimeout":
+			s.forceTimeout()
+		case line == ".forcedeadlock":
+			s.forceDeadlock()
 		case line == ".metrics":
 			s.showMetrics()
 		case strings.HasPrefix(line, ".queues"):
@@ -206,6 +248,11 @@ func (s *shell) help() {
           CREATE RELATION <name> IN SEGMENT <seg> KEY <attr> {attr: type, ...}
 Commands: .locks   show locks of the current transaction
           .trace   show recent lock-manager events (grant/wait/convert/release/victim)
+          .spans   span tree of the current transaction (or recent spans)
+          .profile blocked-time contention profile (folded flame-graph stacks)
+          .incident      list deadlock/timeout incident dumps
+          .forcetimeout  run a scripted two-txn scenario ending in a lock timeout
+          .forcedeadlock run a scripted two-txn ABBA deadlock (needs detect/waitdie)
           .metrics lock-manager and protocol telemetry (latencies, counters)
           .queues [all]  live lock queues (contended only, or all)
           .dot     waits-for graph in Graphviz DOT format
@@ -298,6 +345,135 @@ func (s *shell) showTrace() {
 	for _, e := range evs {
 		fmt.Fprintf(s.out, "%-8s txn %-3d %-4s %s\n", e.Kind, e.Txn, e.Mode, e.Resource)
 	}
+}
+
+func (s *shell) showSpans() {
+	if s.tx != nil && s.tx.State() == txn.Active {
+		spans := s.rec.SpansOf(s.tx.ID())
+		if len(spans) == 0 {
+			fmt.Fprintln(s.out, "no spans for the current transaction yet")
+			return
+		}
+		fmt.Fprintf(s.out, "span tree of transaction %d:\n%s", s.tx.ID(), trace.Tree(spans))
+		return
+	}
+	recent := s.rec.Recent(32)
+	if len(recent) == 0 {
+		fmt.Fprintln(s.out, "no spans recorded yet (flight recorder empty)")
+		return
+	}
+	fmt.Fprintln(s.out, "recent spans (flight recorder, oldest first):")
+	for _, sp := range recent {
+		fmt.Fprintf(s.out, "  txn %-3d %-20s %-4s %-12s %v\n", sp.Txn, sp.Kind, sp.Mode, sp.Resource, sp.Dur)
+	}
+}
+
+func (s *shell) showProfile() {
+	folded := s.prof.FoldedStacks()
+	if folded == "" {
+		fmt.Fprintln(s.out, "no blocked time recorded (profile is empty)")
+		return
+	}
+	fmt.Fprintln(s.out, "contention profile (folded stacks, flamegraph.pl-compatible):")
+	fmt.Fprint(s.out, folded)
+}
+
+func (s *shell) showIncidents() {
+	infos := s.iw.Incidents()
+	if len(infos) == 0 {
+		fmt.Fprintln(s.out, "no incidents recorded")
+		return
+	}
+	for _, in := range infos {
+		fmt.Fprintf(s.out, "#%d %-8s txn %-3d %-4s %-24s %s\n",
+			in.Seq, in.Reason, in.Txn, in.Mode, in.Resource, in.Path)
+	}
+}
+
+// forceTimeout runs a self-contained two-transaction scenario ending in an
+// acquire timeout: a holder takes X on cells/c1, then an older transaction
+// requests the same lock with a short deadline. The timeout event makes the
+// incident writer dump the blocked transaction's span tree automatically.
+// (The blocked transaction is begun first so it is the older one — under
+// wait-die the older requester waits rather than dying, so the scenario
+// produces a timeout under every deadlock policy.)
+func (s *shell) forceTimeout() {
+	if s.tx != nil && s.tx.State() == txn.Active {
+		fmt.Fprintln(s.out, "finish the current transaction first (.commit or .abort)")
+		return
+	}
+	waiter := s.mgr.Begin()
+	holder := s.mgr.Begin()
+	if s.prime {
+		s.auth.Grant(waiter.ID(), "cells")
+		s.auth.Grant(holder.ID(), "cells")
+	}
+	if err := holder.LockPath(store.P("cells", "c1"), lock.X); err != nil {
+		fmt.Fprintf(s.out, "error: holder: %v\n", err)
+		waiter.Abort()
+		holder.Abort()
+		return
+	}
+	fmt.Fprintf(s.out, "-- txn %d holds X cells/c1; txn %d requests it with a 50ms deadline\n",
+		holder.ID(), waiter.ID())
+	err := waiter.LockTimeout(core.DataNode(store.P("cells", "c1")), lock.X, 50*time.Millisecond)
+	fmt.Fprintf(s.out, "-- txn %d: %v\n", waiter.ID(), err)
+	waiter.Abort()
+	holder.Abort()
+	s.showIncidents()
+}
+
+// forceDeadlock runs a self-contained two-transaction ABBA deadlock on the
+// effector library (e1/e3 have no outgoing references, so the conflict stays
+// on the two objects): a takes X e1, b takes X e3, a requests e3 in the
+// background, and once a is queued b requests e1, closing the cycle. The
+// victim event dumps an incident automatically.
+func (s *shell) forceDeadlock() {
+	if s.policy == lock.PolicyNone {
+		fmt.Fprintln(s.out, "deadlock policy is none (the cycle would hang); restart with -deadlock detect or waitdie")
+		return
+	}
+	if s.tx != nil && s.tx.State() == txn.Active {
+		fmt.Fprintln(s.out, "finish the current transaction first (.commit or .abort)")
+		return
+	}
+	a := s.mgr.Begin()
+	b := s.mgr.Begin()
+	if s.prime {
+		s.auth.Grant(a.ID(), "effectors")
+		s.auth.Grant(b.ID(), "effectors")
+	}
+	m := s.proto.Manager()
+	if err := a.LockPath(store.P("effectors", "e1"), lock.X); err != nil {
+		fmt.Fprintf(s.out, "error: %v\n", err)
+		a.Abort()
+		b.Abort()
+		return
+	}
+	if err := b.LockPath(store.P("effectors", "e3"), lock.X); err != nil {
+		fmt.Fprintf(s.out, "error: %v\n", err)
+		a.Abort()
+		b.Abort()
+		return
+	}
+	fmt.Fprintf(s.out, "-- txn %d holds X effectors/e1, txn %d holds X effectors/e3\n", a.ID(), b.ID())
+	aDone := make(chan error, 1)
+	go func() { aDone <- a.LockPath(store.P("effectors", "e3"), lock.X) }()
+	for i := 0; i < 2000 && m.WaitingTxns() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	errB := b.LockPath(store.P("effectors", "e1"), lock.X)
+	if errB != nil {
+		b.Abort() // releases e3, unblocking a
+	}
+	errA := <-aDone
+	fmt.Fprintf(s.out, "-- txn %d request for e3: %v\n", a.ID(), errA)
+	fmt.Fprintf(s.out, "-- txn %d request for e1: %v\n", b.ID(), errB)
+	a.Abort()
+	if errB == nil {
+		b.Abort()
+	}
+	s.showIncidents()
 }
 
 func (s *shell) showMetrics() {

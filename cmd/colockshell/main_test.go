@@ -17,7 +17,7 @@ func newTestShell(t *testing.T, prime bool) (*shell, *bytes.Buffer) {
 func newTestShellPolicy(t *testing.T, prime bool, policy lock.Policy) (*shell, *bytes.Buffer) {
 	t.Helper()
 	var buf bytes.Buffer
-	return newShell(prime, policy, bufio.NewWriter(&buf)), &buf
+	return newShell(prime, policy, t.TempDir(), bufio.NewWriter(&buf)), &buf
 }
 
 func runScript(t *testing.T, s *shell, lines ...string) string {

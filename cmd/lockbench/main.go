@@ -7,6 +7,7 @@
 //	lockbench -e E3,E5     # run selected experiments (E1..E13)
 //	lockbench -shardbench  # before/after sharded-table benchmark → BENCH_PR1.json
 //	lockbench -obsbench    # collector-overhead + latency benchmark → BENCH_PR2.json
+//	lockbench -tracebench  # span-tracing-overhead benchmark → BENCH_PR3.json
 package main
 
 import (
@@ -117,7 +118,23 @@ func main() {
 	shardout := flag.String("shardout", "BENCH_PR1.json", "output path for the -shardbench JSON report")
 	obsbench := flag.Bool("obsbench", false, "run the observability-overhead benchmark and write -obsout")
 	obsout := flag.String("obsout", "BENCH_PR2.json", "output path for the -obsbench JSON report")
+	tracebench := flag.Bool("tracebench", false, "run the span-tracing-overhead benchmark and write -traceout")
+	traceout := flag.String("traceout", "BENCH_PR3.json", "output path for the -tracebench JSON report")
 	flag.Parse()
+
+	if *tracebench {
+		dur := 2 * time.Second
+		if *quick {
+			dur = 300 * time.Millisecond
+		}
+		rep, err := writeTraceBench(*traceout, []int{1, 4, 16}, dur)
+		if err != nil {
+			log.Fatalf("tracebench: %v", err)
+		}
+		printTraceBench(rep)
+		fmt.Printf("report written to %s\n", *traceout)
+		return
+	}
 
 	if *obsbench {
 		dur := 2 * time.Second

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// A quick tracebench run must produce a well-formed report whose enabled
+// side demonstrably sampled calls into the flight recorder.
+func TestTraceBenchQuick(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep, err := writeTraceBench(path, []int{2}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "tracebench" || rep.SampleShift != traceSampleShift {
+		t.Errorf("report header = %q shift %d", rep.Benchmark, rep.SampleShift)
+	}
+	if len(rep.Overhead) != 1 || rep.Overhead[0].Goroutines != 2 {
+		t.Fatalf("overhead rows = %+v, want one row for 2 goroutines", rep.Overhead)
+	}
+	row := rep.Overhead[0]
+	if row.DisabledOpsPerSec <= 0 || row.EnabledOpsPerSec <= 0 {
+		t.Errorf("zero throughput: %+v", row)
+	}
+	if rep.SampledCalls == 0 || rep.SpanCount == 0 {
+		t.Errorf("enabled side traced nothing: sampled=%d spans=%d", rep.SampledCalls, rep.SpanCount)
+	}
+	// At shift 6 roughly 1 in 64 calls is sampled; each sampled LockPath
+	// produces at least a root and an acquire span.
+	if rep.SpanCount < rep.SampledCalls {
+		t.Errorf("span count %d < sampled calls %d", rep.SpanCount, rep.SampledCalls)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed traceBenchReport
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("report file not JSON: %v", err)
+	}
+	if parsed.Benchmark != "tracebench" {
+		t.Errorf("file benchmark = %q", parsed.Benchmark)
+	}
+}

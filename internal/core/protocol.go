@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"colock/internal/authz"
 	"colock/internal/lock"
 	"colock/internal/store"
+	"colock/internal/trace"
 )
 
 // Protocol implements the paper's lock protocol for object-specific lock
@@ -38,6 +40,13 @@ type Protocol struct {
 	// point.
 	rule4Prime bool
 
+	// tr, when non-nil, records a span tree per user-level Lock call: the
+	// root span is the call itself, children are the protocol's rule
+	// applications (upward intention locks, downward propagations, the node
+	// acquisition). Sampling is decided once per call; sampled-out calls
+	// pay one atomic add.
+	tr *trace.Recorder
+
 	// counters tallies rule applications; see ProtocolStats.
 	counters protoCounters
 }
@@ -49,21 +58,30 @@ type Options struct {
 	Authorizer authz.Authorizer
 	// Rule4Prime enables authorization cooperation (§4.4.2.1, rule 4′).
 	Rule4Prime bool
+	// Tracer, when non-nil, records per-transaction span trees for every
+	// sampled user-level lock call (see internal/trace).
+	Tracer *trace.Recorder
 }
 
 // NewProtocol builds a protocol instance over a lock manager, a store and a
-// namer.
+// namer. The protocol's rule counters are registered with the manager's
+// ResetStats cascade, so resetting the manager resets them too.
 func NewProtocol(mgr *lock.Manager, st *store.Store, nm *Namer, opts Options) *Protocol {
 	auth := opts.Authorizer
 	if auth == nil {
 		auth = authz.AllowAll{}
 	}
-	return &Protocol{nm: nm, mgr: mgr, st: st, auth: auth, rule4Prime: opts.Rule4Prime}
+	p := &Protocol{nm: nm, mgr: mgr, st: st, auth: auth, rule4Prime: opts.Rule4Prime, tr: opts.Tracer}
+	mgr.OnResetStats(p.counters.reset)
+	return p
 }
 
 // Manager exposes the underlying lock manager (for release, inspection and
 // statistics).
 func (p *Protocol) Manager() *lock.Manager { return p.mgr }
+
+// Tracer exposes the span recorder (nil when tracing is off).
+func (p *Protocol) Tracer() *trace.Recorder { return p.tr }
 
 // CanModify reports whether the authorization component grants txn the
 // right to modify the relation. The query executor enforces it for
@@ -88,7 +106,16 @@ func (p *Protocol) Lock(txn lock.TxnID, n Node, mode lock.Mode) error {
 // acquired for earlier nodes of the protocol chain are NOT rolled back —
 // the transaction must abort, exactly as after a deadlock victim error.
 func (p *Protocol) LockCtx(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode) error {
-	return p.lockOpts(ctx, txn, n, mode, false, false)
+	return p.lockOpts(ctx, txn, n, mode, false, false, 0)
+}
+
+// LockTimeout is Lock with a per-acquire deadline: every lock-manager
+// acquisition of the protocol chain is withdrawn after d, returning an error
+// wrapping lock.ErrTimeout. The timeout is per acquisition, not per call —
+// the workstation-server "don't block forever behind a check-out lock" knob,
+// and the trigger for automatic timeout incident dumps.
+func (p *Protocol) LockTimeout(txn lock.TxnID, n Node, mode lock.Mode, d time.Duration) error {
+	return p.lockOpts(context.Background(), txn, n, mode, false, false, d)
 }
 
 // LockLong is Lock with durable ("long") locks, as used for check-out in
@@ -99,7 +126,7 @@ func (p *Protocol) LockLong(txn lock.TxnID, n Node, mode lock.Mode) error {
 
 // LockLongCtx is LockLong with a context (see LockCtx).
 func (p *Protocol) LockLongCtx(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode) error {
-	return p.lockOpts(ctx, txn, n, mode, true, false)
+	return p.lockOpts(ctx, txn, n, mode, true, false, 0)
 }
 
 // LockPath is shorthand for Lock on a data node.
@@ -119,10 +146,10 @@ func (p *Protocol) LockPathCtx(ctx context.Context, txn lock.TxnID, path store.P
 // effectors — needs "no locks on common data at all". The caller must
 // guarantee the operation really never touches the referenced data.
 func (p *Protocol) LockNoFollow(txn lock.TxnID, n Node, mode lock.Mode) error {
-	return p.lockOpts(context.Background(), txn, n, mode, false, true)
+	return p.lockOpts(context.Background(), txn, n, mode, false, true, 0)
 }
 
-func (p *Protocol) lockOpts(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool) error {
+func (p *Protocol) lockOpts(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, timeout time.Duration) (err error) {
 	p.counters.requests.Add(1)
 	if noFollow {
 		p.counters.noFollow.Add(1)
@@ -140,14 +167,24 @@ func (p *Protocol) lockOpts(ctx context.Context, txn lock.TxnID, n Node, mode lo
 			return err
 		}
 	}
+	// Root span: one per sampled user-level lock call. The sampling decision
+	// is made before naming the resource, so sampled-out calls skip even
+	// that; children ride on the root's decision (nil handle = inert).
+	var sp *trace.SpanHandle
+	if p.tr.Sample() {
+		if res, rerr := p.nm.Resource(n); rerr == nil {
+			sp = p.tr.Start(txn, "lock", res, mode)
+			defer func() { sp.End(err) }()
+		}
+	}
 	// requested tracks the strongest mode already handled per resource
 	// within this call, so that diamond-shaped sharing does not reprocess
 	// entry points.
 	requested := make(map[lock.Resource]lock.Mode)
-	return p.lockRec(ctx, txn, n, mode, durable, noFollow, requested)
+	return p.lockRec(ctx, txn, n, mode, durable, noFollow, timeout, requested, sp)
 }
 
-func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, requested map[lock.Resource]lock.Mode) error {
+func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, timeout time.Duration, requested map[lock.Resource]lock.Mode, sp *trace.SpanHandle) error {
 	res, err := p.nm.Resource(n)
 	if err != nil {
 		return err
@@ -177,7 +214,10 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 				p.counters.memoHits.Add(1)
 				continue
 			}
-			if err := p.acquire(ctx, txn, ares, intent, durable); err != nil {
+			c := sp.Child("upward", ares, intent)
+			err = p.acquire(ctx, txn, ares, intent, durable, timeout)
+			c.End(err)
+			if err != nil {
 				return err
 			}
 			p.counters.upwardLocks.Add(1)
@@ -204,30 +244,53 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 		}
 		for _, ep := range entries {
 			em := mode
+			kind := "downward"
 			if mode == lock.X && p.rule4Prime && !p.auth.CanModify(txn, ep.Relation()) {
 				// Rule 4′: non-modifiable inner units are only S-locked.
 				em = lock.S
+				kind = "downward-rule4prime"
 				p.counters.rule4Weakened.Add(1)
 			}
 			p.counters.downward.Add(1)
-			if err := p.lockRec(ctx, txn, DataNode(ep), em, durable, noFollow, requested); err != nil {
+			// The downward span becomes the parent of the recursion's own
+			// spans, so the tree mirrors the propagation structure.
+			next := sp
+			if sp != nil {
+				if eres, rerr := p.nm.Resource(DataNode(ep)); rerr == nil {
+					next = sp.Child(kind, eres, em)
+				}
+			}
+			err := p.lockRec(ctx, txn, DataNode(ep), em, durable, noFollow, timeout, requested, next)
+			if next != sp {
+				next.End(err)
+			}
+			if err != nil {
 				return err
 			}
 		}
 	}
 
-	if err := p.acquire(ctx, txn, res, mode, durable); err != nil {
+	c := sp.Child("acquire", res, mode)
+	err = p.acquire(ctx, txn, res, mode, durable, timeout)
+	c.End(err)
+	if err != nil {
 		return err
 	}
 	p.counters.nodeLocks.Add(1)
 	return nil
 }
 
-func (p *Protocol) acquire(ctx context.Context, txn lock.TxnID, res lock.Resource, mode lock.Mode, durable bool) error {
-	if durable {
+func (p *Protocol) acquire(ctx context.Context, txn lock.TxnID, res lock.Resource, mode lock.Mode, durable bool, timeout time.Duration) error {
+	switch {
+	case durable && timeout > 0:
+		return p.mgr.AcquireCtx(ctx, txn, res, mode, lock.WithDurable(), lock.WithTimeout(timeout))
+	case durable:
 		return p.mgr.AcquireCtx(ctx, txn, res, mode, lock.WithDurable())
+	case timeout > 0:
+		return p.mgr.AcquireCtx(ctx, txn, res, mode, lock.WithTimeout(timeout))
+	default:
+		return p.mgr.AcquireCtx(ctx, txn, res, mode)
 	}
-	return p.mgr.AcquireCtx(ctx, txn, res, mode)
 }
 
 // Release drops all locks of a transaction (EOT, rule 5: "locks are

@@ -44,7 +44,7 @@ func TestSinkComposition(t *testing.T) {
 	}
 	m.ReleaseAll(1)
 
-	want := []string{"grant", "convert", "release"}
+	want := []string{"grant", "convert", "release", "release-all"}
 	for name, got := range map[string][]string{
 		"hook": hook.kinds(), "sink1": s1.kinds(), "sink2": s2.kinds(),
 	} {
@@ -67,9 +67,10 @@ func TestAttachSink(t *testing.T) {
 	}
 	m.ReleaseAll(1)
 	got := late.kinds()
-	// The late sink sees the post-attach grant and both releases.
-	if len(got) != 3 || got[0] != "grant" {
-		t.Errorf("late sink saw %v, want [grant release release]", got)
+	// The late sink sees the post-attach grant, both releases, and the
+	// release-all summary.
+	if len(got) != 4 || got[0] != "grant" || got[3] != "release-all" {
+		t.Errorf("late sink saw %v, want [grant release release release-all]", got)
 	}
 }
 
@@ -89,8 +90,8 @@ func TestSinkMayReenter(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
-	if len(counts) != 2 || counts[0] != 1 || counts[1] != 0 {
-		t.Errorf("LockCount seen by sink = %v, want [1 0]", counts)
+	if len(counts) != 3 || counts[0] != 1 || counts[1] != 0 || counts[2] != 0 {
+		t.Errorf("LockCount seen by sink = %v, want [1 0 0]", counts)
 	}
 }
 
@@ -111,10 +112,14 @@ func TestEventTimestampsAndDurations(t *testing.T) {
 
 	sink.mu.Lock()
 	defer sink.mu.Unlock()
-	if len(sink.events) != 2 {
+	if len(sink.events) != 3 {
 		t.Fatalf("events = %v", sink.events)
 	}
 	g, r := sink.events[0], sink.events[1]
+	if ra := sink.events[2]; ra.Kind != "release-all" ||
+		len(ra.Resources) != 1 || ra.Resources[0] != "a" {
+		t.Errorf("release-all event = %+v, want Resources [a]", ra)
+	}
 	if g.Kind != "grant" || g.At.IsZero() || g.Dur < 0 || g.Waited {
 		t.Errorf("grant event = %+v", g)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -45,7 +46,7 @@ type Held struct {
 // Event is a lock-manager trace event, delivered to every attached consumer
 // (the OnEvent hook and the Options.Sinks).
 type Event struct {
-	Kind     string // "grant", "wait", "convert", "release", "victim", "downgrade", "timeout", "cancel"
+	Kind     string // "grant", "wait", "convert", "release", "release-all", "victim", "downgrade", "timeout", "cancel"
 	Txn      TxnID
 	Resource Resource
 	Mode     Mode
@@ -61,10 +62,21 @@ type Event struct {
 	// Dur is a kind-dependent duration: for grant/convert it is the
 	// request-to-grant latency, for release the hold time of the dropped
 	// lock, for timeout/cancel/victim the time spent blocked before the
-	// request was withdrawn. Zero for wait/downgrade events, and zero
+	// request was withdrawn, for release-all the duration of the whole
+	// end-of-transaction sweep. Zero for wait/downgrade events, and zero
 	// whenever the needed reference timestamp was not captured (the
 	// matching earlier operation fell outside the sample).
 	Dur time.Duration
+	// Blockers names, on wait events (and wait-die victim events), the
+	// transactions the request queued behind — incompatible holders plus
+	// incompatible earlier waiters — computed under the shard latch at
+	// enqueue time. Contention profiles use it to attribute the eventual
+	// blocked time to specific holding transactions.
+	Blockers []TxnID
+	// Resources carries, on release-all events, the resources the sweep
+	// actually released, in release order — what a dying deadlock victim
+	// gave up, for incident dumps.
+	Resources []Resource
 }
 
 // EventSink consumes trace events. Sinks are invoked exactly like the
@@ -180,7 +192,17 @@ type Manager struct {
 	sinks      atomic.Pointer[[]func(Event)]
 	opSeq      atomic.Uint64 // operation counter for event sampling
 	sampleMask uint64        // 2^EventSampleShift − 1
+
+	// resetFns are run by ResetStats after the shard counters are zeroed:
+	// OnResetStats registrations plus the ResetStats method of every
+	// attached sink that has one, so downstream aggregates (rule counters,
+	// obs collectors) reset in the same call.
+	resetMu  sync.Mutex
+	resetFns []func()
 }
+
+// resettable is the optional sink interface ResetStats cascades to.
+type resettable interface{ ResetStats() }
 
 // NewManager returns an empty lock manager.
 func NewManager(opts Options) *Manager {
@@ -215,6 +237,9 @@ func NewManager(opts Options) *Manager {
 	for _, s := range opts.Sinks {
 		if s != nil {
 			fns = append(fns, s.Record)
+			if rs, ok := s.(resettable); ok {
+				m.resetFns = append(m.resetFns, rs.ResetStats)
+			}
 		}
 	}
 	if len(fns) > 0 {
@@ -229,6 +254,9 @@ func NewManager(opts Options) *Manager {
 func (m *Manager) AttachSink(s EventSink) {
 	if s == nil {
 		return
+	}
+	if rs, ok := s.(resettable); ok {
+		m.OnResetStats(rs.ResetStats)
 	}
 	for {
 		old := m.sinks.Load()
@@ -245,6 +273,24 @@ func (m *Manager) AttachSink(s EventSink) {
 
 // NumShards returns the number of lock-table stripes.
 func (m *Manager) NumShards() int { return len(m.shards) }
+
+// ShardOf returns the index of the lock-table stripe that serves r — the
+// same value Event.Shard reports. Tracing layers use it to stamp spans with
+// their lock-table stripe without re-deriving the hash.
+func (m *Manager) ShardOf(r Resource) int { return int(m.shardIndex(r)) }
+
+// OnResetStats registers fn to run whenever ResetStats is called, after the
+// shard counters have been zeroed. Layers that keep statistics derived from
+// this manager's activity (protocol rule counters, observability collectors)
+// register here so one ResetStats call resets the whole stack.
+func (m *Manager) OnResetStats(fn func()) {
+	if fn == nil {
+		return
+	}
+	m.resetMu.Lock()
+	m.resetFns = append(m.resetFns, fn)
+	m.resetMu.Unlock()
+}
 
 func (m *Manager) shardIndex(r Resource) uint32 { return shardHash(r) & m.mask }
 
@@ -346,6 +392,36 @@ func (e *entry) hasBlockingQueue(txn TxnID, mode Mode) bool {
 		}
 	}
 	return false
+}
+
+// blockerTxns returns the distinct transactions a request for mode by txn
+// queues behind when placed after the first `ahead` queue entries:
+// incompatible holders plus incompatible earlier waiters, sorted by ID.
+// Caller holds the shard latch.
+func (e *entry) blockerTxns(txn TxnID, mode Mode, ahead int) []TxnID {
+	var out []TxnID
+	seen := make(map[TxnID]bool)
+	add := func(t TxnID) {
+		if t != txn && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for t, h := range e.granted {
+		if t != txn && !mode.Compatible(h.mode) {
+			add(t)
+		}
+	}
+	if ahead > len(e.queue) {
+		ahead = len(e.queue)
+	}
+	for _, w := range e.queue[:ahead] {
+		if !mode.Compatible(w.mode) {
+			add(w.txn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // mustDie implements the wait-die rule: the requester dies if it is younger
@@ -501,7 +577,10 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 		s.stats.deadlocks.Add(1)
 		s.maybeDropEntry(r)
 		if tr != nil {
-			tr.add(Event{Kind: "victim", Txn: txn, Resource: r, Mode: target, Shard: s.idx}, tr.start)
+			// A wait-die victim never queues, so its victim event carries
+			// the blocker set directly (there is no prior wait event).
+			tr.add(Event{Kind: "victim", Txn: txn, Resource: r, Mode: target, Shard: s.idx,
+				Blockers: e.blockerTxns(txn, target, len(e.queue))}, tr.start)
 		}
 		s.mu.Unlock()
 		tr.deliver()
@@ -514,6 +593,7 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 	if tr != nil {
 		w.enq = tr.start
 	}
+	pos := len(e.queue)
 	if convert {
 		i := 0
 		for i < len(e.queue) && e.queue[i].convert {
@@ -522,13 +602,17 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 		e.queue = append(e.queue, nil)
 		copy(e.queue[i+1:], e.queue[i:])
 		e.queue[i] = w
+		pos = i
 	} else {
 		e.queue = append(e.queue, w)
 	}
 	m.wf.put(txn, &waitRecord{res: r, w: w})
 	s.stats.conflicts.Add(1)
 	s.stats.waits.Add(1)
-	tr.add(Event{Kind: "wait", Txn: txn, Resource: r, Mode: target, Shard: s.idx}, time.Time{})
+	if tr != nil {
+		tr.add(Event{Kind: "wait", Txn: txn, Resource: r, Mode: target, Shard: s.idx,
+			Blockers: e.blockerTxns(txn, target, pos)}, time.Time{})
+	}
 	s.mu.Unlock()
 	tr.deliver()
 
@@ -711,17 +795,18 @@ func (m *Manager) Release(txn TxnID, r Resource) {
 	tr.deliver()
 }
 
-// releaseLocked drops txn's granted lock on r and wakes unblocked waiters.
-// Caller holds s.mu. The release event reports the dropped mode and, when
-// the grant was traced too, the hold duration.
-func (m *Manager) releaseLocked(tr *tracer, s *tableShard, txn TxnID, r Resource) {
+// releaseLocked drops txn's granted lock on r and wakes unblocked waiters,
+// reporting whether a lock was actually dropped. Caller holds s.mu. The
+// release event reports the dropped mode and, when the grant was traced too,
+// the hold duration.
+func (m *Manager) releaseLocked(tr *tracer, s *tableShard, txn TxnID, r Resource) bool {
 	e := s.res[r]
 	h := (*heldLock)(nil)
 	if e != nil {
 		h = e.granted[txn]
 	}
 	if h == nil {
-		return
+		return false
 	}
 	delete(e.granted, txn)
 	m.txnShardFor(txn).remove(txn, r)
@@ -729,6 +814,7 @@ func (m *Manager) releaseLocked(tr *tracer, s *tableShard, txn TxnID, r Resource
 	s.stats.releases.Add(1)
 	tr.addFast(Event{Kind: "release", Txn: txn, Resource: r, Mode: h.mode, Shard: s.idx}, h.since)
 	m.grantWaitersLocked(tr, s, r)
+	return true
 }
 
 // ReleaseAll drops every lock held by txn (end of transaction). Any granted
@@ -737,14 +823,24 @@ func (m *Manager) releaseLocked(tr *tracer, s *tableShard, txn TxnID, r Resource
 // held, not to the table size. The whole call is ONE operation for event
 // sampling — a single tracer covers every released lock, so a 64-lock EOT
 // pays one sampling decision, not 64 — and events are delivered after all
-// shard latches have been dropped.
+// shard latches have been dropped. When the sweep released anything and the
+// operation is traced, the per-lock release events are followed by one
+// "release-all" summary event whose Resources lists every released lock —
+// the record of what a dying deadlock victim gave up.
 func (m *Manager) ReleaseAll(txn TxnID) {
 	tr := m.newTracer()
+	var released []Resource
 	for _, r := range m.txnShardFor(txn).snapshot(txn) {
 		s := m.shardFor(r)
 		s.mu.Lock()
-		m.releaseLocked(tr, s, txn, r)
+		dropped := m.releaseLocked(tr, s, txn, r)
 		s.mu.Unlock()
+		if dropped && tr != nil {
+			released = append(released, r)
+		}
+	}
+	if len(released) > 0 {
+		tr.add(Event{Kind: "release-all", Txn: txn, Resources: released}, tr.start)
 	}
 	tr.deliver()
 }
@@ -812,10 +908,19 @@ func (m *Manager) Stats() Stats {
 }
 
 // ResetStats zeroes the counters (the lock table is untouched; the
-// high-water mark restarts from the current table size).
+// high-water mark restarts from the current table size), then cascades to
+// every OnResetStats registration and every attached sink with a ResetStats
+// method — so protocol rule counters and obs collectors reset in the same
+// call and benchmark phases never report stale counts.
 func (m *Manager) ResetStats() {
 	for _, s := range m.shards {
 		s.stats.reset()
 	}
 	m.high.Store(m.size.Load())
+	m.resetMu.Lock()
+	fns := append([]func(){}, m.resetFns...)
+	m.resetMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
 }

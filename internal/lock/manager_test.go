@@ -269,7 +269,7 @@ func TestEventTrace(t *testing.T) {
 	for i, e := range events {
 		kinds[i] = e.Kind
 	}
-	want := []string{"grant", "convert", "release"}
+	want := []string{"grant", "convert", "release", "release-all"}
 	if len(kinds) != len(want) {
 		t.Fatalf("events = %v, want kinds %v", events, want)
 	}

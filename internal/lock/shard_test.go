@@ -251,11 +251,11 @@ func TestEventHookMayReenter(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
-	if len(events) != 2 || events[0].Kind != "grant" || events[1].Kind != "release" {
+	if len(events) != 3 || events[0].Kind != "grant" || events[1].Kind != "release" || events[2].Kind != "release-all" {
 		t.Fatalf("events = %v", events)
 	}
-	if counts[0] != 1 || counts[1] != 0 {
-		t.Errorf("LockCount seen by hook = %v, want [1 0]", counts)
+	if counts[0] != 1 || counts[1] != 0 || counts[2] != 0 {
+		t.Errorf("LockCount seen by hook = %v, want [1 0 0]", counts)
 	}
 }
 

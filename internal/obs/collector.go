@@ -43,9 +43,9 @@ const nModes = int(lock.X) + 1
 
 // eventKinds is the fixed set of event-kind counters; unknown kinds land
 // in "other".
-var eventKinds = [nEventKinds]string{"grant", "convert", "wait", "release", "downgrade", "victim", "timeout", "cancel", "other"}
+var eventKinds = [nEventKinds]string{"grant", "convert", "wait", "release", "release-all", "downgrade", "victim", "timeout", "cancel", "other"}
 
-const nEventKinds = 9
+const nEventKinds = 10
 
 // DefaultKinds is the default lockable-unit-kind dimension, derived from
 // the hierarchical resource-name depth (database/segment/relation/object
@@ -197,6 +197,25 @@ func (c *Collector) Record(e lock.Event) {
 	}
 	if c.rings != nil {
 		c.rings[e.Shard&c.ringMask].add(e)
+	}
+}
+
+// ResetStats zeroes the event counters and histograms and empties the event
+// rings. The lock manager's ResetStats cascade calls it on attached
+// collectors, so resetting the manager between benchmark phases resets the
+// whole observability surface in one step.
+func (c *Collector) ResetStats() {
+	for i := range c.events {
+		c.events[i].Store(0)
+	}
+	for _, h := range c.hists {
+		h.Reset()
+	}
+	for _, g := range c.rings {
+		g.mu.Lock()
+		g.buf = g.buf[:0]
+		g.start = 0
+		g.mu.Unlock()
 	}
 }
 

@@ -89,6 +89,18 @@ func (h *Histogram) Record(d time.Duration) {
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Reset zeroes the histogram. Concurrent Records during a reset may land
+// before or after it — acceptable for the benchmark-phase resets this
+// serves; there is no atomic cut across the counters.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
 // HistSnapshot is a point-in-time copy of a Histogram.
 type HistSnapshot struct {
 	Counts [nBuckets]uint64

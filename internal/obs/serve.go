@@ -1,13 +1,16 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"colock/internal/lock"
+	"colock/internal/trace"
 )
 
 // The exposition endpoint is opt-in: nothing in the lock manager or the
@@ -16,17 +19,37 @@ import (
 // test would make — there is no background goroutine besides the HTTP
 // server itself.
 
+// TraceSources bundles the per-transaction tracing surfaces /trace/* serve.
+// Any field may be nil; its route then answers 404.
+type TraceSources struct {
+	// Recorder supplies buffered span trees (/trace/spans?txn=N) and the
+	// flight recorder's recent spans (/trace/spans?n=K).
+	Recorder *trace.Recorder
+	// Incidents lists written incident dumps (/trace/incidents).
+	Incidents *trace.IncidentWriter
+	// Profile renders the blocked-time contention profile in folded-stack
+	// text (/trace/profile), ready for flamegraph tooling.
+	Profile *trace.Profile
+}
+
 // Handler returns an http.Handler exposing the observability surface:
 //
-//	/metrics     Prometheus text format (collector + manager + extras)
-//	/debug/vars  expvar-style JSON gauges
-//	/queues      live lock-table queue snapshot (JSON; ?contended=1 filters)
-//	/dot         waits-for graph in Graphviz DOT format
+//	/metrics          Prometheus text format (collector + manager + extras)
+//	/debug/vars       expvar-style JSON gauges
+//	/queues           live lock-table queue snapshot (JSON; ?contended=1 filters)
+//	/dot              waits-for graph in Graphviz DOT format
+//	/trace/spans      span trees (JSON; ?txn=N for one txn's buffer, else ?n=K recent)
+//	/trace/incidents  incident-dump index (JSON)
+//	/trace/profile    blocked-time contention profile (folded-stack text)
 //
-// col may be nil (manager metrics only); extra writers are appended to
+// col may be nil (manager metrics only), as may ts or any of its fields
+// (the corresponding /trace routes then 404); extra writers are appended to
 // /metrics, letting callers export their own families (e.g. the core
 // protocol's rule counters) without this package importing them.
-func Handler(m *lock.Manager, col *Collector, extra ...func(io.Writer)) http.Handler {
+func Handler(m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io.Writer)) http.Handler {
+	if ts == nil {
+		ts = &TraceSources{}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -50,12 +73,65 @@ func Handler(m *lock.Manager, col *Collector, extra ...func(io.Writer)) http.Han
 		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
 		io.WriteString(w, m.WaitsForDOT())
 	})
+	mux.HandleFunc("/trace/spans", func(w http.ResponseWriter, r *http.Request) {
+		if ts.Recorder == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if q := r.URL.Query().Get("txn"); q != "" {
+			id, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad txn", http.StatusBadRequest)
+				return
+			}
+			spans := ts.Recorder.SpansOf(lock.TxnID(id))
+			if spans == nil {
+				spans = []trace.Span{}
+			}
+			_ = enc.Encode(spans)
+			return
+		}
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			n, _ = strconv.Atoi(q)
+		}
+		spans := ts.Recorder.Recent(n)
+		if spans == nil {
+			spans = []trace.Span{}
+		}
+		_ = enc.Encode(spans)
+	})
+	mux.HandleFunc("/trace/incidents", func(w http.ResponseWriter, r *http.Request) {
+		if ts.Incidents == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		infos := ts.Incidents.Incidents()
+		if infos == nil {
+			infos = []trace.IncidentInfo{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(infos)
+	})
+	mux.HandleFunc("/trace/profile", func(w http.ResponseWriter, r *http.Request) {
+		if ts.Profile == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = ts.Profile.WriteFolded(w)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "colock observability\n\n/metrics\n/debug/vars\n/queues\n/dot\n")
+		fmt.Fprint(w, "colock observability\n\n/metrics\n/debug/vars\n/queues\n/dot\n/trace/spans\n/trace/incidents\n/trace/profile\n")
 	})
 	return mux
 }
@@ -69,14 +145,14 @@ type Server struct {
 // Serve starts the exposition endpoint on addr (use ":0" or "127.0.0.1:0"
 // to pick a free port, e.g. in tests) and returns once the listener is
 // bound. Close shuts it down.
-func Serve(addr string, m *lock.Manager, col *Collector, extra ...func(io.Writer)) (*Server, error) {
+func Serve(addr string, m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io.Writer)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		ln:  ln,
-		srv: &http.Server{Handler: Handler(m, col, extra...), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: Handler(m, col, ts, extra...), ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"colock/internal/lock"
+	"colock/internal/trace"
 )
 
 func TestServeEndpoints(t *testing.T) {
@@ -20,7 +21,7 @@ func TestServeEndpoints(t *testing.T) {
 	defer m.ReleaseAll(1)
 
 	extra := func(w io.Writer) { fmt.Fprintf(w, "colock_protocol_requests_total 7\n") }
-	srv, err := Serve("127.0.0.1:0", m, c, extra)
+	srv, err := Serve("127.0.0.1:0", m, c, nil, extra)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestServeEndpoints(t *testing.T) {
 
 func TestHandlerWithoutCollector(t *testing.T) {
 	m := lock.NewManager(lock.Options{})
-	srv, err := Serve("127.0.0.1:0", m, nil)
+	srv, err := Serve("127.0.0.1:0", m, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,5 +110,92 @@ func TestHandlerWithoutCollector(t *testing.T) {
 	}
 	if strings.Contains(string(body), "colock_events_total") {
 		t.Errorf("nil collector must not emit event counters:\n%s", body)
+	}
+	// With no trace sources the /trace routes answer 404, not panic.
+	for _, path := range []string{"/trace/spans", "/trace/incidents", "/trace/profile"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without sources: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeTraceRoutes(t *testing.T) {
+	m := lock.NewManager(lock.Options{})
+	rec := trace.NewRecorder(trace.Options{ShardOf: m.ShardOf})
+	prof := trace.NewProfile()
+	iw := trace.NewIncidentWriter(t.TempDir(), rec, m, trace.IncidentOptions{})
+	m.AttachSink(prof)
+	m.AttachSink(iw)
+
+	if rec.Sample() {
+		sp := rec.Start(7, "lock", "db1/seg1/cells/c1", lock.S)
+		sp.Child("acquire", "db1/seg1/cells/c1", lock.S).End(nil)
+		sp.End(nil)
+	}
+	if _, err := iw.Trigger("timeout", 7, "db1/seg1/cells/c1", "S"); err != nil {
+		t.Fatal(err)
+	}
+	// A synthetic blocked-time sample so the profile is non-empty.
+	prof.Record(lock.Event{Kind: "wait", Txn: 7, Resource: "db1/seg1/cells/c1", Mode: lock.X, Blockers: []lock.TxnID{3}})
+	prof.Record(lock.Event{Kind: "grant", Txn: 7, Resource: "db1/seg1/cells/c1", Mode: lock.X, Waited: true, Dur: 1500})
+
+	srv, err := Serve("127.0.0.1:0", m, nil, &TraceSources{Recorder: rec, Incidents: iw, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	var byTxn []trace.Span
+	if err := json.Unmarshal([]byte(get("/trace/spans?txn=7")), &byTxn); err != nil {
+		t.Fatalf("/trace/spans?txn=7 not JSON: %v", err)
+	}
+	if len(byTxn) != 2 || byTxn[0].Kind != "lock" {
+		t.Errorf("spans for txn 7 = %+v, want root + child", byTxn)
+	}
+	var recent []trace.Span
+	if err := json.Unmarshal([]byte(get("/trace/spans?n=10")), &recent); err != nil {
+		t.Fatalf("/trace/spans not JSON: %v", err)
+	}
+	if len(recent) == 0 {
+		t.Error("/trace/spans returned no recent spans")
+	}
+
+	var incidents []trace.IncidentInfo
+	if err := json.Unmarshal([]byte(get("/trace/incidents")), &incidents); err != nil {
+		t.Fatalf("/trace/incidents not JSON: %v", err)
+	}
+	if len(incidents) != 1 || incidents[0].Reason != "timeout" {
+		t.Errorf("incidents = %+v, want one timeout incident", incidents)
+	}
+
+	profile := get("/trace/profile")
+	if !strings.Contains(profile, "txn:7;X:db1/seg1/cells/c1;blocked-on:txn:3 1500") {
+		t.Errorf("/trace/profile missing folded stack:\n%s", profile)
+	}
+
+	if index := get("/"); !strings.Contains(index, "/trace/profile") {
+		t.Errorf("index page missing trace endpoints:\n%s", index)
 	}
 }

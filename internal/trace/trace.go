@@ -1,0 +1,446 @@
+// Package trace is the per-transaction tracing subsystem: span trees for
+// protocol lock calls, an always-on flight recorder of recent spans, and
+// blocked-time contention profiles.
+//
+// The aggregate telemetry in package obs answers "how slow are locks on
+// average"; this package answers "what did THIS transaction go through".
+// One user-level Lock call on a complex object fans out — the protocol
+// intention-locks the ancestor chain (rules 1–5), propagates implicitly
+// upward above entry points and downward into referenced inner units
+// (§4.4.2) — and each of those implicit acquisitions becomes a child span
+// under the call's root span, carrying resource, mode, lockable-unit kind,
+// lock-table shard and wall-clock timing.
+//
+// Spans are buffered per transaction (transactions are single threads of
+// execution, so the buffer append is uncontended; a leaf mutex guards it
+// only against concurrent incident dumps) and flushed to attachable
+// SpanSinks at commit/abort, mirroring the lock manager's sink-after-latch
+// discipline: sinks run on the finishing goroutine with no latch held.
+package trace
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colock/internal/lock"
+)
+
+// Span is one node of a transaction's trace tree. The root span of a tree
+// (Parent == 0) is a user-level protocol Lock/LockPath call; child spans are
+// the protocol's rule applications: "upward" for an implicit intention lock
+// on an ancestor, "downward" (or "downward-rule4prime" when authorization
+// demoted X to S) for an implicit propagation into a dependent inner unit,
+// and "acquire" for the lock-manager acquisition on the requested node
+// itself.
+type Span struct {
+	Txn      lock.TxnID    `json:"txn"`
+	ID       uint64        `json:"id"`               // per-transaction, 1-based
+	Parent   uint64        `json:"parent,omitempty"` // 0 for root spans
+	Kind     string        `json:"kind"`
+	Resource lock.Resource `json:"resource"`
+	Mode     string        `json:"mode"`
+	Unit     string        `json:"unit,omitempty"` // lockable-unit kind
+	Shard    int           `json:"shard"`
+	Start    time.Time     `json:"start"`
+	Dur      time.Duration `json:"dur_ns"`
+	Err      string        `json:"err,omitempty"`
+	// Open marks a span still in flight — visible only in incident dumps
+	// taken while the operation is blocked or unwinding.
+	Open bool `json:"open,omitempty"`
+}
+
+// SpanSink consumes a finished transaction's span tree. Sinks are invoked by
+// the goroutine finishing the transaction, with no lock-manager latch held,
+// so a sink may call back into the manager or recorder.
+type SpanSink interface {
+	RecordSpans(txn lock.TxnID, outcome string, spans []Span)
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// SampleShift samples tracing by user-level lock call: only one in
+	// 2^SampleShift root spans is recorded (children ride on the root's
+	// decision). 0 traces every call.
+	SampleShift uint8
+	// RingSize is the per-ring capacity of the flight recorder (completed
+	// spans; default 256, negative disables the flight recorder).
+	RingSize int
+	// Rings is the number of flight-recorder rings (rounded up to a power
+	// of two, default 16). Completed spans are routed by their lock-table
+	// shard, so disjoint lock traffic lands on disjoint rings.
+	Rings int
+	// KindOf classifies a resource into a lockable-unit kind label for the
+	// span's Unit field; nil uses a path-depth default mirroring
+	// obs.DepthKindOf.
+	KindOf func(lock.Resource) string
+	// ShardOf maps a resource to its lock-table stripe (wire it to
+	// lock.Manager.ShardOf); nil stamps shard 0.
+	ShardOf func(lock.Resource) int
+	// Sinks receive every finished transaction's spans; AttachSink adds
+	// more after construction.
+	Sinks []SpanSink
+}
+
+// depthKind is the default unit classifier (path depth, as in obs).
+func depthKind(r lock.Resource) string {
+	switch strings.Count(string(r), "/") {
+	case 0:
+		return "database"
+	case 1:
+		return "segment"
+	case 2:
+		return "relation"
+	case 3:
+		return "entry-point"
+	}
+	return "node"
+}
+
+// txnTrace is one transaction's span buffer. The owning transaction is a
+// single thread of execution, so appends never contend; the mutex exists
+// for concurrent readers (incident dumps, /trace/spans).
+type txnTrace struct {
+	mu    sync.Mutex
+	next  uint64
+	spans []Span
+}
+
+// txnBufShard is one stripe of the per-transaction buffer registry. n
+// mirrors len(buf) so FinishTxn on an untraced transaction — the common
+// case at high sample shifts — can bail out on one atomic load without
+// taking the mutex.
+type txnBufShard struct {
+	mu  sync.Mutex
+	n   atomic.Int64
+	buf map[lock.TxnID]*txnTrace
+}
+
+// Recorder records span trees. All methods are safe for concurrent use.
+type Recorder struct {
+	kindOf  func(lock.Resource) string
+	shardOf func(lock.Resource) int
+
+	sampleMask uint64
+	opSeq      atomic.Uint64
+
+	shards []*txnBufShard
+	mask   uint32
+
+	rings    []*spanRing
+	ringMask int
+
+	sinks atomic.Pointer[[]SpanSink]
+
+	spans   atomic.Uint64 // completed spans, for overhead accounting
+	sampled atomic.Uint64 // root-span sampling decisions that traced
+}
+
+// NewRecorder builds a recorder.
+func NewRecorder(opts Options) *Recorder {
+	kindOf := opts.KindOf
+	if kindOf == nil {
+		kindOf = depthKind
+	}
+	shardOf := opts.ShardOf
+	if shardOf == nil {
+		shardOf = func(lock.Resource) int { return 0 }
+	}
+	const nShards = 64
+	r := &Recorder{
+		kindOf:     kindOf,
+		shardOf:    shardOf,
+		sampleMask: (uint64(1) << opts.SampleShift) - 1,
+		shards:     make([]*txnBufShard, nShards),
+		mask:       nShards - 1,
+	}
+	for i := range r.shards {
+		r.shards[i] = &txnBufShard{buf: make(map[lock.TxnID]*txnTrace)}
+	}
+	if opts.RingSize >= 0 {
+		size := opts.RingSize
+		if size == 0 {
+			size = 256
+		}
+		n := opts.Rings
+		if n <= 0 {
+			n = 16
+		}
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		r.rings = make([]*spanRing, p)
+		for i := range r.rings {
+			r.rings[i] = &spanRing{cap: size}
+		}
+		r.ringMask = p - 1
+	}
+	if len(opts.Sinks) > 0 {
+		sinks := append([]SpanSink(nil), opts.Sinks...)
+		r.sinks.Store(&sinks)
+	}
+	return r
+}
+
+// AttachSink adds a span consumer after construction.
+func (r *Recorder) AttachSink(s SpanSink) {
+	if s == nil {
+		return
+	}
+	for {
+		old := r.sinks.Load()
+		var sinks []SpanSink
+		if old != nil {
+			sinks = append(sinks, *old...)
+		}
+		sinks = append(sinks, s)
+		if r.sinks.CompareAndSwap(old, &sinks) {
+			return
+		}
+	}
+}
+
+// Sample makes the per-call sampling decision: true when the next user-level
+// lock call should be traced. Sampled-out calls pay one atomic add and never
+// touch the clock or the buffer registry.
+func (r *Recorder) Sample() bool {
+	if r == nil {
+		return false
+	}
+	if r.sampleMask != 0 && r.opSeq.Add(1)&r.sampleMask != 0 {
+		return false
+	}
+	r.sampled.Add(1)
+	return true
+}
+
+func (r *Recorder) bufFor(txn lock.TxnID) *txnTrace {
+	s := r.shards[uint32(txn)&r.mask]
+	s.mu.Lock()
+	tt := s.buf[txn]
+	if tt == nil {
+		tt = &txnTrace{}
+		s.buf[txn] = tt
+		s.n.Add(1)
+	}
+	s.mu.Unlock()
+	return tt
+}
+
+// SpanHandle identifies an in-flight span. A nil handle is inert: Child and
+// End on it are no-ops, so call sites need no sampling guards.
+type SpanHandle struct {
+	rec *Recorder
+	tt  *txnTrace
+	txn lock.TxnID
+	id  uint64
+	idx int
+}
+
+// Start opens a root span for a user-level lock call. Callers decide
+// sampling first (Sample); Start itself always records.
+func (r *Recorder) Start(txn lock.TxnID, kind string, res lock.Resource, mode lock.Mode) *SpanHandle {
+	if r == nil {
+		return nil
+	}
+	return r.start(txn, 0, kind, res, mode)
+}
+
+// Child opens a span under h. Nil-safe.
+func (h *SpanHandle) Child(kind string, res lock.Resource, mode lock.Mode) *SpanHandle {
+	if h == nil {
+		return nil
+	}
+	return h.rec.start(h.txn, h.id, kind, res, mode)
+}
+
+func (r *Recorder) start(txn lock.TxnID, parent uint64, kind string, res lock.Resource, mode lock.Mode) *SpanHandle {
+	tt := r.bufFor(txn)
+	sp := Span{
+		Txn:      txn,
+		Parent:   parent,
+		Kind:     kind,
+		Resource: res,
+		Mode:     mode.String(),
+		Unit:     r.kindOf(res),
+		Shard:    r.shardOf(res),
+		Start:    time.Now(),
+		Open:     true,
+	}
+	tt.mu.Lock()
+	tt.next++
+	sp.ID = tt.next
+	tt.spans = append(tt.spans, sp)
+	idx := len(tt.spans) - 1
+	tt.mu.Unlock()
+	return &SpanHandle{rec: r, tt: tt, txn: txn, id: sp.ID, idx: idx}
+}
+
+// End closes the span, stamping its duration and error; the completed span
+// is also pushed into the flight recorder. Nil-safe.
+func (h *SpanHandle) End(err error) {
+	if h == nil {
+		return
+	}
+	h.tt.mu.Lock()
+	sp := &h.tt.spans[h.idx]
+	sp.Dur = time.Since(sp.Start)
+	sp.Open = false
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	done := *sp
+	h.tt.mu.Unlock()
+	h.rec.spans.Add(1)
+	if h.rec.rings != nil {
+		h.rec.rings[done.Shard&h.rec.ringMask].add(done)
+	}
+}
+
+// SpansOf returns a copy of txn's buffered (not yet flushed) spans, in start
+// order; spans still in flight have Open set.
+func (r *Recorder) SpansOf(txn lock.TxnID) []Span {
+	s := r.shards[uint32(txn)&r.mask]
+	s.mu.Lock()
+	tt := s.buf[txn]
+	s.mu.Unlock()
+	if tt == nil {
+		return nil
+	}
+	tt.mu.Lock()
+	out := append([]Span(nil), tt.spans...)
+	tt.mu.Unlock()
+	return out
+}
+
+// FinishTxn flushes txn's buffered spans to every attached sink and drops
+// the buffer. outcome is "commit" or "abort". It returns the flushed spans
+// (nil when the transaction recorded none).
+func (r *Recorder) FinishTxn(txn lock.TxnID, outcome string) []Span {
+	if r == nil {
+		return nil
+	}
+	s := r.shards[uint32(txn)&r.mask]
+	if s.n.Load() == 0 {
+		// Nothing buffered anywhere in this stripe — the common case for
+		// untraced transactions at high sample shifts.
+		return nil
+	}
+	s.mu.Lock()
+	tt := s.buf[txn]
+	if tt != nil {
+		delete(s.buf, txn)
+		s.n.Add(-1)
+	}
+	s.mu.Unlock()
+	if tt == nil {
+		return nil
+	}
+	tt.mu.Lock()
+	spans := tt.spans
+	tt.spans = nil
+	tt.mu.Unlock()
+	if len(spans) == 0 {
+		return nil
+	}
+	if p := r.sinks.Load(); p != nil {
+		for _, sink := range *p {
+			sink.RecordSpans(txn, outcome, spans)
+		}
+	}
+	return spans
+}
+
+// Recent returns up to n of the most recently completed spans from the
+// flight recorder (oldest first); n ≤ 0 returns everything retained.
+func (r *Recorder) Recent(n int) []Span {
+	var out []Span
+	for _, g := range r.rings {
+		out = g.snapshot(out)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// SpanCount returns the number of completed spans recorded so far.
+func (r *Recorder) SpanCount() uint64 { return r.spans.Load() }
+
+// SampledCalls returns the number of user-level calls that traced.
+func (r *Recorder) SampledCalls() uint64 { return r.sampled.Load() }
+
+// spanRing is one bounded flight-recorder buffer behind a leaf mutex.
+type spanRing struct {
+	mu    sync.Mutex
+	buf   []Span
+	start int
+	cap   int
+}
+
+func (g *spanRing) add(sp Span) {
+	g.mu.Lock()
+	if len(g.buf) < g.cap {
+		g.buf = append(g.buf, sp)
+	} else {
+		g.buf[g.start] = sp
+		g.start = (g.start + 1) % g.cap
+	}
+	g.mu.Unlock()
+}
+
+func (g *spanRing) snapshot(dst []Span) []Span {
+	g.mu.Lock()
+	dst = append(dst, g.buf[g.start:]...)
+	dst = append(dst, g.buf[:g.start]...)
+	g.mu.Unlock()
+	return dst
+}
+
+// Tree renders a span slice as an indented tree (children under parents, in
+// ID order), one line per span — the .spans view of colockshell.
+func Tree(spans []Span) string {
+	children := make(map[uint64][]Span)
+	for _, sp := range spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	for _, c := range children {
+		sort.Slice(c, func(i, j int) bool { return c[i].ID < c[j].ID })
+	}
+	var b strings.Builder
+	var walk func(parent uint64, depth int)
+	walk = func(parent uint64, depth int) {
+		for _, sp := range children[parent] {
+			b.WriteString(strings.Repeat("  ", depth))
+			b.WriteString(sp.Kind)
+			b.WriteString(" ")
+			b.WriteString(sp.Mode)
+			b.WriteString(" ")
+			b.WriteString(string(sp.Resource))
+			if sp.Unit != "" {
+				b.WriteString(" [")
+				b.WriteString(sp.Unit)
+				b.WriteString("]")
+			}
+			if sp.Open {
+				b.WriteString(" (open)")
+			} else {
+				b.WriteString(" (")
+				b.WriteString(sp.Dur.String())
+				b.WriteString(")")
+			}
+			if sp.Err != "" {
+				b.WriteString(" err=")
+				b.WriteString(sp.Err)
+			}
+			b.WriteString("\n")
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"colock/internal/lock"
+)
+
+type captureSink struct {
+	mu       sync.Mutex
+	txns     []lock.TxnID
+	outcomes []string
+	spans    [][]Span
+}
+
+func (cs *captureSink) RecordSpans(txn lock.TxnID, outcome string, spans []Span) {
+	cs.mu.Lock()
+	cs.txns = append(cs.txns, txn)
+	cs.outcomes = append(cs.outcomes, outcome)
+	cs.spans = append(cs.spans, spans)
+	cs.mu.Unlock()
+}
+
+func TestSpanTreeLifecycle(t *testing.T) {
+	sink := &captureSink{}
+	rec := NewRecorder(Options{Sinks: []SpanSink{sink}})
+
+	if !rec.Sample() {
+		t.Fatal("SampleShift 0 must trace every call")
+	}
+	root := rec.Start(7, "lock", "db1/seg1/cells/c1", lock.X)
+	up := root.Child("upward", "db1/seg1/cells", lock.IX)
+	up.End(nil)
+	acq := root.Child("acquire", "db1/seg1/cells/c1", lock.X)
+	acq.End(nil)
+	root.End(nil)
+
+	spans := rec.SpansOf(7)
+	if len(spans) != 3 {
+		t.Fatalf("SpansOf = %d spans, want 3", len(spans))
+	}
+	if spans[0].ID != 1 || spans[0].Parent != 0 || spans[0].Kind != "lock" {
+		t.Errorf("root span = %+v", spans[0])
+	}
+	for _, sp := range spans[1:] {
+		if sp.Parent != spans[0].ID {
+			t.Errorf("child span %+v not under root", sp)
+		}
+		if sp.Open {
+			t.Errorf("ended span still open: %+v", sp)
+		}
+	}
+	if spans[1].Mode != "IX" || spans[1].Resource != "db1/seg1/cells" {
+		t.Errorf("upward span = %+v", spans[1])
+	}
+	if spans[1].Unit != "relation" {
+		t.Errorf("upward span unit = %q, want relation (depth classifier)", spans[1].Unit)
+	}
+
+	flushed := rec.FinishTxn(7, "commit")
+	if len(flushed) != 3 {
+		t.Fatalf("FinishTxn returned %d spans, want 3", len(flushed))
+	}
+	sink.mu.Lock()
+	if len(sink.spans) != 1 || sink.txns[0] != 7 || sink.outcomes[0] != "commit" {
+		t.Fatalf("sink saw txns=%v outcomes=%v", sink.txns, sink.outcomes)
+	}
+	sink.mu.Unlock()
+	if got := rec.SpansOf(7); got != nil {
+		t.Errorf("buffer not dropped after flush: %v", got)
+	}
+	// A second finish flushes nothing.
+	if again := rec.FinishTxn(7, "abort"); again != nil {
+		t.Errorf("second FinishTxn returned %v, want nil", again)
+	}
+}
+
+func TestNilHandleAndNilRecorderAreInert(t *testing.T) {
+	var rec *Recorder
+	if rec.Sample() {
+		t.Error("nil recorder sampled in")
+	}
+	h := rec.Start(1, "lock", "a", lock.S)
+	if h != nil {
+		t.Fatalf("nil recorder Start = %v, want nil", h)
+	}
+	h.Child("acquire", "a", lock.S).End(nil) // must not panic
+	h.End(nil)
+	if got := rec.FinishTxn(1, "commit"); got != nil {
+		t.Errorf("nil recorder FinishTxn = %v", got)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	rec := NewRecorder(Options{SampleShift: 2}) // 1 in 4
+	n := 0
+	for i := 0; i < 64; i++ {
+		if rec.Sample() {
+			n++
+		}
+	}
+	if n != 16 {
+		t.Errorf("sampled %d of 64 calls at shift 2, want 16", n)
+	}
+	if rec.SampledCalls() != 16 {
+		t.Errorf("SampledCalls = %d, want 16", rec.SampledCalls())
+	}
+}
+
+func TestFlightRecorderRingBounds(t *testing.T) {
+	rec := NewRecorder(Options{RingSize: 4, Rings: 1})
+	for i := 0; i < 20; i++ {
+		rec.Start(1, "acquire", "a", lock.S).End(nil)
+	}
+	recent := rec.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(recent))
+	}
+	// Oldest-first: the survivors are the last 4 completions.
+	for i := 1; i < len(recent); i++ {
+		if recent[i].Start.Before(recent[i-1].Start) {
+			t.Errorf("Recent not in start order: %v", recent)
+		}
+	}
+	if got := rec.Recent(2); len(got) != 2 {
+		t.Errorf("Recent(2) = %d spans, want 2", len(got))
+	}
+	if rec.SpanCount() != 20 {
+		t.Errorf("SpanCount = %d, want 20", rec.SpanCount())
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	rec := NewRecorder(Options{})
+	root := rec.Start(3, "lock", "db1/seg1/cells/c1/robots/r1", lock.X)
+	root.Child("upward", "db1", lock.IX).End(nil)
+	down := root.Child("downward", "db1/seg1/arms/a1", lock.X)
+	down.Child("acquire", "db1/seg1/arms/a1", lock.X).End(nil)
+	down.End(nil)
+	root.End(nil)
+
+	out := Tree(rec.SpansOf(3))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("tree = %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "lock X db1/seg1/cells/c1/robots/r1") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  upward IX db1 ") {
+		t.Errorf("upward line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "    acquire X db1/seg1/arms/a1") {
+		t.Errorf("nested acquire line = %q", lines[3])
+	}
+	if strings.Contains(out, "(open)") {
+		t.Errorf("closed spans rendered open:\n%s", out)
+	}
+}
+
+func TestAttachSinkAfterConstruction(t *testing.T) {
+	rec := NewRecorder(Options{})
+	sink := &captureSink{}
+	rec.AttachSink(sink)
+	rec.Start(9, "lock", "a", lock.S).End(nil)
+	rec.FinishTxn(9, "abort")
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.spans) != 1 || sink.outcomes[0] != "abort" {
+		t.Fatalf("late sink saw outcomes=%v", sink.outcomes)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"colock/internal/core"
 	"colock/internal/lock"
@@ -130,6 +131,16 @@ func (m *Manager) finish(t *Txn, committed bool) {
 	} else {
 		m.aborts.Add(1)
 	}
+	// Flush the transaction's buffered span tree to the attached span sinks
+	// (no-op when tracing is off). Runs after the locks are released, on the
+	// finishing goroutine, mirroring the lock manager's sink discipline.
+	if rec := m.proto.Tracer(); rec != nil {
+		outcome := "abort"
+		if committed {
+			outcome = "commit"
+		}
+		rec.FinishTxn(t.id, outcome)
+	}
 }
 
 // Txn is one transaction. A Txn is used by a single goroutine at a time
@@ -192,6 +203,18 @@ func (t *Txn) LockCtx(ctx context.Context, n core.Node, mode lock.Mode) error {
 // LockPath is Lock on a data path.
 func (t *Txn) LockPath(p store.Path, mode lock.Mode) error {
 	return t.LockCtx(context.Background(), core.DataNode(p), mode)
+}
+
+// LockTimeout is Lock with a per-acquisition deadline: each lock-manager
+// acquisition of the protocol chain fails with an error wrapping
+// lock.ErrTimeout if not granted within d. Timeouts trigger the flight
+// recorder's automatic incident dump (when one is attached); as with any
+// failed lock call, the transaction should Abort.
+func (t *Txn) LockTimeout(n core.Node, mode lock.Mode, d time.Duration) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	return t.m.proto.LockTimeout(t.id, n, mode, d)
 }
 
 // LockPathCtx is LockCtx on a data path.
