@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench obs-demo trace-demo figures clean
+.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke obs-demo trace-demo figures clean
 
 # ci is the gate every change must pass: formatting, vet, build, the full
 # test suite under the race detector (the lock manager and protocol are
-# concurrent; -race is not optional here), and the end-to-end incident-dump
-# demo.
-ci: fmt vet build race trace-demo
+# concurrent; -race is not optional here), the end-to-end incident-dump
+# demo, and the fast-path smoke benchmark.
+ci: fmt vet build race trace-demo hotbench-smoke
 
 # fmt fails if any file needs gofmt, listing the offenders.
 fmt:
@@ -42,6 +42,22 @@ obsbench:
 # sampling; see DESIGN.md §10).
 tracebench:
 	$(GO) run ./cmd/lockbench -tracebench -traceout BENCH_PR3.json
+
+# hotbench regenerates BENCH_PR4.json (fast-path speedup: granted-mode
+# cache + batched chain acquisition + name cache; see DESIGN.md §11).
+hotbench:
+	$(GO) run ./cmd/lockbench -hotbench -hotout BENCH_PR4.json
+
+# hotbench-smoke runs a quick hotbench into a temp file and asserts, via the
+# flag-gated validation test in cmd/lockbench, that the report parses, the
+# fast path was live, and no row measured the fast path as a slowdown
+# (speedup ≥ 1.0x; the committed BENCH_PR4.json documents the full ≥2x run).
+hotbench-smoke:
+	@f=$$(mktemp) && \
+	$(GO) run ./cmd/lockbench -hotbench -quick -hotout "$$f" >/dev/null && \
+	$(GO) test ./cmd/lockbench -count=1 -run TestExternalHotBenchFile -hotbenchfile "$$f" && \
+	echo "hotbench-smoke: $$f passes (fast path live, no slowdown)" && \
+	rm -f "$$f"
 
 # trace-demo runs a scripted colockshell session that forces a lock timeout,
 # then asserts that an incident dump was produced and parses (via the

@@ -489,6 +489,8 @@ func (s *shell) showMetrics() {
 		{"grants", st.Grants}, {"conversions", st.Conversions},
 		{"conflicts", st.Conflicts}, {"waits", st.Waits},
 		{"deadlocks", st.Deadlocks}, {"releases", st.Releases},
+		{"batches", st.Batches}, {"batch fast grants", st.BatchFastGrants},
+		{"batch fallbacks", st.BatchFallbacks},
 	} {
 		ops.Addf(kv.name, kv.val)
 	}
@@ -505,6 +507,8 @@ func (s *shell) showMetrics() {
 	rules.Addf("rule 4' weakened to S", ps.Rule4PrimeWeakened)
 	rules.Addf("memo hits", ps.MemoHits)
 	rules.Addf("no-follow requests", ps.NoFollow)
+	rules.Addf("fast-path cache hits", ps.FastPathHits)
+	rules.Addf("batched manager locks", ps.BatchedLocks)
 	fmt.Fprintf(s.out, "\n%s", rules)
 
 	lat := metrics.NewTable("Latencies by op, mode and unit kind",

@@ -8,6 +8,7 @@
 //	lockbench -shardbench  # before/after sharded-table benchmark → BENCH_PR1.json
 //	lockbench -obsbench    # collector-overhead + latency benchmark → BENCH_PR2.json
 //	lockbench -tracebench  # span-tracing-overhead benchmark → BENCH_PR3.json
+//	lockbench -hotbench    # fast-path speedup benchmark → BENCH_PR4.json
 package main
 
 import (
@@ -120,7 +121,25 @@ func main() {
 	obsout := flag.String("obsout", "BENCH_PR2.json", "output path for the -obsbench JSON report")
 	tracebench := flag.Bool("tracebench", false, "run the span-tracing-overhead benchmark and write -traceout")
 	traceout := flag.String("traceout", "BENCH_PR3.json", "output path for the -tracebench JSON report")
+	hotbench := flag.Bool("hotbench", false, "run the fast-path speedup benchmark and write -hotout")
+	hotout := flag.String("hotout", "BENCH_PR4.json", "output path for the -hotbench JSON report")
 	flag.Parse()
+
+	if *hotbench {
+		dur := 2 * time.Second
+		workers := []int{1, 2, 4, 8, 16, 32}
+		if *quick {
+			dur = 300 * time.Millisecond
+			workers = []int{1, 4}
+		}
+		rep, err := writeHotBench(*hotout, workers, dur)
+		if err != nil {
+			log.Fatalf("hotbench: %v", err)
+		}
+		printHotBench(rep)
+		fmt.Printf("report written to %s\n", *hotout)
+		return
+	}
 
 	if *tracebench {
 		dur := 2 * time.Second

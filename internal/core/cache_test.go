@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+// TestFastPathSkipsManager: after a covering grant, IS/IX re-acquisition of
+// the same chain performs ZERO lock-manager requests — the headline of the
+// fast path.
+func TestFastPathSkipsManager(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	if err := p.Lock(1, DataNode(store.P("cells", "c1")), lock.IS); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Manager().Stats()
+	if err := p.Lock(1, DataNode(store.P("cells", "c1")), lock.IS); err != nil {
+		t.Fatal(err)
+	}
+	after := p.Manager().Stats()
+	if d := after.Requests - before.Requests; d != 0 {
+		t.Errorf("IS re-acquisition made %d manager requests, want 0", d)
+	}
+	if p.Stats().FastPathHits == 0 {
+		t.Error("FastPathHits not counted")
+	}
+}
+
+// TestFastPathRepeatedLeaf: on the repeated-leaf workload shape (the
+// hotbench scenario) only the S node locks reach the manager; the shared
+// ancestor spine is served from the cache.
+func TestFastPathRepeatedLeaf(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	if err := p.LockPath(1, store.P("cells", "c1", "robots", "r1"), lock.S); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Manager().Stats()
+	if err := p.LockPath(1, store.P("cells", "c1", "robots", "r1"), lock.S); err != nil {
+		t.Fatal(err)
+	}
+	after := p.Manager().Stats()
+	// S on r1 re-scans and re-locks the node plus its two referenced
+	// effectors (e1, e2): exactly 3 manager requests, all regrants — the
+	// 5-deep ancestor spine and the effectors' own spines are cache hits.
+	if d := after.Requests - before.Requests; d != 3 {
+		t.Errorf("repeated leaf S made %d manager requests, want 3", d)
+	}
+	if d := after.Regrants - before.Regrants; d != 3 {
+		t.Errorf("repeated leaf S made %d regrants, want 3", d)
+	}
+	assertProtocolInvariants(t, p, 1)
+}
+
+// TestColdChainIsBatched: a cold chain acquisition goes through
+// Manager.AcquireBatch (one latch round), not per-resource calls.
+func TestColdChainIsBatched(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	if err := p.Lock(1, DataNode(store.P("cells", "c1")), lock.IX); err != nil {
+		t.Fatal(err)
+	}
+	ms := p.Manager().Stats()
+	if ms.Batches != 1 {
+		t.Errorf("Batches = %d, want 1", ms.Batches)
+	}
+	// db, seg1, cells, c1 — all four served by the one batch.
+	if ms.BatchFastGrants != 4 {
+		t.Errorf("BatchFastGrants = %d, want 4", ms.BatchFastGrants)
+	}
+	if got := p.Stats().BatchedLocks; got != 4 {
+		t.Errorf("BatchedLocks = %d, want 4", got)
+	}
+	assertProtocolInvariants(t, p, 1)
+}
+
+// TestCacheInvalidatedOnReleaseAll: end of transaction drops the cache, so
+// the next transaction-life re-acquires through the manager.
+func TestCacheInvalidatedOnReleaseAll(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	if err := p.Lock(1, DataNode(store.P("cells", "c1")), lock.IS); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(1)
+	if n := p.Manager().LockCount(); n != 0 {
+		t.Fatalf("LockCount = %d after release, want 0", n)
+	}
+	before := p.Manager().Stats()
+	if err := p.Lock(1, DataNode(store.P("cells", "c1")), lock.IS); err != nil {
+		t.Fatal(err)
+	}
+	after := p.Manager().Stats()
+	if d := after.Requests - before.Requests; d != 4 {
+		t.Errorf("post-ReleaseAll IS made %d manager requests, want 4 (stale cache?)", d)
+	}
+	if d := after.Grants - before.Grants; d != 4 {
+		t.Errorf("post-ReleaseAll IS made %d grants, want 4", d)
+	}
+	assertProtocolInvariants(t, p, 1)
+}
+
+// TestCacheInvalidatedOnEarlyRelease: rule 5's leaf-to-root early release
+// (Unlock) must drop the cache — otherwise a later lock of a descendant
+// would skip the IS re-acquisition on the released ancestor and leave the
+// descendant without intention cover.
+func TestCacheInvalidatedOnEarlyRelease(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	r1 := store.P("cells", "c1", "robots", "r1")
+	if err := p.LockPath(1, r1, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unlock(1, DataNode(r1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Manager().HeldMode(1, "db1/seg1/cells/c1/robots/r1"); got != lock.None {
+		t.Fatalf("r1 still held %v after Unlock", got)
+	}
+	// Locking below r1 must re-acquire the intention on r1 through the
+	// manager — a stale cached X would have skipped it.
+	if err := p.LockPath(1, store.P("cells", "c1", "robots", "r1", "trajectory"), lock.S); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Manager().HeldMode(1, "db1/seg1/cells/c1/robots/r1"); got != lock.IS {
+		t.Errorf("r1 held %v after re-lock below it, want IS", got)
+	}
+	assertProtocolInvariants(t, p, 1)
+}
+
+// TestCacheInvalidatedOnDeEscalate pins the satellite requirement: after
+// DeEscalate downgrades the coarse lock, the next Lock must not be served
+// from a stale cached coarse grant.
+func TestCacheInvalidatedOnDeEscalate(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	c1 := store.P("cells", "c1")
+	if err := p.LockPath(1, c1, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeEscalate(1, DataNode(c1), []store.Path{store.P("cells", "c1", "robots", "r1")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Manager().HeldMode(1, "db1/seg1/cells/c1"); got != lock.IX {
+		t.Fatalf("c1 held %v after de-escalation, want IX", got)
+	}
+	// The next lock call must go to the manager for every resource: the
+	// de-escalation invalidated the whole cache, so zero fast-path hits.
+	fpBefore := p.Stats().FastPathHits
+	if err := p.LockPath(1, store.P("cells", "c1", "c_objects", "o1"), lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Stats().FastPathHits - fpBefore; d != 0 {
+		t.Errorf("post-deescalation Lock used %d stale cache hits, want 0", d)
+	}
+	// c1 must still be IX (a stale cached X would have hidden the need to
+	// keep it intention-locked — and the o1 X must coexist with siblings).
+	if got := p.Manager().HeldMode(1, "db1/seg1/cells/c1"); got != lock.IX {
+		t.Errorf("c1 held %v after locking o1, want IX", got)
+	}
+	// A second transaction can now reach the released siblings: IS below c1
+	// would deadlock against a stale-cache-corrupted hierarchy.
+	if err := p.Lock(2, DataNode(store.P("cells", "c1", "robots")), lock.IS); err != nil {
+		t.Fatal(err)
+	}
+	assertProtocolInvariants(t, p, 1)
+	assertProtocolInvariants(t, p, 2)
+}
+
+// TestDurableRequestNotSwallowedByCache: a durable ("long") request must
+// reach the manager even when a non-durable cached grant covers the mode,
+// so the held locks get their durable flag.
+func TestDurableRequestNotSwallowedByCache(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	r1 := store.P("cells", "c1", "robots", "r1")
+	if err := p.LockPath(1, r1, lock.S); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range p.Manager().HeldLocks(1) {
+		if h.Durable {
+			t.Fatalf("%s durable before LockLong", h.Resource)
+		}
+	}
+	if err := p.LockLong(1, DataNode(r1), lock.S); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range p.Manager().HeldLocks(1) {
+		if !h.Durable {
+			t.Errorf("%s not durable after LockLong (cache swallowed the durable upgrade?)", h.Resource)
+		}
+	}
+}
+
+// TestResetStatsClearsFastPathCounters: the ResetStats cascade must zero
+// the new protocol counters too (satellite regression test).
+func TestResetStatsClearsFastPathCounters(t *testing.T) {
+	p, _ := newProto(t, Options{})
+	for i := 0; i < 2; i++ {
+		if err := p.Lock(1, DataNode(store.P("cells", "c1")), lock.IS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.FastPathHits == 0 || st.BatchedLocks == 0 {
+		t.Fatalf("expected nonzero fast-path counters, got %+v", st)
+	}
+	p.Manager().ResetStats()
+	st = p.Stats()
+	if st.FastPathHits != 0 || st.BatchedLocks != 0 {
+		t.Errorf("counters survived ResetStats: FastPathHits=%d BatchedLocks=%d", st.FastPathHits, st.BatchedLocks)
+	}
+	ms := p.Manager().Stats()
+	if ms.Batches != 0 || ms.BatchFastGrants != 0 {
+		t.Errorf("manager batch counters survived ResetStats: %+v", ms)
+	}
+}
+
+// TestDisableFastPath: the escape hatch restores the classic one-call-per-
+// resource behavior.
+func TestDisableFastPath(t *testing.T) {
+	p, _ := newProto(t, Options{DisableFastPath: true})
+	for i := 0; i < 2; i++ {
+		if err := p.Lock(1, DataNode(store.P("cells", "c1")), lock.IS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.FastPathHits != 0 || st.BatchedLocks != 0 {
+		t.Errorf("fast path active despite DisableFastPath: %+v", st)
+	}
+	ms := p.Manager().Stats()
+	if ms.Requests != 8 {
+		t.Errorf("Requests = %d, want 8 (4 per call)", ms.Requests)
+	}
+	if ms.Batches != 0 {
+		t.Errorf("Batches = %d, want 0", ms.Batches)
+	}
+}
+
+// TestFastPathStress exercises cache hits, ReleaseAll, Downgrade
+// (DeEscalate) and early release (Unlock) from concurrent transactions
+// under -race: each worker X-locks its own disjoint cell, de-escalates,
+// early-releases, and S-reads the shared paper cell (whose robots reference
+// the common effectors), re-checking the hierarchy invariant throughout.
+func TestFastPathStress(t *testing.T) {
+	st := store.PaperDatabase()
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		key := fmt.Sprintf("cw%d", w)
+		robot := store.NewTuple().
+			Set("robot_id", store.Str("r1")).
+			Set("trajectory", store.Str("t")).
+			Set("effectors", store.NewSet())
+		cell := store.NewTuple().
+			Set("cell_id", store.Str(key)).
+			Set("c_objects", store.NewSet()).
+			Set("robots", store.NewList().Append("r1", robot))
+		if err := st.Insert("cells", key, cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nm := NewNamer(st.Catalog(), false)
+	p := NewProtocol(lock.NewManager(lock.Options{}), st, nm, Options{})
+
+	iters := 150
+	if testing.Short() {
+		iters = 30
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			txn := lock.TxnID(id + 1)
+			own := store.P("cells", fmt.Sprintf("cw%d", id))
+			ownR1 := own.Child("robots").Child("r1")
+			for i := 0; i < iters; i++ {
+				// Disjoint X + de-escalation (Downgrade under the hood).
+				if err := p.LockPath(txn, own, lock.X); err != nil {
+					t.Errorf("txn %d: %v", txn, err)
+					return
+				}
+				if err := p.DeEscalate(txn, DataNode(own), []store.Path{ownR1}); err != nil {
+					t.Errorf("txn %d deescalate: %v", txn, err)
+					return
+				}
+				// Early release of the kept fine lock (Release under the hood).
+				if err := p.Unlock(txn, DataNode(ownR1)); err != nil {
+					t.Errorf("txn %d unlock: %v", txn, err)
+					return
+				}
+				// Shared S traffic over the common effectors, repeated so the
+				// cache serves the spine.
+				for k := 0; k < 3; k++ {
+					if err := p.LockPath(txn, store.P("cells", "c1", "robots", "r1"), lock.S); err != nil {
+						t.Errorf("txn %d: %v", txn, err)
+						return
+					}
+					if err := p.Lock(txn, DataNode(store.P("cells", "c1")), lock.IS); err != nil {
+						t.Errorf("txn %d: %v", txn, err)
+						return
+					}
+				}
+				assertProtocolInvariants(t, p, txn)
+				p.Release(txn)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := p.Manager().LockCount(); n != 0 {
+		t.Errorf("LockCount = %d after all releases, want 0", n)
+	}
+	if p.Stats().FastPathHits == 0 {
+		t.Error("stress produced no fast-path hits")
+	}
+}
+
+// BenchmarkHotLockPath is the hotbench inner loop as a Go benchmark, for
+// profiling the fast path; run with -benchmem.
+func BenchmarkHotLockPath(b *testing.B) {
+	st := store.PaperDatabase()
+	nm := NewNamer(st.Catalog(), false)
+	mgr := lock.NewManager(lock.Options{})
+	p := NewProtocol(mgr, st, nm, Options{})
+	path := store.P("effectors", "e2", "tool")
+	if err := p.LockPath(1, path, lock.S); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.LockPath(1, path, lock.S); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"colock/internal/lock"
 	"colock/internal/schema"
@@ -120,13 +121,199 @@ type Namer struct {
 	// attributes of one tuple level share a single BLU ("obj_id and
 	// obj_name could form one BLU") instead of one BLU per attribute.
 	coalesceBLUs bool
+
+	// The name cache: every concrete data path named once keeps its computed
+	// resource string, root-to-leaf ancestor resource chain, and schema
+	// classification, so the naming hot path (protocol upward locking) does
+	// no string building and no schema walk after the first visit. Safe
+	// because relation schemas are add-only (a relation, once in the catalog,
+	// is never removed or retyped), so a computed name can never go stale;
+	// an unknown-relation error is NOT cached, since DDL may add the
+	// relation later. Size is bounded by the number of distinct paths named
+	// — the same scale as the lock table itself.
+	//
+	// dbRes and dbAnc are precomputed; segs caches segment resources; paths
+	// is keyed by an fnv-1a hash of the path segments with per-bucket
+	// collision lists, so a cache hit allocates nothing.
+	nocache bool
+	dbRes   lock.Resource
+	dbAnc   []lock.Resource
+	mu      sync.RWMutex
+	segs    map[string]lock.Resource
+	paths   map[uint64][]*nameEntry
+}
+
+// nameEntry is the cached naming of one concrete data path.
+type nameEntry struct {
+	path []string        // owned copy of the path segments (cache key)
+	res  lock.Resource   // resource name (after BLU coalescing)
+	anc  []lock.Resource // ancestor chain, root to leaf; shared, read-only
+	info NodeInfo
+	// infoErr is the (deterministic) classification error for paths whose
+	// relation exists but whose shape is invalid; Classify returns it, and
+	// Resource does too when coalescing needed the classification.
+	infoErr error
 }
 
 // NewNamer returns a Namer over the catalog. coalesceBLUs selects the
 // footnote-3 BLU granularity (one BLU per tuple level) instead of one BLU
 // per atomic attribute.
 func NewNamer(cat *schema.Catalog, coalesceBLUs bool) *Namer {
-	return &Namer{cat: cat, coalesceBLUs: coalesceBLUs}
+	nm := &Namer{cat: cat, coalesceBLUs: coalesceBLUs}
+	nm.dbRes = lock.Resource(cat.Database)
+	nm.dbAnc = []lock.Resource{nm.dbRes}
+	nm.segs = make(map[string]lock.Resource)
+	nm.paths = make(map[uint64][]*nameEntry)
+	return nm
+}
+
+// DisableCache turns the name cache off: every Resource/Classify call
+// recomputes from scratch, as the pre-cache implementation did. It exists as
+// the benchmark baseline (lockbench -hotbench) and must be called before the
+// namer is shared between goroutines.
+func (nm *Namer) DisableCache() { nm.nocache = true }
+
+// pathHash is fnv-1a over the path's segments, with a separator byte so
+// ["ab","c"] and ["a","bc"] hash apart.
+func pathHash(p store.Path) uint64 {
+	h := uint64(14695981039346656037)
+	for _, seg := range p {
+		for i := 0; i < len(seg); i++ {
+			h ^= uint64(seg[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+func segsEqual(a []string, b store.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// entryFor returns the cached naming of p, computing and inserting it on
+// first use. Unknown-relation errors are returned without caching.
+func (nm *Namer) entryFor(p store.Path) (*nameEntry, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("core: empty path")
+	}
+	h := pathHash(p)
+	nm.mu.RLock()
+	for _, e := range nm.paths[h] {
+		if segsEqual(e.path, p) {
+			nm.mu.RUnlock()
+			return e, nil
+		}
+	}
+	nm.mu.RUnlock()
+	e, err := nm.buildEntry(p)
+	if err != nil {
+		return nil, err
+	}
+	nm.mu.Lock()
+	for _, o := range nm.paths[h] {
+		if segsEqual(o.path, p) {
+			nm.mu.Unlock()
+			return o, nil
+		}
+	}
+	nm.paths[h] = append(nm.paths[h], e)
+	nm.mu.Unlock()
+	return e, nil
+}
+
+// buildEntry computes a nameEntry from the schema (the slow path, once per
+// distinct path).
+func (nm *Namer) buildEntry(p store.Path) (*nameEntry, error) {
+	rel := nm.cat.Relation(p.Relation())
+	if rel == nil {
+		return nil, fmt.Errorf("core: unknown relation %q", p.Relation())
+	}
+	e := &nameEntry{path: append([]string(nil), p...)}
+	e.info, e.infoErr = nm.classifyUncached(p)
+	db := nm.cat.Database
+	named := p
+	if nm.coalesceBLUs && len(p) >= 3 && e.infoErr == nil && e.info.Kind == BLU && !e.info.IsRef {
+		named = p.Parent().Child(bluLabel)
+	}
+	if len(p) == 1 {
+		e.res = lock.Resource(db + "/" + rel.Segment + "/" + rel.Name)
+	} else {
+		e.res = lock.Resource(db + "/" + rel.Segment + "/" + strings.Join([]string(named), "/"))
+	}
+	e.anc = make([]lock.Resource, 0, len(p)+1)
+	e.anc = append(e.anc, nm.dbRes, nm.segRes(rel.Segment))
+	pre := db + "/" + rel.Segment
+	for i := 0; i < len(p)-1; i++ {
+		pre = pre + "/" + p[i]
+		e.anc = append(e.anc, lock.Resource(pre))
+	}
+	return e, nil
+}
+
+// segRes returns the (cached) resource name of a segment.
+func (nm *Namer) segRes(seg string) lock.Resource {
+	if nm.nocache {
+		return lock.Resource(nm.cat.Database + "/" + seg)
+	}
+	nm.mu.RLock()
+	r, ok := nm.segs[seg]
+	nm.mu.RUnlock()
+	if ok {
+		return r
+	}
+	r = lock.Resource(nm.cat.Database + "/" + seg)
+	nm.mu.Lock()
+	nm.segs[seg] = r
+	nm.mu.Unlock()
+	return r
+}
+
+// chain returns the resource name of n together with its ancestor resources
+// in root-to-leaf order — the protocol's per-lock naming, served from the
+// cache with zero allocations after the first visit. The returned slice is
+// shared and must not be modified.
+func (nm *Namer) chain(n Node) (lock.Resource, []lock.Resource, error) {
+	switch n.Level {
+	case LevelDatabase:
+		return nm.dbRes, nil, nil
+	case LevelSegment:
+		return nm.segRes(n.Segment), nm.dbAnc, nil
+	}
+	if nm.nocache {
+		res, err := nm.Resource(n)
+		if err != nil {
+			return "", nil, err
+		}
+		ancNodes, err := nm.Ancestors(n)
+		if err != nil {
+			return "", nil, err
+		}
+		anc := make([]lock.Resource, len(ancNodes))
+		for i, a := range ancNodes {
+			if anc[i], err = nm.Resource(a); err != nil {
+				return "", nil, err
+			}
+		}
+		return res, anc, nil
+	}
+	e, err := nm.entryFor(n.Path)
+	if err != nil {
+		return "", nil, err
+	}
+	if nm.coalesceBLUs && len(n.Path) >= 3 && e.infoErr != nil {
+		return "", nil, e.infoErr
+	}
+	return e.res, e.anc, nil
 }
 
 // Catalog returns the catalog the namer was built over.
@@ -135,15 +322,33 @@ func (nm *Namer) Catalog() *schema.Catalog { return nm.cat }
 // blulabel is the synthetic path segment naming a coalesced per-level BLU.
 const bluLabel = "#attrs"
 
-// Resource returns the lock resource name for a node.
+// Resource returns the lock resource name for a node. Data-path names are
+// served from the name cache (zero allocations after a path's first visit).
 func (nm *Namer) Resource(n Node) (lock.Resource, error) {
-	db := nm.cat.Database
 	switch n.Level {
 	case LevelDatabase:
-		return lock.Resource(db), nil
+		return nm.dbRes, nil
 	case LevelSegment:
-		return lock.Resource(db + "/" + n.Segment), nil
+		return nm.segRes(n.Segment), nil
 	}
+	if nm.nocache {
+		return nm.resourceUncached(n)
+	}
+	e, err := nm.entryFor(n.Path)
+	if err != nil {
+		return "", err
+	}
+	if nm.coalesceBLUs && len(n.Path) >= 3 && e.infoErr != nil {
+		// Coalescing needed the classification (pre-cache behavior: the
+		// Classify error surfaced through Resource).
+		return "", e.infoErr
+	}
+	return e.res, nil
+}
+
+// resourceUncached is the pre-cache naming (DisableCache mode).
+func (nm *Namer) resourceUncached(n Node) (lock.Resource, error) {
+	db := nm.cat.Database
 	rel := nm.cat.Relation(n.Path.Relation())
 	if rel == nil {
 		return "", fmt.Errorf("core: unknown relation %q", n.Path.Relation())
@@ -216,8 +421,29 @@ type NodeInfo struct {
 
 // Classify determines the lockable-unit kind of a data path by walking the
 // relation's schema: relations and collections are HoLUs, tuples are HeLUs,
-// atomic attributes and references are BLUs (§4.3 derivation rules).
+// atomic attributes and references are BLUs (§4.3 derivation rules). The
+// walk is memoized per path in the name cache (classification errors for a
+// known relation are deterministic — relation types are immutable once in
+// the catalog — so they are memoized too).
 func (nm *Namer) Classify(p store.Path) (NodeInfo, error) {
+	if nm.nocache {
+		return nm.classifyUncached(p)
+	}
+	if len(p) == 0 {
+		return NodeInfo{}, fmt.Errorf("core: empty path")
+	}
+	e, err := nm.entryFor(p)
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	if e.infoErr != nil {
+		return NodeInfo{}, e.infoErr
+	}
+	return e.info, nil
+}
+
+// classifyUncached is the memo-free schema walk backing Classify.
+func (nm *Namer) classifyUncached(p store.Path) (NodeInfo, error) {
 	if len(p) == 0 {
 		return NodeInfo{}, fmt.Errorf("core: empty path")
 	}

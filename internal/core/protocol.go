@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"colock/internal/authz"
@@ -47,6 +48,11 @@ type Protocol struct {
 	// pay one atomic add.
 	tr *trace.Recorder
 
+	// gcache is the per-transaction granted-mode cache (nil when the fast
+	// path is disabled); see cache.go. Invalidation is wired through the
+	// manager's OnRelease callback in NewProtocol.
+	gcache *grantCache
+
 	// counters tallies rule applications; see ProtocolStats.
 	counters protoCounters
 }
@@ -61,6 +67,11 @@ type Options struct {
 	// Tracer, when non-nil, records per-transaction span trees for every
 	// sampled user-level lock call (see internal/trace).
 	Tracer *trace.Recorder
+	// DisableFastPath turns off the per-transaction granted-mode cache and
+	// the batched ancestor acquisition, forcing every request through the
+	// classic one-AcquireCtx-per-resource path. The benchmark baseline and
+	// an escape hatch; see DESIGN.md §11.
+	DisableFastPath bool
 }
 
 // NewProtocol builds a protocol instance over a lock manager, a store and a
@@ -72,6 +83,10 @@ func NewProtocol(mgr *lock.Manager, st *store.Store, nm *Namer, opts Options) *P
 		auth = authz.AllowAll{}
 	}
 	p := &Protocol{nm: nm, mgr: mgr, st: st, auth: auth, rule4Prime: opts.Rule4Prime, tr: opts.Tracer}
+	if !opts.DisableFastPath {
+		p.gcache = newGrantCache()
+		mgr.OnRelease(p.gcache.invalidate)
+	}
 	mgr.OnResetStats(p.counters.reset)
 	return p
 }
@@ -179,13 +194,27 @@ func (p *Protocol) lockOpts(ctx context.Context, txn lock.TxnID, n Node, mode lo
 	}
 	// requested tracks the strongest mode already handled per resource
 	// within this call, so that diamond-shaped sharing does not reprocess
-	// entry points.
-	requested := make(map[lock.Resource]lock.Mode)
-	return p.lockRec(ctx, txn, n, mode, durable, noFollow, timeout, requested, sp)
+	// entry points. Pooled: the map is cleared and reused across calls.
+	requested := requestedPool.Get().(map[lock.Resource]lock.Mode)
+	defer func() {
+		clear(requested)
+		requestedPool.Put(requested)
+	}()
+	// tg is the transaction's granted-mode cache handle, fetched once per
+	// call (nil when the fast path is disabled).
+	var tg *txnGrants
+	if p.gcache != nil {
+		tg = p.gcache.get(txn)
+	}
+	return p.lockRec(ctx, txn, n, mode, durable, noFollow, timeout, requested, tg, sp)
 }
 
-func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, timeout time.Duration, requested map[lock.Resource]lock.Mode, sp *trace.SpanHandle) error {
-	res, err := p.nm.Resource(n)
+var requestedPool = sync.Pool{
+	New: func() any { return make(map[lock.Resource]lock.Mode, 16) },
+}
+
+func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, timeout time.Duration, requested map[lock.Resource]lock.Mode, tg *txnGrants, sp *trace.SpanHandle) error {
+	res, anc, err := p.nm.chain(n)
 	if err != nil {
 		return err
 	}
@@ -193,35 +222,51 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 		p.counters.memoHits.Add(1)
 		return nil
 	}
+	intent := mode.IntentionFor()
+	// follow: granting S or X implies downward propagation (rules 3/4) —
+	// those requests must run the full protocol below. Everything else
+	// (IS/IX, or S/X with noFollow) is a pure chain acquisition, eligible
+	// for the all-in-one batched fast path. Sampled calls (sp != nil) take
+	// the classic per-resource path so the span tree keeps its per-resource
+	// timing; a cache hit inside it emits no span (DESIGN.md §11).
+	follow := (mode == lock.S || mode == lock.X) && !noFollow
+	if tg != nil && sp == nil && !follow {
+		return p.lockChainBatched(ctx, txn, res, anc, mode, intent, durable, timeout, requested, tg)
+	}
 
 	// Rules 1–4, upward part: intention-lock all immediate parents
 	// root-to-leaf (rule 5 order). For entry points this is the "implicit
 	// upward propagation" up to the root of the superunit; it never crosses
 	// superunit boundaries because the ancestor chain is exactly the
 	// superunit spine.
-	anc, err := p.nm.Ancestors(n)
-	if err != nil {
-		return err
-	}
-	intent := mode.IntentionFor()
 	if intent != lock.None {
-		for _, a := range anc {
-			ares, err := p.nm.Resource(a)
-			if err != nil {
+		if tg != nil && sp == nil {
+			if err := p.upwardBatched(ctx, txn, anc, intent, durable, timeout, requested, tg); err != nil {
 				return err
 			}
-			if prev, ok := requested[ares]; ok && prev.Covers(intent) {
-				p.counters.memoHits.Add(1)
-				continue
+		} else {
+			for _, ares := range anc {
+				if prev, ok := requested[ares]; ok && prev.Covers(intent) {
+					p.counters.memoHits.Add(1)
+					continue
+				}
+				if tg != nil && tg.covers(ares, intent, durable) {
+					// Granted-mode cache hit: the manager already holds a
+					// covering lock for this txn; no manager call, no span.
+					p.counters.fastPathHits.Add(1)
+					requested[ares] = lock.Sup(requested[ares], intent)
+					continue
+				}
+				c := sp.Child("upward", ares, intent)
+				err = p.acquire(ctx, txn, ares, intent, durable, timeout)
+				c.End(err)
+				if err != nil {
+					return err
+				}
+				p.counters.upwardLocks.Add(1)
+				requested[ares] = lock.Sup(requested[ares], intent)
+				tg.note(ares, intent, durable)
 			}
-			c := sp.Child("upward", ares, intent)
-			err = p.acquire(ctx, txn, ares, intent, durable, timeout)
-			c.End(err)
-			if err != nil {
-				return err
-			}
-			p.counters.upwardLocks.Add(1)
-			requested[ares] = lock.Sup(requested[ares], intent)
 		}
 	}
 
@@ -236,7 +281,7 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 	// the entry points of all lower (dependent) inner units accessible via
 	// it. Downward propagation crosses superunit boundaries and recurses,
 	// because common data may again contain common data.
-	if (mode == lock.S || mode == lock.X) && !noFollow {
+	if follow {
 		p.counters.entryScans.Add(1)
 		entries, err := EntryPointsUnder(p.st, p.nm, n)
 		if err != nil {
@@ -260,7 +305,7 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 					next = sp.Child(kind, eres, em)
 				}
 			}
-			err := p.lockRec(ctx, txn, DataNode(ep), em, durable, noFollow, timeout, requested, next)
+			err := p.lockRec(ctx, txn, DataNode(ep), em, durable, noFollow, timeout, requested, tg, next)
 			if next != sp {
 				next.End(err)
 			}
@@ -270,6 +315,13 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 		}
 	}
 
+	// Final acquire on the node itself. An IS/IX request covered by the
+	// granted-mode cache skips the manager (and emits no span); S/X always
+	// goes to the manager, whose held-covers regrant path answers it.
+	if tg != nil && mode.IsIntention() && tg.covers(res, mode, durable) {
+		p.counters.fastPathHits.Add(1)
+		return nil
+	}
 	c := sp.Child("acquire", res, mode)
 	err = p.acquire(ctx, txn, res, mode, durable, timeout)
 	c.End(err)
@@ -277,7 +329,139 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 		return err
 	}
 	p.counters.nodeLocks.Add(1)
+	tg.note(res, mode, durable)
 	return nil
+}
+
+// upwardBatched services the upward half of rules 1–4 for unsampled calls
+// with the fast path on: cache and memo hits are skipped without touching
+// the manager, and whatever remains is acquired in ONE Manager.AcquireBatch
+// call (root-to-leaf order preserved) instead of one AcquireCtx round-trip
+// per ancestor.
+func (p *Protocol) upwardBatched(ctx context.Context, txn lock.TxnID, anc []lock.Resource, intent lock.Mode, durable bool, timeout time.Duration, requested map[lock.Resource]lock.Mode, tg *txnGrants) error {
+	// Pass 1 (hot): serve hits, count the manager-needing ancestors. The
+	// batch slice is only allocated when something actually needs the
+	// manager — the steady state allocates nothing.
+	need := 0
+	for _, ares := range anc {
+		if prev, ok := requested[ares]; ok && prev.Covers(intent) {
+			p.counters.memoHits.Add(1)
+			continue
+		}
+		if tg.covers(ares, intent, durable) {
+			// Deliberately NOT folded into requested: the cache answers any
+			// later encounter the memo would, and skipping the map write
+			// keeps the steady state free of per-call map traffic.
+			p.counters.fastPathHits.Add(1)
+			continue
+		}
+		need++
+	}
+	if need == 0 {
+		return nil
+	}
+	// Pass 2 (cold): re-derive the manager-needing set pass 1 counted.
+	reqs := make([]lock.BatchReq, 0, need)
+	for _, ares := range anc {
+		if prev, ok := requested[ares]; ok && prev.Covers(intent) {
+			continue
+		}
+		if tg.covers(ares, intent, durable) {
+			continue
+		}
+		reqs = append(reqs, lock.BatchReq{Resource: ares, Mode: intent})
+	}
+	if err := p.acquireBatch(ctx, txn, reqs, durable, timeout); err != nil {
+		return err
+	}
+	p.counters.upwardLocks.Add(uint64(len(reqs)))
+	p.counters.batchedLocks.Add(uint64(len(reqs)))
+	for _, q := range reqs {
+		requested[q.Resource] = lock.Sup(requested[q.Resource], intent)
+		tg.note(q.Resource, intent, durable)
+	}
+	return nil
+}
+
+// lockChainBatched is the whole-call fast path for non-propagating requests
+// (IS/IX, or S/X with noFollow): the ancestor chain AND the node's own lock
+// are served from the caches and, for whatever is left, one AcquireBatch
+// call. The common steady-state outcome — everything cached — performs zero
+// manager calls and zero allocations.
+func (p *Protocol) lockChainBatched(ctx context.Context, txn lock.TxnID, res lock.Resource, anc []lock.Resource, mode, intent lock.Mode, durable bool, timeout time.Duration, requested map[lock.Resource]lock.Mode, tg *txnGrants) error {
+	need := 0
+	if intent != lock.None {
+		for _, ares := range anc {
+			if prev, ok := requested[ares]; ok && prev.Covers(intent) {
+				p.counters.memoHits.Add(1)
+				continue
+			}
+			if tg.covers(ares, intent, durable) {
+				p.counters.fastPathHits.Add(1)
+				continue
+			}
+			need++
+		}
+	}
+	// Only IS/IX node locks may be served from the cache; a cached S/X
+	// answer would skip the downward re-scan — but this path is only taken
+	// for noFollow S/X, where the caller asserted there is nothing to scan.
+	// Keep S/X going to the manager anyway: noFollow is rare and the
+	// manager's regrant answer is authoritative.
+	nodeCached := mode.IsIntention() && tg.covers(res, mode, durable)
+	if nodeCached {
+		p.counters.fastPathHits.Add(1)
+	} else {
+		need++
+		requested[res] = lock.Sup(requested[res], mode)
+	}
+	if need == 0 {
+		return nil
+	}
+	reqs := make([]lock.BatchReq, 0, need)
+	if intent != lock.None {
+		for _, ares := range anc {
+			if prev, ok := requested[ares]; ok && prev.Covers(intent) {
+				continue
+			}
+			if tg.covers(ares, intent, durable) {
+				continue
+			}
+			reqs = append(reqs, lock.BatchReq{Resource: ares, Mode: intent})
+		}
+	}
+	if !nodeCached {
+		reqs = append(reqs, lock.BatchReq{Resource: res, Mode: mode})
+	}
+	if err := p.acquireBatch(ctx, txn, reqs, durable, timeout); err != nil {
+		return err
+	}
+	p.counters.batchedLocks.Add(uint64(len(reqs)))
+	for _, q := range reqs {
+		requested[q.Resource] = lock.Sup(requested[q.Resource], q.Mode)
+		tg.note(q.Resource, q.Mode, durable)
+	}
+	if nodeCached {
+		p.counters.upwardLocks.Add(uint64(len(reqs)))
+	} else {
+		p.counters.upwardLocks.Add(uint64(len(reqs) - 1))
+		p.counters.nodeLocks.Add(1)
+	}
+	return nil
+}
+
+// acquireBatch forwards to Manager.AcquireBatch with the call's options.
+func (p *Protocol) acquireBatch(ctx context.Context, txn lock.TxnID, reqs []lock.BatchReq, durable bool, timeout time.Duration) error {
+	switch {
+	case durable && timeout > 0:
+		return p.mgr.AcquireBatch(ctx, txn, reqs, lock.WithDurable(), lock.WithTimeout(timeout))
+	case durable:
+		return p.mgr.AcquireBatch(ctx, txn, reqs, lock.WithDurable())
+	case timeout > 0:
+		return p.mgr.AcquireBatch(ctx, txn, reqs, lock.WithTimeout(timeout))
+	default:
+		return p.mgr.AcquireBatch(ctx, txn, reqs)
+	}
 }
 
 func (p *Protocol) acquire(ctx context.Context, txn lock.TxnID, res lock.Resource, mode lock.Mode, durable bool, timeout time.Duration) error {
@@ -302,20 +486,12 @@ func (p *Protocol) Release(txn lock.TxnID) { p.mgr.ReleaseAll(txn) }
 // descendants in the same mode (§3.1). Because resource names are the
 // immediate-parent chains, implicit coverage is prefix coverage.
 func (p *Protocol) EffectiveMode(txn lock.TxnID, n Node) (lock.Mode, error) {
-	res, err := p.nm.Resource(n)
+	res, anc, err := p.nm.chain(n)
 	if err != nil {
 		return lock.None, err
 	}
 	best := p.mgr.HeldMode(txn, res)
-	anc, err := p.nm.Ancestors(n)
-	if err != nil {
-		return lock.None, err
-	}
-	for _, a := range anc {
-		ares, err := p.nm.Resource(a)
-		if err != nil {
-			return lock.None, err
-		}
+	for _, ares := range anc {
 		switch p.mgr.HeldMode(txn, ares) {
 		case lock.S:
 			best = lock.Sup(best, lock.S)

@@ -40,6 +40,15 @@ type ProtocolStats struct {
 	// themselves (Requests minus validation failures, plus recursion
 	// targets).
 	NodeLocks uint64
+	// FastPathHits counts lock requests served by the per-transaction
+	// granted-mode cache without a lock-manager round-trip (IS/IX
+	// re-acquisitions covered by a grant the manager already made). Cache
+	// hits emit no trace span.
+	FastPathHits uint64
+	// BatchedLocks counts manager acquisitions that went through
+	// Manager.AcquireBatch (one latch round per chain) rather than
+	// one-at-a-time AcquireCtx calls.
+	BatchedLocks uint64
 }
 
 // protoCounters is the atomic backing store embedded in Protocol.
@@ -52,6 +61,8 @@ type protoCounters struct {
 	downward      atomic.Uint64
 	rule4Weakened atomic.Uint64
 	nodeLocks     atomic.Uint64
+	fastPathHits  atomic.Uint64
+	batchedLocks  atomic.Uint64
 }
 
 func (pc *protoCounters) snapshot() ProtocolStats {
@@ -64,6 +75,8 @@ func (pc *protoCounters) snapshot() ProtocolStats {
 		DownwardPropagations: pc.downward.Load(),
 		Rule4PrimeWeakened:   pc.rule4Weakened.Load(),
 		NodeLocks:            pc.nodeLocks.Load(),
+		FastPathHits:         pc.fastPathHits.Load(),
+		BatchedLocks:         pc.batchedLocks.Load(),
 	}
 }
 
@@ -76,6 +89,8 @@ func (pc *protoCounters) reset() {
 	pc.downward.Store(0)
 	pc.rule4Weakened.Store(0)
 	pc.nodeLocks.Store(0)
+	pc.fastPathHits.Store(0)
+	pc.batchedLocks.Store(0)
 }
 
 // Stats returns a snapshot of the protocol's rule counters.
@@ -102,6 +117,8 @@ func (p *Protocol) WriteMetrics(w io.Writer) {
 		{"downward_propagations", st.DownwardPropagations},
 		{"rule4prime_weakened", st.Rule4PrimeWeakened},
 		{"node_locks", st.NodeLocks},
+		{"fast_path_hits", st.FastPathHits},
+		{"batched_locks", st.BatchedLocks},
 	} {
 		fmt.Fprintf(w, "colock_protocol_ops_total{op=%q} %d\n", kv.name, kv.val)
 	}

@@ -1,0 +1,268 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chainReqs builds the ancestor-chain shape AcquireBatch exists for.
+func chainReqs(mode Mode, leafMode Mode) []BatchReq {
+	return []BatchReq{
+		{"db", mode},
+		{"db/seg", mode},
+		{"db/seg/rel", mode},
+		{"db/seg/rel/t1", leafMode},
+	}
+}
+
+func TestAcquireBatchGrantsChainInOrder(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.AcquireBatch(context.Background(), 1, chainReqs(IS, S)); err != nil {
+		t.Fatal(err)
+	}
+	held := m.HeldLocks(1)
+	if len(held) != 4 {
+		t.Fatalf("held %d locks, want 4: %v", len(held), held)
+	}
+	want := chainReqs(IS, S)
+	for i, h := range held {
+		if h.Resource != want[i].Resource || h.Mode != want[i].Mode {
+			t.Errorf("held[%d] = %v %v, want %v %v", i, h.Resource, h.Mode, want[i].Resource, want[i].Mode)
+		}
+		if i > 0 && held[i].Seq <= held[i-1].Seq {
+			t.Errorf("grant seq out of chain order: %v", held)
+		}
+	}
+	st := m.Stats()
+	if st.Batches != 1 || st.BatchFastGrants != 4 || st.BatchFallbacks != 0 {
+		t.Errorf("batch counters = %d/%d/%d, want 1/4/0", st.Batches, st.BatchFastGrants, st.BatchFallbacks)
+	}
+	if st.Requests != 4 || st.Grants != 4 {
+		t.Errorf("requests/grants = %d/%d, want 4/4", st.Requests, st.Grants)
+	}
+}
+
+func TestAcquireBatchRegrantsAndConverts(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.AcquireBatch(context.Background(), 1, chainReqs(IS, S)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running with IX intentions converts the IS ancestors (Sup) and
+	// regrants the covered leaf.
+	if err := m.AcquireBatch(context.Background(), 1, chainReqs(IX, S)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HeldMode(1, "db"); got != IX {
+		t.Errorf("db held %v, want IX", got)
+	}
+	if got := m.HeldMode(1, "db/seg/rel/t1"); got != S {
+		t.Errorf("leaf held %v, want S", got)
+	}
+	st := m.Stats()
+	if st.Conversions != 3 {
+		t.Errorf("Conversions = %d, want 3", st.Conversions)
+	}
+	if st.Regrants != 1 {
+		t.Errorf("Regrants = %d, want 1", st.Regrants)
+	}
+	if st.BatchFastGrants != 8 {
+		t.Errorf("BatchFastGrants = %d, want 8", st.BatchFastGrants)
+	}
+}
+
+func TestAcquireBatchDurable(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.AcquireBatch(context.Background(), 1, chainReqs(IS, S)); err != nil {
+		t.Fatal(err)
+	}
+	// A durable batch over the same chain must upgrade every held lock to
+	// durable, including the regranted ones.
+	if err := m.AcquireBatch(context.Background(), 1, chainReqs(IS, S), WithDurable()); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range m.HeldLocks(1) {
+		if !h.Durable {
+			t.Errorf("%v not durable after durable batch", h.Resource)
+		}
+	}
+}
+
+func TestAcquireBatchFallbackOnConflict(t *testing.T) {
+	m := NewManager(Options{})
+	// Txn 2 X-locks the relation, so txn 1's batch grants db and db/seg,
+	// then conflicts on db/seg/rel and falls back to the wait path.
+	if err := m.Acquire(2, "db/seg/rel", X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- m.AcquireBatch(context.Background(), 1, chainReqs(IS, S))
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("batch completed while X held: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// The compatible prefix must already be granted.
+	if got := m.HeldMode(1, "db"); got != IS {
+		t.Errorf("db held %v, want IS while blocked", got)
+	}
+	if got := m.HeldMode(1, "db/seg"); got != IS {
+		t.Errorf("db/seg held %v, want IS while blocked", got)
+	}
+	m.ReleaseAll(2)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("batch not completed after conflicting lock released")
+	}
+	if got := m.HeldMode(1, "db/seg/rel/t1"); got != S {
+		t.Errorf("leaf held %v, want S", got)
+	}
+	st := m.Stats()
+	if st.BatchFallbacks != 1 {
+		t.Errorf("BatchFallbacks = %d, want 1", st.BatchFallbacks)
+	}
+	if st.BatchFastGrants != 2 {
+		t.Errorf("BatchFastGrants = %d, want 2", st.BatchFastGrants)
+	}
+	if st.Waits == 0 {
+		t.Error("expected the fallback to record a wait")
+	}
+}
+
+func TestAcquireBatchNoWaitFallback(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.Acquire(2, "db/seg/rel", X); err != nil {
+		t.Fatal(err)
+	}
+	err := m.AcquireBatch(context.Background(), 1, chainReqs(IS, S), WithNoWait())
+	if !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("want ErrWouldBlock, got %v", err)
+	}
+	// Prefix grants survive the refused tail (the caller aborts or retries).
+	if got := m.HeldMode(1, "db"); got != IS {
+		t.Errorf("db held %v, want IS", got)
+	}
+}
+
+func TestAcquireBatchCanceledContext(t *testing.T) {
+	m := NewManager(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := m.AcquireBatch(ctx, 1, chainReqs(IS, S))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := m.LockCount(); n != 0 {
+		t.Errorf("LockCount = %d after pre-canceled batch, want 0", n)
+	}
+}
+
+func TestAcquireBatchInvalidMode(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.AcquireBatch(context.Background(), 1, []BatchReq{{"a", None}}); err == nil {
+		t.Fatal("want error for None mode")
+	}
+	if err := m.AcquireBatch(context.Background(), 1, nil); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+}
+
+// TestAcquireBatchManyShards exercises the multi-latch path with more
+// distinct resources than the stack index buffer holds.
+func TestAcquireBatchManyShards(t *testing.T) {
+	m := NewManager(Options{Shards: 64})
+	var reqs []BatchReq
+	for _, r := range []Resource{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"} {
+		reqs = append(reqs, BatchReq{r, X})
+	}
+	if err := m.AcquireBatch(context.Background(), 1, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.LockCount(); n != len(reqs) {
+		t.Errorf("LockCount = %d, want %d", n, len(reqs))
+	}
+}
+
+// TestResetStatsClearsBatchCounters is the satellite regression test: the
+// PR-3 cascade pattern must cover the new manager-level batch counters.
+func TestResetStatsClearsBatchCounters(t *testing.T) {
+	m := NewManager(Options{})
+	if err := m.AcquireBatch(context.Background(), 1, chainReqs(IS, S)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "db/seg/rel/t2", X); err != nil {
+		t.Fatal(err)
+	}
+	go m.AcquireBatch(context.Background(), 3, []BatchReq{{"db/seg/rel/t2", S}}) //nolint:errcheck
+	waitFor(t, func() bool { return m.Stats().Waits == 1 })
+	m.ReleaseAll(2)
+	waitFor(t, func() bool { return m.HeldMode(3, "db/seg/rel/t2") == S })
+	st := m.Stats()
+	if st.Batches == 0 || st.BatchFastGrants == 0 || st.BatchFallbacks == 0 {
+		t.Fatalf("expected nonzero batch counters before reset, got %+v", st)
+	}
+	m.ResetStats()
+	st = m.Stats()
+	if st.Batches != 0 || st.BatchFastGrants != 0 || st.BatchFallbacks != 0 {
+		t.Errorf("batch counters not reset: %d/%d/%d", st.Batches, st.BatchFastGrants, st.BatchFallbacks)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAcquireBatchConcurrentStress hammers overlapping chains from many
+// goroutines under -race: shared IS/IX ancestors, disjoint X leaves, with
+// periodic ReleaseAll. Verifies the multi-latch fast path against the
+// single-latch operations it interleaves with.
+func TestAcquireBatchConcurrentStress(t *testing.T) {
+	m := NewManager(Options{Shards: 8})
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			txn := TxnID(id + 1)
+			leaf := Resource("db/seg/rel/t" + string(rune('a'+id)))
+			for i := 0; i < iters; i++ {
+				reqs := []BatchReq{
+					{"db", IX},
+					{"db/seg", IX},
+					{"db/seg/rel", IX},
+					{leaf, X},
+				}
+				if err := m.AcquireBatch(context.Background(), txn, reqs); err != nil {
+					t.Errorf("txn %d: %v", txn, err)
+					return
+				}
+				if got := m.HeldMode(txn, leaf); got != X {
+					t.Errorf("txn %d holds %v on its leaf, want X", txn, got)
+					return
+				}
+				m.ReleaseAll(txn)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := m.LockCount(); n != 0 {
+		t.Errorf("LockCount = %d after all ReleaseAll, want 0", n)
+	}
+}

@@ -193,6 +193,17 @@ type Manager struct {
 	opSeq      atomic.Uint64 // operation counter for event sampling
 	sampleMask uint64        // 2^EventSampleShift − 1
 
+	// releaseFns are the OnRelease callbacks, invoked (with no latch held)
+	// whenever a transaction's lock coverage shrinks. Copy-on-write like
+	// sinks so notifyRelease pays one atomic load on the hot path.
+	releaseFns atomic.Pointer[[]func(TxnID)]
+
+	// Batch counters live on the manager (not a shard) because one
+	// AcquireBatch call spans several stripes.
+	batches        atomic.Uint64
+	batchFast      atomic.Uint64
+	batchFallbacks atomic.Uint64
+
 	// resetFns are run by ResetStats after the shard counters are zeroed:
 	// OnResetStats registrations plus the ResetStats method of every
 	// attached sink that has one, so downstream aggregates (rule counters,
@@ -290,6 +301,40 @@ func (m *Manager) OnResetStats(fn func()) {
 	m.resetMu.Lock()
 	m.resetFns = append(m.resetFns, fn)
 	m.resetMu.Unlock()
+}
+
+// OnRelease registers fn to be called whenever txn's lock coverage may have
+// shrunk: after a Release or Downgrade of one of its locks, or after
+// ReleaseAll dropped anything. The callback runs on the goroutine performing
+// the operation, AFTER all manager latches have been released, so it may call
+// back into the manager. Layers that cache granted modes (the protocol's
+// per-transaction grant cache) register here to invalidate on exactly the
+// operations that can retract a grant.
+func (m *Manager) OnRelease(fn func(TxnID)) {
+	if fn == nil {
+		return
+	}
+	for {
+		old := m.releaseFns.Load()
+		var fns []func(TxnID)
+		if old != nil {
+			fns = append(fns, *old...)
+		}
+		fns = append(fns, fn)
+		if m.releaseFns.CompareAndSwap(old, &fns) {
+			return
+		}
+	}
+}
+
+// notifyRelease invokes the OnRelease callbacks. MUST be called with no
+// manager latch held.
+func (m *Manager) notifyRelease(txn TxnID) {
+	if p := m.releaseFns.Load(); p != nil {
+		for _, fn := range *p {
+			fn(txn)
+		}
+	}
 }
 
 func (m *Manager) shardIndex(r Resource) uint32 { return shardHash(r) & m.mask }
@@ -450,6 +495,17 @@ type acquireConfig struct {
 	timeout time.Duration
 }
 
+// buildAcquireConfig folds the options into a config. Kept out of the
+// acquire bodies so that on the common zero-option call &cfg never escapes
+// there and the hot path stays allocation-free.
+func buildAcquireConfig(opts []AcquireOption) acquireConfig {
+	var cfg acquireConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
 // WithDurable marks the request as a durable ("long") lock that survives
 // Snapshot/Restore (simulated shutdown); requesting a durable lock on a
 // resource already held non-durably makes the held lock durable.
@@ -517,8 +573,8 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 		return fmt.Errorf("lock: invalid mode %v", mode)
 	}
 	var cfg acquireConfig
-	for _, o := range opts {
-		o(&cfg)
+	if len(opts) > 0 {
+		cfg = buildAcquireConfig(opts)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -649,6 +705,144 @@ func (m *Manager) await(ctx context.Context, cfg acquireConfig, tr *tracer, txn 
 	}
 }
 
+// BatchReq is one request of an AcquireBatch call.
+type BatchReq struct {
+	Resource Resource
+	Mode     Mode
+}
+
+// AcquireBatch obtains locks for every request in reqs, in order, on behalf
+// of txn. It exists for the protocol's root-to-leaf ancestor chains: instead
+// of N AcquireCtx round-trips (N shard-latch acquisitions, N tracer
+// decisions), the batch latches every involved stripe once — in ascending
+// stripe-index order, the one multi-latch pattern the ordering discipline
+// permits (see shard.go) — and grants all already-compatible requests under
+// that single latch hold with one tracer flush.
+//
+// Because all involved stripes are latched before the first grant, the whole
+// prefix of compatible requests is granted atomically: no concurrent
+// transaction can observe (or create) a state between two of the batch's
+// grants. Requests are processed in the given order, so grant sequence
+// numbers preserve the chain's root-to-leaf order.
+//
+// On the first request that cannot be granted immediately, the batch
+// releases all latches, flushes the tracer, and falls back to the plain
+// AcquireCtx wait path for that request and every later one — waiting,
+// deadlock handling, timeouts and cancellation behave exactly as if the tail
+// had been acquired one call at a time. Requests before the conflict stay
+// granted (lock acquisition is not transactional; the caller's 2PL makes
+// that safe). Options apply to every request in the batch.
+//
+// The whole batch is ONE operation for event sampling, like ReleaseAll.
+func (m *Manager) AcquireBatch(ctx context.Context, txn TxnID, reqs []BatchReq, opts ...AcquireOption) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	for _, q := range reqs {
+		if !q.Mode.Valid() || q.Mode == None {
+			return fmt.Errorf("lock: invalid mode %v", q.Mode)
+		}
+	}
+	var cfg acquireConfig
+	if len(opts) > 0 {
+		cfg = buildAcquireConfig(opts)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return lockErr(txn, reqs[0].Resource, reqs[0].Mode, err)
+	}
+	m.batches.Add(1)
+	tr := m.newTracer()
+
+	// Collect the distinct stripe indices, ascending (insertion sort into a
+	// small stack buffer; ancestor chains are short, so this beats a map).
+	var idxBuf [8]uint32
+	idxs := idxBuf[:0]
+	for _, q := range reqs {
+		si := m.shardIndex(q.Resource)
+		pos := len(idxs)
+		dup := false
+		for i, v := range idxs {
+			if v == si {
+				dup = true
+				break
+			}
+			if v > si {
+				pos = i
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		idxs = append(idxs, 0)
+		copy(idxs[pos+1:], idxs[pos:])
+		idxs[pos] = si
+	}
+	for _, si := range idxs {
+		m.shards[si].mu.Lock()
+	}
+
+	// Grant pass. A request that conflicts is NOT counted against the shard
+	// stats here — the fallback AcquireCtx call will do its own accounting —
+	// so per-request counters stay exactly one-per-request either way.
+	fallbackAt := -1
+	fast := 0
+	for i, q := range reqs {
+		s := m.shards[m.shardIndex(q.Resource)]
+		e := s.entryFor(q.Resource)
+		h := e.granted[txn]
+		if h != nil && h.mode.Covers(q.Mode) {
+			s.stats.requests.Add(1)
+			s.stats.regrants.Add(1)
+			if cfg.durable {
+				h.durable = true
+			}
+			fast++
+			continue
+		}
+		target := q.Mode
+		convert := false
+		if h != nil {
+			target = Sup(h.mode, q.Mode)
+			convert = true
+		}
+		if e.compatibleWithGranted(txn, target) && (convert || !e.hasBlockingQueue(txn, target)) {
+			s.stats.requests.Add(1)
+			var start time.Time
+			if tr != nil {
+				start = tr.start
+			}
+			m.grantLocked(tr, s, e, txn, q.Resource, target,
+				cfg.durable || (h != nil && h.durable), convert, false, start)
+			fast++
+			continue
+		}
+		// Conflict: drop the entry if this lookup speculatively created it,
+		// and leave this request and the rest of the chain to the wait path.
+		s.maybeDropEntry(q.Resource)
+		fallbackAt = i
+		break
+	}
+	for i := len(idxs) - 1; i >= 0; i-- {
+		m.shards[idxs[i]].mu.Unlock()
+	}
+	m.batchFast.Add(uint64(fast))
+	tr.deliver()
+	if fallbackAt < 0 {
+		return nil
+	}
+	m.batchFallbacks.Add(1)
+	for _, q := range reqs[fallbackAt:] {
+		if err := m.AcquireCtx(ctx, txn, q.Resource, q.Mode, opts...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // withdraw removes an expired or canceled waiter from its queue. The grant
 // may have raced the wakeup: the ready channel is buffered, so a completed
 // grant (or a deadlock abort) is drained here and that outcome returned
@@ -773,6 +967,7 @@ func (m *Manager) Downgrade(txn TxnID, r Resource, mode Mode) error {
 		m.releaseLocked(tr, s, txn, r)
 		s.mu.Unlock()
 		tr.deliver()
+		m.notifyRelease(txn)
 		return nil
 	}
 	h.mode = mode
@@ -781,6 +976,7 @@ func (m *Manager) Downgrade(txn TxnID, r Resource, mode Mode) error {
 	m.grantWaitersLocked(tr, s, r)
 	s.mu.Unlock()
 	tr.deliver()
+	m.notifyRelease(txn)
 	return nil
 }
 
@@ -790,9 +986,12 @@ func (m *Manager) Release(txn TxnID, r Resource) {
 	tr := m.newTracer()
 	s := m.shardFor(r)
 	s.mu.Lock()
-	m.releaseLocked(tr, s, txn, r)
+	dropped := m.releaseLocked(tr, s, txn, r)
 	s.mu.Unlock()
 	tr.deliver()
+	if dropped {
+		m.notifyRelease(txn)
+	}
 }
 
 // releaseLocked drops txn's granted lock on r and wakes unblocked waiters,
@@ -830,19 +1029,26 @@ func (m *Manager) releaseLocked(tr *tracer, s *tableShard, txn TxnID, r Resource
 func (m *Manager) ReleaseAll(txn TxnID) {
 	tr := m.newTracer()
 	var released []Resource
+	any := false
 	for _, r := range m.txnShardFor(txn).snapshot(txn) {
 		s := m.shardFor(r)
 		s.mu.Lock()
 		dropped := m.releaseLocked(tr, s, txn, r)
 		s.mu.Unlock()
-		if dropped && tr != nil {
-			released = append(released, r)
+		if dropped {
+			any = true
+			if tr != nil {
+				released = append(released, r)
+			}
 		}
 	}
 	if len(released) > 0 {
 		tr.add(Event{Kind: "release-all", Txn: txn, Resources: released}, tr.start)
 	}
 	tr.deliver()
+	if any {
+		m.notifyRelease(txn)
+	}
 }
 
 // HeldMode returns the mode txn currently holds on r (None if unheld).
@@ -903,6 +1109,9 @@ func (m *Manager) Stats() Stats {
 	for _, s := range m.shards {
 		s.stats.addTo(&st)
 	}
+	st.Batches = m.batches.Load()
+	st.BatchFastGrants = m.batchFast.Load()
+	st.BatchFallbacks = m.batchFallbacks.Load()
 	st.MaxTableSize = int(m.high.Load())
 	return st
 }
@@ -916,6 +1125,9 @@ func (m *Manager) ResetStats() {
 	for _, s := range m.shards {
 		s.stats.reset()
 	}
+	m.batches.Store(0)
+	m.batchFast.Store(0)
+	m.batchFallbacks.Store(0)
 	m.high.Store(m.size.Load())
 	m.resetMu.Lock()
 	fns := append([]func(){}, m.resetFns...)

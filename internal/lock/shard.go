@@ -15,9 +15,15 @@ import (
 //
 //  1. table-shard latch → txn-shard latch        (never the reverse)
 //  2. table-shard latch → waits-for-table latch  (never the reverse)
-//  3. at most ONE table-shard latch at a time; cross-shard work (ReleaseAll,
-//     HeldLocks, Snapshot, deadlock detection) snapshots under one latch,
-//     releases it, and re-latches the next shard.
+//  3. multiple table-shard latches may be held simultaneously ONLY when
+//     acquired in ascending stripe-index order (AcquireBatch's fast path
+//     latches every involved stripe that way, grants, and unlatches).
+//     Everything else holds at most ONE table-shard latch at a time;
+//     cross-shard work (ReleaseAll, HeldLocks, Snapshot, deadlock detection)
+//     snapshots under one latch, releases it, and re-latches the next shard.
+//     Single-latch code never acquires a second stripe, and ascending-order
+//     batchers cannot cycle among themselves, so the two regimes compose
+//     deadlock-free.
 //  4. txn-shard and waits-for latches are leaves: code holding them may not
 //     acquire any other manager latch.
 //

@@ -27,6 +27,14 @@ type Stats struct {
 	Downgrades uint64
 	// Releases counts dropped lock-table entries.
 	Releases uint64
+	// Batches counts AcquireBatch calls.
+	Batches uint64
+	// BatchFastGrants counts requests granted on the AcquireBatch fast path
+	// (all compatible, granted under one multi-shard latch acquisition).
+	BatchFastGrants uint64
+	// BatchFallbacks counts AcquireBatch calls that hit a conflict and fell
+	// back to the single-resource wait path for the remaining requests.
+	BatchFallbacks uint64
 	// MaxTableSize is the high-water mark of granted lock-table entries.
 	MaxTableSize int
 }
@@ -44,6 +52,9 @@ func (s Stats) Add(o Stats) Stats {
 	s.Cancels += o.Cancels
 	s.Downgrades += o.Downgrades
 	s.Releases += o.Releases
+	s.Batches += o.Batches
+	s.BatchFastGrants += o.BatchFastGrants
+	s.BatchFallbacks += o.BatchFallbacks
 	if o.MaxTableSize > s.MaxTableSize {
 		s.MaxTableSize = o.MaxTableSize
 	}
@@ -64,5 +75,8 @@ func (s Stats) Sub(o Stats) Stats {
 	s.Cancels -= o.Cancels
 	s.Downgrades -= o.Downgrades
 	s.Releases -= o.Releases
+	s.Batches -= o.Batches
+	s.BatchFastGrants -= o.BatchFastGrants
+	s.BatchFallbacks -= o.BatchFallbacks
 	return s
 }

@@ -100,6 +100,9 @@ func statCounters(st lock.Stats) []statKV {
 		{"cancels", st.Cancels},
 		{"downgrades", st.Downgrades},
 		{"releases", st.Releases},
+		{"batches", st.Batches},
+		{"batch_fast_grants", st.BatchFastGrants},
+		{"batch_fallbacks", st.BatchFallbacks},
 	}
 }
 
