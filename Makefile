@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke obs-demo trace-demo figures clean
+.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke stormbench stormbench-smoke nodeprecated obs-demo trace-demo figures clean
 
-# ci is the gate every change must pass: formatting, vet, build, the full
-# test suite under the race detector (the lock manager and protocol are
-# concurrent; -race is not optional here), the end-to-end incident-dump
-# demo, and the fast-path smoke benchmark.
-ci: fmt vet build race trace-demo hotbench-smoke
+# ci is the gate every change must pass: formatting, vet, the
+# no-deprecated-wrappers grep, build, the full test suite under the race
+# detector (the lock manager and protocol are concurrent; -race is not
+# optional here), the end-to-end incident-dump demo, and the fast-path and
+# contention-survival smoke benchmarks.
+ci: fmt vet nodeprecated build race trace-demo hotbench-smoke stormbench-smoke
 
 # fmt fails if any file needs gofmt, listing the offenders.
 fmt:
@@ -58,6 +59,33 @@ hotbench-smoke:
 	$(GO) test ./cmd/lockbench -count=1 -run TestExternalHotBenchFile -hotbenchfile "$$f" && \
 	echo "hotbench-smoke: $$f passes (fast path live, no slowdown)" && \
 	rm -f "$$f"
+
+# stormbench regenerates BENCH_PR6.json (contention-survival goodput:
+# RunWithRetry + backoff + admission vs bare spin-restart, plus the
+# fixed-seed chaos convergence phase; see DESIGN.md §12).
+stormbench:
+	$(GO) run ./cmd/lockbench -stormbench -stormout BENCH_PR6.json
+
+# stormbench-smoke runs a quick stormbench into a temp file and asserts, via
+# the flag-gated validation test in cmd/lockbench, that the report parses,
+# no row measured the survival kit as a slowdown (ratio ≥ 1.0x; the
+# committed BENCH_PR6.json documents the full ≥1.5x run), and the fixed-seed
+# chaos phase committed every transaction.
+stormbench-smoke:
+	@f=$$(mktemp) && \
+	$(GO) run ./cmd/lockbench -stormbench -quick -stormout "$$f" >/dev/null && \
+	$(GO) test ./cmd/lockbench -count=1 -run TestExternalStormBenchFile -stormbenchfile "$$f" && \
+	echo "stormbench-smoke: $$f passes (kit no slower than bare, chaos converged)" && \
+	rm -f "$$f"
+
+# nodeprecated fails the build if any Deprecated marker survives in
+# internal/lock: the consolidated AcquireCtx + options API is the only
+# acquire surface, and this gate keeps the legacy wrappers from creeping
+# back.
+nodeprecated:
+	@if grep -rn "Deprecated:" internal/lock --include="*.go"; then \
+		echo "nodeprecated: deprecated wrappers found in internal/lock"; exit 1; \
+	else echo "nodeprecated: internal/lock is wrapper-free"; fi
 
 # trace-demo runs a scripted colockshell session that forces a lock timeout,
 # then asserts that an incident dump was produced and parses (via the

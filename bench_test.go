@@ -123,7 +123,7 @@ func BenchmarkLockAcquireRelease(b *testing.B) {
 	mgr := lock.NewManager(lock.Options{})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := mgr.Acquire(1, "r", lock.X); err != nil {
+		if err := mgr.AcquireCtx(context.Background(), 1, "r", lock.X); err != nil {
 			b.Fatal(err)
 		}
 		mgr.ReleaseAll(1)

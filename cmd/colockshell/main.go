@@ -33,6 +33,7 @@ import (
 	"colock/internal/metrics"
 	"colock/internal/obs"
 	"colock/internal/query"
+	"colock/internal/resilience"
 	"colock/internal/store"
 	"colock/internal/trace"
 	"colock/internal/txn"
@@ -53,6 +54,11 @@ type shell struct {
 	rec    *trace.Recorder
 	prof   *trace.Profile
 	iw     *trace.IncidentWriter
+
+	// Contention-survival state (.chaos / .storm).
+	chaos    *resilience.Chaos
+	chaosCfg resilience.ChaosConfig
+	retry    *obs.RetryCollector
 }
 
 // traceRing keeps the most recent lock-manager events for the .trace
@@ -135,6 +141,7 @@ func newShell(prime bool, policy lock.Policy, incidentDir string, out *bufio.Wri
 		rec:   rec,
 		prof:  prof,
 		iw:    iw,
+		retry: obs.NewRetryCollector(),
 	}
 }
 
@@ -215,6 +222,10 @@ func (s *shell) repl(in *bufio.Scanner) {
 			s.forceDeadlock()
 		case line == ".metrics":
 			s.showMetrics()
+		case strings.HasPrefix(line, ".chaos"):
+			s.chaosCmd(strings.TrimSpace(strings.TrimPrefix(line, ".chaos")))
+		case strings.HasPrefix(line, ".storm"):
+			s.storm(strings.TrimSpace(strings.TrimPrefix(line, ".storm")))
 		case strings.HasPrefix(line, ".queues"):
 			s.showQueues(strings.TrimSpace(strings.TrimPrefix(line, ".queues")) == "all")
 		case line == ".dot":
@@ -254,6 +265,8 @@ Commands: .locks   show locks of the current transaction
           .forcetimeout  run a scripted two-txn scenario ending in a lock timeout
           .forcedeadlock run a scripted two-txn ABBA deadlock (needs detect/waitdie)
           .metrics lock-manager and protocol telemetry (latencies, counters)
+          .chaos [off|victim=R timeout=R delay=R seed=N]  deterministic fault injection
+          .storm [workers] [rounds]  hot-key write storm through the retry layer
           .queues [all]  live lock queues (contended only, or all)
           .dot     waits-for graph in Graphviz DOT format
           .graph <relation>       object-specific lock graph (Fig. 5)
@@ -408,7 +421,7 @@ func (s *shell) forceTimeout() {
 		s.auth.Grant(waiter.ID(), "cells")
 		s.auth.Grant(holder.ID(), "cells")
 	}
-	if err := holder.LockPath(store.P("cells", "c1"), lock.X); err != nil {
+	if err := holder.LockPath(nil, store.P("cells", "c1"), lock.X); err != nil {
 		fmt.Fprintf(s.out, "error: holder: %v\n", err)
 		waiter.Abort()
 		holder.Abort()
@@ -416,7 +429,7 @@ func (s *shell) forceTimeout() {
 	}
 	fmt.Fprintf(s.out, "-- txn %d holds X cells/c1; txn %d requests it with a 50ms deadline\n",
 		holder.ID(), waiter.ID())
-	err := waiter.LockTimeout(core.DataNode(store.P("cells", "c1")), lock.X, 50*time.Millisecond)
+	err := waiter.Lock(nil, core.DataNode(store.P("cells", "c1")), lock.X, txn.WithTimeout(50*time.Millisecond))
 	fmt.Fprintf(s.out, "-- txn %d: %v\n", waiter.ID(), err)
 	waiter.Abort()
 	holder.Abort()
@@ -444,13 +457,13 @@ func (s *shell) forceDeadlock() {
 		s.auth.Grant(b.ID(), "effectors")
 	}
 	m := s.proto.Manager()
-	if err := a.LockPath(store.P("effectors", "e1"), lock.X); err != nil {
+	if err := a.LockPath(nil, store.P("effectors", "e1"), lock.X); err != nil {
 		fmt.Fprintf(s.out, "error: %v\n", err)
 		a.Abort()
 		b.Abort()
 		return
 	}
-	if err := b.LockPath(store.P("effectors", "e3"), lock.X); err != nil {
+	if err := b.LockPath(nil, store.P("effectors", "e3"), lock.X); err != nil {
 		fmt.Fprintf(s.out, "error: %v\n", err)
 		a.Abort()
 		b.Abort()
@@ -458,11 +471,11 @@ func (s *shell) forceDeadlock() {
 	}
 	fmt.Fprintf(s.out, "-- txn %d holds X effectors/e1, txn %d holds X effectors/e3\n", a.ID(), b.ID())
 	aDone := make(chan error, 1)
-	go func() { aDone <- a.LockPath(store.P("effectors", "e3"), lock.X) }()
+	go func() { aDone <- a.LockPath(nil, store.P("effectors", "e3"), lock.X) }()
 	for i := 0; i < 2000 && m.WaitingTxns() == 0; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	errB := b.LockPath(store.P("effectors", "e1"), lock.X)
+	errB := b.LockPath(nil, store.P("effectors", "e1"), lock.X)
 	if errB != nil {
 		b.Abort() // releases e3, unblocking a
 	}
@@ -491,6 +504,9 @@ func (s *shell) showMetrics() {
 		{"deadlocks", st.Deadlocks}, {"releases", st.Releases},
 		{"batches", st.Batches}, {"batch fast grants", st.BatchFastGrants},
 		{"batch fallbacks", st.BatchFallbacks},
+		{"sheds", st.Sheds}, {"admit delays", st.AdmitDelays},
+		{"degraded acquires", st.DegradedAcquires},
+		{"injected faults", st.InjectedFaults},
 	} {
 		ops.Addf(kv.name, kv.val)
 	}
@@ -498,6 +514,9 @@ func (s *shell) showMetrics() {
 	ops.Addf("active txns", m.ActiveTxns())
 	ops.Addf("waiting txns", m.WaitingTxns())
 	fmt.Fprint(s.out, ops)
+	if snap := s.retry.Attempts(); snap.Commits+snap.GiveUps > 0 {
+		fmt.Fprintf(s.out, "\nretry (.storm): %s\n", s.retry)
+	}
 
 	ps := s.proto.Stats()
 	rules := metrics.NewTable("Protocol rule applications", "rule", "count")

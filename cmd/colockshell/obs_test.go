@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -61,15 +62,15 @@ func TestShellDotDeadlock(t *testing.T) {
 	m := s.proto.Manager()
 
 	a, b := lock.Resource("db1/seg1/cells/c1"), lock.Resource("db1/seg2/effectors/e1")
-	if err := m.Acquire(101, a, lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 101, a, lock.X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(102, b, lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 102, b, lock.X); err != nil {
 		t.Fatal(err)
 	}
 	errs := make(chan error, 2)
-	go func() { errs <- m.Acquire(101, b, lock.X) }()
-	go func() { errs <- m.Acquire(102, a, lock.X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 101, b, lock.X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 102, a, lock.X) }()
 	for i := 0; m.WaitingTxns() < 2; i++ {
 		if i > 2000 {
 			t.Fatal("deadlock never formed")

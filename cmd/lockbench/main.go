@@ -9,6 +9,7 @@
 //	lockbench -obsbench    # collector-overhead + latency benchmark → BENCH_PR2.json
 //	lockbench -tracebench  # span-tracing-overhead benchmark → BENCH_PR3.json
 //	lockbench -hotbench    # fast-path speedup benchmark → BENCH_PR4.json
+//	lockbench -stormbench  # contention-survival goodput benchmark → BENCH_PR6.json
 package main
 
 import (
@@ -123,7 +124,27 @@ func main() {
 	traceout := flag.String("traceout", "BENCH_PR3.json", "output path for the -tracebench JSON report")
 	hotbench := flag.Bool("hotbench", false, "run the fast-path speedup benchmark and write -hotout")
 	hotout := flag.String("hotout", "BENCH_PR4.json", "output path for the -hotbench JSON report")
+	stormbench := flag.Bool("stormbench", false, "run the contention-survival goodput benchmark and write -stormout")
+	stormout := flag.String("stormout", "BENCH_PR6.json", "output path for the -stormbench JSON report")
 	flag.Parse()
+
+	if *stormbench {
+		workers := []int{8, 32}
+		dur := 2 * time.Second
+		chaosWorkers, chaosTxns := 8, 25
+		if *quick {
+			workers = []int{4}
+			dur = 300 * time.Millisecond
+			chaosWorkers, chaosTxns = 4, 10
+		}
+		rep, err := writeStormBench(*stormout, workers, dur, chaosWorkers, chaosTxns)
+		if err != nil {
+			log.Fatalf("stormbench: %v", err)
+		}
+		printStormBench(rep)
+		fmt.Printf("report written to %s\n", *stormout)
+		return
+	}
 
 	if *hotbench {
 		dur := 2 * time.Second

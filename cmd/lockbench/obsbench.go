@@ -14,6 +14,7 @@ package main
 // the clock reads.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -74,7 +75,7 @@ func txnShape(m *lock.Manager) func(id int, rs []lock.Resource) {
 	return func(id int, rs []lock.Resource) {
 		txn := lock.TxnID(id + 1)
 		for _, r := range rs {
-			m.Acquire(txn, r, lock.X)
+			m.AcquireCtx(context.Background(), txn, r, lock.X)
 		}
 		m.ReleaseAll(txn)
 	}
@@ -104,7 +105,7 @@ func benchContended(workers int, dur time.Duration) *obs.Collector {
 				default:
 				}
 				r := hot[(id+n)%len(hot)]
-				if err := m.Acquire(txn, r, lock.X); err != nil {
+				if err := m.AcquireCtx(context.Background(), txn, r, lock.X); err != nil {
 					continue // deadlock victim: retry with the next resource
 				}
 				// Yield while holding so other workers collide with the held

@@ -17,6 +17,7 @@ package main
 // then releases everything at EOT.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -153,7 +154,7 @@ func benchAfter(workers int, dur time.Duration) (uint64, int) {
 	n := runWorkers(workers, dur, func(id int, rs []lock.Resource) {
 		txn := lock.TxnID(id + 1)
 		for _, r := range rs {
-			m.Acquire(txn, r, lock.X)
+			m.AcquireCtx(context.Background(), txn, r, lock.X)
 		}
 		m.ReleaseAll(txn)
 	})

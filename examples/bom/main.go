@@ -77,7 +77,7 @@ func main() {
 	// X-locking the gearbox locks its whole closure — including the cycle
 	// back through "kit" — and terminates.
 	editor := mgr.Begin()
-	check(editor.LockPath(store.P("parts", "gearbox"), lock.X))
+	check(editor.LockPath(nil, store.P("parts", "gearbox"), lock.X))
 	fmt.Println("\neditor X-locked the gearbox; closure locks:")
 	for _, h := range proto.Manager().HeldLocks(editor.ID()) {
 		fmt.Printf("  %-4s %s\n", h.Mode, h.Resource)
@@ -91,8 +91,8 @@ func main() {
 	// Two readers of sibling assemblies sharing the bolt run concurrently.
 	r1 := mgr.Begin()
 	r2 := mgr.Begin()
-	check(r1.LockPath(store.P("parts", "shaft"), lock.S))
-	check(r2.LockPath(store.P("parts", "gear"), lock.S))
+	check(r1.LockPath(nil, store.P("parts", "shaft"), lock.S))
+	check(r2.LockPath(nil, store.P("parts", "gear"), lock.S))
 	fmt.Printf("\nshaft reader ∥ gear reader on the shared bolt: waits = %d\n",
 		proto.Manager().Stats().Waits)
 	check(r1.Commit())

@@ -85,7 +85,7 @@ func main() {
 	// properly synchronized against robot users "from the side".
 	maint := mgr.Begin()
 	auth.Grant(maint.ID(), "effectors")
-	if err := maint.LockPath(store.P("effectors", "e2"), lock.X); err != nil {
+	if err := maint.LockPath(nil, store.P("effectors", "e2"), lock.X); err != nil {
 		log.Fatal(err)
 	}
 	if err := maint.UpdateAtomicAt(store.P("effectors", "e2", "tool"), store.Str("t2-rev2")); err != nil {

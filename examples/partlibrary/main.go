@@ -75,7 +75,7 @@ func main() {
 
 	// S on the assembly transitively S-locks gear, axle AND the m8 bolt.
 	reader := mgr.Begin()
-	check(reader.LockPath(store.P("assemblies", "gbx"), lock.S))
+	check(reader.LockPath(nil, store.P("assemblies", "gbx"), lock.S))
 	fmt.Println("\nreader S-locked the assembly; propagated locks:")
 	for _, h := range proto.Manager().HeldLocks(reader.ID()) {
 		fmt.Printf("  %-4s %s\n", h.Mode, h.Resource)
@@ -92,7 +92,7 @@ func main() {
 	// update of the assembly only — no locks on parts or bolts needed
 	// (§4.5: "no locks on common data are necessary at all").
 	deleter := mgr.Begin()
-	check(deleter.LockPathNoFollow(store.P("assemblies", "gbx", "components"), lock.X))
+	check(deleter.LockPath(nil, store.P("assemblies", "gbx", "components"), lock.X, txn.WithNoFollow()))
 	check(deleter.RemoveElemAt(store.P("assemblies", "gbx", "components"), "axle"))
 	fmt.Println("\nNOFOLLOW delete of component 'axle'; locks held:")
 	for _, h := range proto.Manager().HeldLocks(deleter.ID()) {

@@ -4,6 +4,7 @@
 package colock_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -57,7 +58,7 @@ func TestConcurrentQueryWorkload(t *testing.T) {
 			for i := 0; i < iterations; i++ {
 				cell := fmt.Sprintf("c%d", (w+i)%6)
 				robot := fmt.Sprintf("r%d", i%3)
-				err := mgr.RunWithRetry(50, func(tx *txn.Txn) error {
+				err := mgr.RunWithRetry(context.Background(), func(tx *txn.Txn) error {
 					auth.Grant(tx.ID(), "cells")
 					if w%2 == 0 {
 						// Reader: all c_objects of the cell (Q1 shape).
@@ -89,7 +90,7 @@ func TestConcurrentQueryWorkload(t *testing.T) {
 					// Count under the X lock: exclusive per robot.
 					*(v.(*int))++
 					return nil
-				})
+				}, txn.WithMaxAttempts(50))
 				if err != nil {
 					errs <- fmt.Errorf("worker %d iter %d: %w", w, i, err)
 					return
@@ -203,7 +204,7 @@ func TestCrashRecoveryUnderLoad(t *testing.T) {
 	blocked := server.Txns().Begin()
 	done := make(chan error, 1)
 	go func() {
-		done <- blocked.LockPath(store.P("cells", "c0", "robots", "r0"), lock.X)
+		done <- blocked.LockPath(nil, store.P("cells", "c0", "robots", "r0"), lock.X)
 	}()
 	select {
 	case err := <-done:
@@ -248,7 +249,7 @@ func TestDeEscalationEndToEnd(t *testing.T) {
 	mgr, _, _ := fullStack(t, st, false)
 
 	editor := mgr.Begin()
-	if err := editor.LockPath(store.P("cells", "c1"), lock.X); err != nil {
+	if err := editor.LockPath(nil, store.P("cells", "c1"), lock.X); err != nil {
 		t.Fatal(err)
 	}
 	if err := editor.DeEscalate(core.DataNode(store.P("cells", "c1")),
@@ -286,7 +287,7 @@ func TestEarlyUnlockEndToEnd(t *testing.T) {
 
 	tx := mgr.Begin()
 	leaf := store.P("effectors", "e1")
-	if err := tx.LockPath(leaf, lock.X); err != nil {
+	if err := tx.LockPath(nil, leaf, lock.X); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.Unlock(core.DataNode(leaf)); err != nil {
@@ -294,7 +295,7 @@ func TestEarlyUnlockEndToEnd(t *testing.T) {
 	}
 	// Another transaction can use e1 before tx commits.
 	other := mgr.Begin()
-	if err := other.LockPath(leaf, lock.X); err != nil {
+	if err := other.LockPath(nil, leaf, lock.X); err != nil {
 		t.Fatal(err)
 	}
 	other.Abort()
@@ -316,13 +317,13 @@ func TestDeadlockResolutionEndToEnd(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs <- mgr.RunWithRetry(30, func(tx *txn.Txn) error {
-				if err := tx.LockPath(paths[i], lock.X); err != nil {
+			errs <- mgr.RunWithRetry(context.Background(), func(tx *txn.Txn) error {
+				if err := tx.LockPath(nil, paths[i], lock.X); err != nil {
 					return err
 				}
 				time.Sleep(5 * time.Millisecond)
-				return tx.LockPath(paths[1-i], lock.X)
-			})
+				return tx.LockPath(nil, paths[1-i], lock.X)
+			}, txn.WithMaxAttempts(30))
 		}(i)
 	}
 	wg.Wait()

@@ -22,6 +22,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"colock/internal/core"
@@ -84,7 +85,7 @@ func (h *hierarchy) lockChain(txn lock.TxnID, n core.Node, mode lock.Mode) error
 		if err != nil {
 			return err
 		}
-		if err := h.mgr.Acquire(txn, res, intent); err != nil {
+		if err := h.mgr.AcquireCtx(context.Background(), txn, res, intent); err != nil {
 			return err
 		}
 	}
@@ -92,7 +93,7 @@ func (h *hierarchy) lockChain(txn lock.TxnID, n core.Node, mode lock.Mode) error
 	if err != nil {
 		return err
 	}
-	return h.mgr.Acquire(txn, res, mode)
+	return h.mgr.AcquireCtx(context.Background(), txn, res, mode)
 }
 
 // WholeObject is the XSQL-style baseline: any access to a part of a complex
@@ -356,7 +357,7 @@ func (n *NaiveDAG) LockThrough(txn lock.TxnID, refPath store.Path, mode lock.Mod
 	if err != nil {
 		return err
 	}
-	return n.h.mgr.Acquire(txn, res+"/@target", mode)
+	return n.h.mgr.AcquireCtx(context.Background(), txn, res+"/@target", mode)
 }
 
 // ReleaseAll drops the transaction's locks.

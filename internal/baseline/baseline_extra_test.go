@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"colock/internal/lock"
@@ -102,7 +103,7 @@ func TestTraditionalDAGSharedConflictDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Writer's all-parents X on e2 must block.
-	if err := mgr.TryAcquire(2, "db1/seg2/effectors/e2", lock.X); err == nil {
+	if err := mgr.AcquireCtx(context.Background(), 2, "db1/seg2/effectors/e2", lock.X, lock.WithNoWait()); err == nil {
 		t.Fatal("X on shared node granted despite reader")
 	}
 	d.ReleaseAll(1)

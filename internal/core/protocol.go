@@ -164,6 +164,14 @@ func (p *Protocol) LockNoFollow(txn lock.TxnID, n Node, mode lock.Mode) error {
 	return p.lockOpts(context.Background(), txn, n, mode, false, true, 0)
 }
 
+// LockWith is the unified acquisition entry point: one call expressing
+// every option combination — context, durability, NOFOLLOW, per-acquisition
+// timeout. The named wrappers above are each a fixed point in this option
+// space; the txn layer's variadic-option Lock builds directly on LockWith.
+func (p *Protocol) LockWith(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, timeout time.Duration) error {
+	return p.lockOpts(ctx, txn, n, mode, durable, noFollow, timeout)
+}
+
 func (p *Protocol) lockOpts(ctx context.Context, txn lock.TxnID, n Node, mode lock.Mode, durable, noFollow bool, timeout time.Duration) (err error) {
 	p.counters.requests.Add(1)
 	if noFollow {

@@ -94,7 +94,7 @@ func TestAcquireBatchFallbackOnConflict(t *testing.T) {
 	m := NewManager(Options{})
 	// Txn 2 X-locks the relation, so txn 1's batch grants db and db/seg,
 	// then conflicts on db/seg/rel and falls back to the wait path.
-	if err := m.Acquire(2, "db/seg/rel", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "db/seg/rel", X); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
@@ -139,7 +139,7 @@ func TestAcquireBatchFallbackOnConflict(t *testing.T) {
 
 func TestAcquireBatchNoWaitFallback(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(2, "db/seg/rel", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "db/seg/rel", X); err != nil {
 		t.Fatal(err)
 	}
 	err := m.AcquireBatch(context.Background(), 1, chainReqs(IS, S), WithNoWait())
@@ -198,7 +198,7 @@ func TestResetStatsClearsBatchCounters(t *testing.T) {
 	if err := m.AcquireBatch(context.Background(), 1, chainReqs(IS, S)); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "db/seg/rel/t2", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "db/seg/rel/t2", X); err != nil {
 		t.Fatal(err)
 	}
 	go m.AcquireBatch(context.Background(), 3, []BatchReq{{"db/seg/rel/t2", S}}) //nolint:errcheck

@@ -150,14 +150,16 @@ func (m *Manager) resolveDeadlock(txn TxnID, r Resource, w *waiter, target Mode)
 		return err, true
 	default:
 	}
+	blockers := s.queuedBlockers(r, w)
 	s.removeWaiter(r, w)
 	m.wf.delete(txn)
 	s.stats.deadlocks.Add(1)
-	tr.add(Event{Kind: "victim", Txn: txn, Resource: r, Mode: target, Shard: s.idx}, w.enq)
+	tr.add(Event{Kind: "victim", Txn: txn, Resource: r, Mode: target, Shard: s.idx,
+		Blockers: blockers}, w.enq)
 	m.grantWaitersLocked(tr, s, r)
 	s.mu.Unlock()
 	tr.deliver()
-	return lockErr(txn, r, target, ErrDeadlock), true
+	return lockErrBlocked(txn, r, target, ErrDeadlock, blockers), true
 }
 
 // abortWaiter makes victim's outstanding wait fail with ErrDeadlock. It
@@ -171,14 +173,16 @@ func (m *Manager) abortWaiter(victim TxnID) bool {
 	tr := m.newTracer()
 	s := m.shardFor(rec.res)
 	s.mu.Lock()
+	blockers := s.queuedBlockers(rec.res, rec.w)
 	if !s.removeWaiter(rec.res, rec.w) {
 		s.mu.Unlock()
 		return false
 	}
 	m.wf.delete(victim)
 	s.stats.deadlocks.Add(1)
-	tr.add(Event{Kind: "victim", Txn: victim, Resource: rec.res, Mode: rec.w.mode, Shard: s.idx}, rec.w.enq)
-	rec.w.ready <- lockErr(victim, rec.res, rec.w.mode, ErrDeadlock)
+	tr.add(Event{Kind: "victim", Txn: victim, Resource: rec.res, Mode: rec.w.mode, Shard: s.idx,
+		Blockers: blockers}, rec.w.enq)
+	rec.w.ready <- lockErrBlocked(victim, rec.res, rec.w.mode, ErrDeadlock, blockers)
 	// The victim's departure may unblock others.
 	m.grantWaitersLocked(tr, s, rec.res)
 	s.mu.Unlock()

@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -11,18 +12,18 @@ import (
 // the victim.
 func TestTwoTxnDeadlock(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "b", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "b", X); err != nil {
 		t.Fatal(err)
 	}
 
 	r1 := make(chan error, 1)
-	go func() { r1 <- m.Acquire(1, "b", X) }()
+	go func() { r1 <- m.AcquireCtx(context.Background(), 1, "b", X) }()
 	time.Sleep(20 * time.Millisecond) // ensure txn 1 is queued first
 
-	err2 := m.Acquire(2, "a", X) // closes the cycle
+	err2 := m.AcquireCtx(context.Background(), 2, "a", X) // closes the cycle
 	if !errors.Is(err2, ErrDeadlock) {
 		t.Fatalf("txn 2: want ErrDeadlock, got %v", err2)
 	}
@@ -40,20 +41,20 @@ func TestTwoTxnDeadlock(t *testing.T) {
 // ErrDeadlock.
 func TestVictimIsYoungest(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "b", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "b", X); err != nil {
 		t.Fatal(err)
 	}
 
 	r2 := make(chan error, 1)
-	go func() { r2 <- m.Acquire(2, "a", X) }() // younger waits first
+	go func() { r2 <- m.AcquireCtx(context.Background(), 2, "a", X) }() // younger waits first
 	time.Sleep(20 * time.Millisecond)
 
 	// Older txn closes the cycle; victim must be txn 2.
 	r1 := make(chan error, 1)
-	go func() { r1 <- m.Acquire(1, "b", X) }()
+	go func() { r1 <- m.AcquireCtx(context.Background(), 1, "b", X) }()
 
 	err2 := <-r2
 	if !errors.Is(err2, ErrDeadlock) {
@@ -68,18 +69,18 @@ func TestVictimIsYoungest(t *testing.T) {
 // TestThreeTxnCycle: a → b → c → a.
 func TestThreeTxnCycle(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.Acquire(1, "a", X)
-	_ = m.Acquire(2, "b", X)
-	_ = m.Acquire(3, "c", X)
+	_ = m.AcquireCtx(context.Background(), 1, "a", X)
+	_ = m.AcquireCtx(context.Background(), 2, "b", X)
+	_ = m.AcquireCtx(context.Background(), 3, "c", X)
 
 	r1 := make(chan error, 1)
 	r2 := make(chan error, 1)
-	go func() { r1 <- m.Acquire(1, "b", X) }()
+	go func() { r1 <- m.AcquireCtx(context.Background(), 1, "b", X) }()
 	time.Sleep(20 * time.Millisecond)
-	go func() { r2 <- m.Acquire(2, "c", X) }()
+	go func() { r2 <- m.AcquireCtx(context.Background(), 2, "c", X) }()
 	time.Sleep(20 * time.Millisecond)
 
-	err3 := m.Acquire(3, "a", X) // closes cycle; txn 3 youngest => victim
+	err3 := m.AcquireCtx(context.Background(), 3, "a", X) // closes cycle; txn 3 youngest => victim
 	if !errors.Is(err3, ErrDeadlock) {
 		t.Fatalf("txn 3: want ErrDeadlock, got %v", err3)
 	}
@@ -97,14 +98,14 @@ func TestThreeTxnCycle(t *testing.T) {
 // younger is aborted.
 func TestUpgradeDeadlock(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.Acquire(1, "a", S)
-	_ = m.Acquire(2, "a", S)
+	_ = m.AcquireCtx(context.Background(), 1, "a", S)
+	_ = m.AcquireCtx(context.Background(), 2, "a", S)
 
 	r1 := make(chan error, 1)
-	go func() { r1 <- m.Acquire(1, "a", X) }()
+	go func() { r1 <- m.AcquireCtx(context.Background(), 1, "a", X) }()
 	time.Sleep(20 * time.Millisecond)
 
-	err2 := m.Acquire(2, "a", X)
+	err2 := m.AcquireCtx(context.Background(), 2, "a", X)
 	if !errors.Is(err2, ErrDeadlock) {
 		t.Fatalf("txn 2: want ErrDeadlock, got %v", err2)
 	}
@@ -121,12 +122,12 @@ func TestUpgradeDeadlock(t *testing.T) {
 // trigger victim selection.
 func TestNoFalseDeadlock(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.Acquire(1, "a", X)
+	_ = m.AcquireCtx(context.Background(), 1, "a", X)
 	r2 := make(chan error, 1)
-	go func() { r2 <- m.Acquire(2, "a", X) }()
+	go func() { r2 <- m.AcquireCtx(context.Background(), 2, "a", X) }()
 	time.Sleep(20 * time.Millisecond)
 	r3 := make(chan error, 1)
-	go func() { r3 <- m.Acquire(3, "a", X) }()
+	go func() { r3 <- m.AcquireCtx(context.Background(), 3, "a", X) }()
 	time.Sleep(20 * time.Millisecond)
 
 	if m.Stats().Deadlocks != 0 {
@@ -157,11 +158,11 @@ func TestDeadlockStress(t *testing.T) {
 				first, second = second, first
 			}
 			for k := 0; k < 30; k++ {
-				if err := m.Acquire(id, first, X); err != nil {
+				if err := m.AcquireCtx(context.Background(), id, first, X); err != nil {
 					m.ReleaseAll(id)
 					continue
 				}
-				if err := m.Acquire(id, second, X); err != nil {
+				if err := m.AcquireCtx(context.Background(), id, second, X); err != nil {
 					m.ReleaseAll(id)
 					continue
 				}

@@ -1,13 +1,14 @@
 package lock
 
 import (
+	"context"
 	"testing"
 	"time"
 )
 
 func TestDowngradeInPlace(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Downgrade(1, "a", IX); err != nil {
@@ -23,11 +24,11 @@ func TestDowngradeInPlace(t *testing.T) {
 
 func TestDowngradeWakesWaiters(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.Acquire(2, "a", IX) }()
+	go func() { done <- m.AcquireCtx(context.Background(), 2, "a", IX) }()
 	select {
 	case err := <-done:
 		t.Fatalf("IX granted under X: %v", err)
@@ -51,7 +52,7 @@ func TestDowngradeErrors(t *testing.T) {
 	if err := m.Downgrade(1, "a", IS); err == nil {
 		t.Error("downgrade of unheld lock succeeded")
 	}
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Downgrade(1, "a", X); err == nil {
@@ -68,7 +69,7 @@ func TestDowngradeErrors(t *testing.T) {
 
 func TestDowngradeToNoneReleases(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Downgrade(1, "a", None); err != nil {
@@ -88,11 +89,11 @@ func TestDowngradeToNoneReleases(t *testing.T) {
 // X request observes either X(old) or IX(new), never a free resource.
 func TestDowngradeAtomicity(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
-	go func() { got <- m.Acquire(2, "a", X) }()
+	go func() { got <- m.AcquireCtx(context.Background(), 2, "a", X) }()
 	time.Sleep(10 * time.Millisecond)
 	if err := m.Downgrade(1, "a", IX); err != nil {
 		t.Fatal(err)

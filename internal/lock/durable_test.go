@@ -1,15 +1,16 @@
 package lock
 
 import (
+	"context"
 	"testing"
 	"time"
 )
 
 func TestSnapshotContainsOnlyDurable(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.AcquireDurable(1, "cells/c1", X)
-	_ = m.Acquire(2, "cells/c2", S) // short lock: must not survive
-	_ = m.AcquireDurable(1, "cells/c3", S)
+	_ = m.AcquireCtx(context.Background(), 1, "cells/c1", X, WithDurable())
+	_ = m.AcquireCtx(context.Background(), 2, "cells/c2", S) // short lock: must not survive
+	_ = m.AcquireCtx(context.Background(), 1, "cells/c3", S, WithDurable())
 
 	snap := m.Snapshot()
 	if len(snap) != 2 {
@@ -25,9 +26,9 @@ func TestSnapshotContainsOnlyDurable(t *testing.T) {
 
 func TestSnapshotDeterministicOrder(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.AcquireDurable(2, "b", S)
-	_ = m.AcquireDurable(1, "z", S)
-	_ = m.AcquireDurable(1, "a", S)
+	_ = m.AcquireCtx(context.Background(), 2, "b", S, WithDurable())
+	_ = m.AcquireCtx(context.Background(), 1, "z", S, WithDurable())
+	_ = m.AcquireCtx(context.Background(), 1, "a", S, WithDurable())
 	snap := m.Snapshot()
 	if len(snap) != 3 || snap[0].Txn != 1 || snap[0].Resource != "a" ||
 		snap[1].Resource != "z" || snap[2].Txn != 2 {
@@ -66,8 +67,8 @@ func TestDecodeGarbage(t *testing.T) {
 // restart the long lock still blocks conflicting access.
 func TestCrashRestartKeepsLongLocks(t *testing.T) {
 	m1 := NewManager(Options{})
-	_ = m1.AcquireDurable(100, "cells/c1", X) // checked out to a workstation
-	_ = m1.Acquire(5, "cells/c2", X)          // ordinary short transaction
+	_ = m1.AcquireCtx(context.Background(), 100, "cells/c1", X, WithDurable()) // checked out to a workstation
+	_ = m1.AcquireCtx(context.Background(), 5, "cells/c2", X)                  // ordinary short transaction
 
 	data, err := EncodeSnapshot(m1.Snapshot())
 	if err != nil {
@@ -92,7 +93,7 @@ func TestCrashRestartKeepsLongLocks(t *testing.T) {
 	}
 	// The restored lock still synchronizes.
 	blocked := make(chan error, 1)
-	go func() { blocked <- m2.Acquire(6, "cells/c1", S) }()
+	go func() { blocked <- m2.AcquireCtx(context.Background(), 6, "cells/c1", S) }()
 	select {
 	case err := <-blocked:
 		t.Fatalf("restored X lock did not block: %v", err)
@@ -106,7 +107,7 @@ func TestCrashRestartKeepsLongLocks(t *testing.T) {
 
 func TestRestoreMergesWithHeld(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.Acquire(1, "a", IX)
+	_ = m.AcquireCtx(context.Background(), 1, "a", IX)
 	if err := m.Restore([]DurableLock{{Txn: 1, Resource: "a", Mode: S}}); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestRestoreMergesWithHeld(t *testing.T) {
 
 func TestRestoreConflictFails(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.Acquire(1, "a", X)
+	_ = m.AcquireCtx(context.Background(), 1, "a", X)
 	err := m.Restore([]DurableLock{{Txn: 2, Resource: "a", Mode: X}})
 	if err == nil {
 		t.Error("conflicting restore succeeded")
@@ -126,8 +127,8 @@ func TestRestoreConflictFails(t *testing.T) {
 
 func TestDurableUpgradeOfShortLock(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.Acquire(1, "a", S)
-	_ = m.AcquireDurable(1, "a", S) // same mode, now durable
+	_ = m.AcquireCtx(context.Background(), 1, "a", S)
+	_ = m.AcquireCtx(context.Background(), 1, "a", S, WithDurable()) // same mode, now durable
 	snap := m.Snapshot()
 	if len(snap) != 1 || snap[0].Mode != S {
 		t.Errorf("snapshot = %v, want one durable S", snap)

@@ -2,21 +2,27 @@ package lock
 
 import "fmt"
 
-// LockError is the structured error returned by AcquireCtx (and, through the
-// deprecated wrappers, by Acquire/AcquireTimeout/TryAcquire) when a request
+// LockError is the structured error returned by AcquireCtx when a request
 // fails. It records WHICH request failed — transaction, resource and mode —
-// while Cause carries the sentinel (ErrDeadlock, ErrTimeout, ErrWouldBlock)
-// or the context error (context.Canceled, context.DeadlineExceeded), so both
-// forms compose:
+// while Cause carries the sentinel (ErrDeadlockVictim, ErrWaitDie,
+// ErrTimeout, ErrWouldBlock, ErrShed) or the context error
+// (context.Canceled, context.DeadlineExceeded), so both forms compose:
 //
 //	var le *lock.LockError
 //	if errors.As(err, &le) { report(le.Resource) }
 //	if errors.Is(err, lock.ErrDeadlock) { abortAndRetry() }
+//
+// Blockers, when non-empty, names the transactions the failed request was
+// queued behind (incompatible holders plus incompatible earlier waiters) at
+// the moment the request was refused or withdrawn. Restart policies use it
+// to wait until the blocking transactions have drained before retrying
+// (resilience.RestartWait).
 type LockError struct {
 	Txn      TxnID
 	Resource Resource
 	Mode     Mode
 	Cause    error
+	Blockers []TxnID
 }
 
 // Error formats the failure with its full request context.
@@ -24,9 +30,17 @@ func (e *LockError) Error() string {
 	return fmt.Sprintf("%v (txn %d requesting %v on %q)", e.Cause, e.Txn, e.Mode, e.Resource)
 }
 
-// Unwrap exposes the cause to errors.Is / errors.As.
+// Unwrap exposes the cause to errors.Is / errors.As, so a *LockError
+// matches every sentinel its cause wraps: a wait-die death satisfies both
+// errors.Is(err, ErrWaitDie) and errors.Is(err, ErrDeadlock), a shed Begin
+// satisfies errors.Is(err, ErrShed), and so on — callers classify with
+// errors.Is instead of type-switching on strings.
 func (e *LockError) Unwrap() error { return e.Cause }
 
 func lockErr(txn TxnID, r Resource, mode Mode, cause error) error {
 	return &LockError{Txn: txn, Resource: r, Mode: mode, Cause: cause}
+}
+
+func lockErrBlocked(txn TxnID, r Resource, mode Mode, cause error, blockers []TxnID) error {
+	return &LockError{Txn: txn, Resource: r, Mode: mode, Cause: cause, Blockers: blockers}
 }

@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -36,10 +37,10 @@ func TestSinkComposition(t *testing.T) {
 	var hook recordingSink
 	s1, s2 := &recordingSink{}, &recordingSink{}
 	m := NewManager(Options{OnEvent: hook.Record, Sinks: []EventSink{s1, s2}})
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
@@ -57,12 +58,12 @@ func TestSinkComposition(t *testing.T) {
 func TestAttachSink(t *testing.T) {
 	m := NewManager(Options{})
 	// With no consumer at all, operations are untraced.
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
 	late := &recordingSink{}
 	m.AttachSink(late)
-	if err := m.Acquire(1, "b", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "b", S); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
@@ -86,7 +87,7 @@ func TestSinkMayReenter(t *testing.T) {
 		mu.Unlock()
 	})
 	m = NewManager(Options{Sinks: []EventSink{sink}})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
@@ -104,7 +105,7 @@ func (f sinkFunc) Record(e Event) { f(e) }
 func TestEventTimestampsAndDurations(t *testing.T) {
 	sink := &recordingSink{}
 	m := NewManager(Options{Sinks: []EventSink{sink}})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(2 * time.Millisecond)
@@ -152,7 +153,7 @@ func TestConcurrentEventOrdering(t *testing.T) {
 			txn := TxnID(w + 1)
 			for i := 0; i < iters; i++ {
 				r := Resource(fmt.Sprintf("r%d", w%4)) // some sharing
-				if err := m.Acquire(txn, r, S); err != nil {
+				if err := m.AcquireCtx(context.Background(), txn, r, S); err != nil {
 					t.Error(err)
 					return
 				}
@@ -194,14 +195,14 @@ func TestConcurrentEventOrdering(t *testing.T) {
 
 func TestSnapshotQueues(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "a", S); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.Acquire(3, "a", X) }()
+	go func() { done <- m.AcquireCtx(context.Background(), 3, "a", X) }()
 	for i := 0; m.WaitingTxns() == 0; i++ {
 		if i > 2000 {
 			t.Fatal("txn 3 never queued")
@@ -245,15 +246,15 @@ func TestSnapshotQueues(t *testing.T) {
 // withdrawn by timeout or released by hand.
 func TestPolicyNoneLeavesDeadlockStanding(t *testing.T) {
 	m := NewManager(Options{Policy: PolicyNone})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "b", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "b", X); err != nil {
 		t.Fatal(err)
 	}
 	errs := make(chan error, 2)
-	go func() { errs <- m.Acquire(1, "b", X) }()
-	go func() { errs <- m.Acquire(2, "a", X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 1, "b", X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 2, "a", X) }()
 	for i := 0; m.WaitingTxns() < 2; i++ {
 		if i > 2000 {
 			t.Fatal("deadlock never formed")
@@ -299,15 +300,15 @@ func TestPolicyNoneLeavesDeadlockStanding(t *testing.T) {
 // paper's era: the deadlock breaks when a waiter's deadline expires.
 func TestPolicyNoneTimeoutBreaksDeadlock(t *testing.T) {
 	m := NewManager(Options{Policy: PolicyNone})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "b", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "b", X); err != nil {
 		t.Fatal(err)
 	}
 	errs := make(chan error, 2)
-	go func() { errs <- m.Acquire(1, "b", X) }()
-	go func() { errs <- m.AcquireTimeout(2, "a", X, 20*time.Millisecond) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 1, "b", X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 2, "a", X, WithTimeout(20*time.Millisecond)) }()
 
 	var sawTimeout bool
 	err := <-errs // txn 2 times out, which lets... nothing move yet

@@ -99,6 +99,21 @@ func (m *Manager) WaitingTxns() int {
 	return len(m.wf.txns())
 }
 
+// TxnActive reports whether txn still occupies the lock table — holding at
+// least one lock or parked in a wait queue. Restart-wait retry policies
+// poll this to hold a restarted transaction back until the transactions
+// that killed it have drained.
+func (m *Manager) TxnActive(txn TxnID) bool {
+	if m.wf.get(txn) != nil {
+		return true
+	}
+	ts := m.txnShardFor(txn)
+	ts.mu.Lock()
+	_, ok := ts.held[txn]
+	ts.mu.Unlock()
+	return ok
+}
+
 // WaitEdge is one edge of the waits-for graph: From's outstanding request
 // for Mode on Resource is blocked by To.
 type WaitEdge struct {

@@ -21,19 +21,38 @@ type TxnID uint64
 // treats resources as opaque.
 type Resource string
 
-// ErrDeadlock is returned from Acquire when the requesting transaction was
-// chosen as the victim of a deadlock cycle. The caller must abort the
+// ErrDeadlock is returned from AcquireCtx when the requesting transaction
+// was chosen as the victim of a deadlock cycle. The caller must abort the
 // transaction and release all its locks.
 var ErrDeadlock = errors.New("lock: deadlock victim")
 
-// ErrWouldBlock is returned by TryAcquire (or AcquireCtx with WithNoWait)
-// when the request cannot be granted immediately.
+// ErrDeadlockVictim is the classification alias for ErrDeadlock: restart
+// policies match abort causes with errors.Is(err, ErrDeadlockVictim). Both
+// detected victims and wait-die deaths satisfy it (the latter additionally
+// match ErrWaitDie).
+var ErrDeadlockVictim = ErrDeadlock
+
+// ErrWaitDie is the cause of a wait-die death: under PolicyWaitDie a
+// younger requester "dies" instead of waiting for an older transaction. It
+// wraps ErrDeadlock, so errors.Is reports both — existing victim handling
+// keeps working while restart policies can tell prevention deaths (safe to
+// retry immediately once the older blocker drains) from detected cycles.
+var ErrWaitDie = fmt.Errorf("%w (wait-die)", ErrDeadlock)
+
+// ErrWouldBlock is returned by AcquireCtx with WithNoWait when the request
+// cannot be granted immediately.
 var ErrWouldBlock = errors.New("lock: would block")
 
-// ErrTimeout is returned by AcquireTimeout (or AcquireCtx with WithTimeout)
-// when the deadline passes before the lock is granted. The request is
-// withdrawn; locks already held by the transaction are unaffected.
+// ErrTimeout is returned by AcquireCtx with WithTimeout when the deadline
+// passes before the lock is granted. The request is withdrawn; locks
+// already held by the transaction are unaffected.
 var ErrTimeout = errors.New("lock: acquire timeout")
+
+// ErrShed is returned when the admission gate refuses work because the
+// waits-for graph is saturated: Admit sheds a Begin, or — in degrade mode —
+// AcquireCtx refuses to queue a new waiter and fails fast so the caller
+// retries under its backoff policy instead of deepening the queues.
+var ErrShed = errors.New("lock: shed by admission control")
 
 // Held describes one granted lock, as reported by HeldLocks.
 type Held struct {
@@ -140,6 +159,15 @@ type Options struct {
 	EventSampleShift uint8
 	// Policy selects deadlock handling (default PolicyDetect).
 	Policy Policy
+	// Injector, if non-nil, is consulted at the top of every AcquireCtx and
+	// AcquireBatch call and may delay the request (delayed grant) or fail it
+	// with a synthetic cause (deadlock victim, timeout) — deterministic
+	// fault injection for resilience testing (resilience.Chaos). It can also
+	// be swapped at runtime with SetInjector.
+	Injector Injector
+	// Admission, if non-nil, configures the admission gate at construction
+	// (equivalent to calling ConfigureAdmission afterwards).
+	Admission *AdmissionConfig
 	// Shards is the number of lock-table stripes. 0 picks an automatic
 	// GOMAXPROCS-scaled power of two (at least 16); other values are
 	// rounded up to a power of two. Shards=1 degenerates to the classic
@@ -204,6 +232,19 @@ type Manager struct {
 	batchFast      atomic.Uint64
 	batchFallbacks atomic.Uint64
 
+	// admission is the gate configuration (nil = gate off); see
+	// admission.go. Copy-on-write behind an atomic pointer so the conflict
+	// path pays one load.
+	admission   atomic.Pointer[AdmissionConfig]
+	sheds       atomic.Uint64 // Begins shed + degrade-mode fast-fails
+	admitDelays atomic.Uint64 // Admits that had to stall before passing
+	degradedAcq atomic.Uint64 // acquires refused by degrade mode
+
+	// injector is the fault-injection hook (nil = none); swappable at
+	// runtime via SetInjector.
+	injector atomic.Pointer[Injector]
+	injected atomic.Uint64 // synthetic failures injected
+
 	// resetFns are run by ResetStats after the shard counters are zeroed:
 	// OnResetStats registrations plus the ResetStats method of every
 	// attached sink that has one, so downstream aggregates (rule counters,
@@ -241,6 +282,12 @@ func NewManager(opts Options) *Manager {
 	}
 	m.wf.waiting = make(map[TxnID]*waitRecord)
 	m.sampleMask = (uint64(1) << opts.EventSampleShift) - 1
+	if opts.Injector != nil {
+		m.SetInjector(opts.Injector)
+	}
+	if opts.Admission != nil {
+		m.ConfigureAdmission(*opts.Admission)
+	}
 	var fns []func(Event)
 	if opts.OnEvent != nil {
 		fns = append(fns, opts.OnEvent)
@@ -469,6 +516,22 @@ func (e *entry) blockerTxns(txn TxnID, mode Mode, ahead int) []TxnID {
 	return out
 }
 
+// queuedBlockers computes the blocker set for a waiter currently enqueued
+// on r, so withdrawal and victim errors can report who the dead request was
+// waiting behind. Caller holds the shard latch.
+func (s *tableShard) queuedBlockers(r Resource, w *waiter) []TxnID {
+	e := s.res[r]
+	if e == nil {
+		return nil
+	}
+	for i, q := range e.queue {
+		if q == w {
+			return e.blockerTxns(w.txn, w.mode, i)
+		}
+	}
+	return nil
+}
+
 // mustDie implements the wait-die rule: the requester dies if it is younger
 // (higher TxnID) than any incompatible current holder or any incompatible
 // earlier waiter it would queue behind.
@@ -528,39 +591,6 @@ func WithTimeout(d time.Duration) AcquireOption {
 	return func(c *acquireConfig) { c.timeout = d }
 }
 
-// Acquire obtains (or converts to) a lock of at least the given mode on r
-// for txn, blocking until it is granted or the transaction is chosen as a
-// deadlock victim.
-//
-// Deprecated: use AcquireCtx.
-func (m *Manager) Acquire(txn TxnID, r Resource, mode Mode) error {
-	return m.AcquireCtx(context.Background(), txn, r, mode)
-}
-
-// AcquireTimeout is Acquire with a deadline: if the lock is not granted
-// within d, the request is withdrawn and an error wrapping ErrTimeout
-// returned.
-//
-// Deprecated: use AcquireCtx with WithTimeout (or a context deadline).
-func (m *Manager) AcquireTimeout(txn TxnID, r Resource, mode Mode, d time.Duration) error {
-	return m.AcquireCtx(context.Background(), txn, r, mode, WithTimeout(d))
-}
-
-// AcquireDurable is Acquire with the durable ("long lock") flag set.
-//
-// Deprecated: use AcquireCtx with WithDurable.
-func (m *Manager) AcquireDurable(txn TxnID, r Resource, mode Mode) error {
-	return m.AcquireCtx(context.Background(), txn, r, mode, WithDurable())
-}
-
-// TryAcquire is a non-blocking Acquire: it returns an error wrapping
-// ErrWouldBlock instead of waiting.
-//
-// Deprecated: use AcquireCtx with WithNoWait.
-func (m *Manager) TryAcquire(txn TxnID, r Resource, mode Mode) error {
-	return m.AcquireCtx(context.Background(), txn, r, mode, WithNoWait())
-}
-
 // AcquireCtx obtains (or converts to) a lock of at least the given mode on r
 // for txn. Without options it blocks until the lock is granted, the context
 // is done, or the transaction is chosen as a deadlock victim. A canceled or
@@ -581,6 +611,9 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 	}
 	if err := ctx.Err(); err != nil {
 		return lockErr(txn, r, mode, err)
+	}
+	if err := m.inject(ctx, txn, r, mode); err != nil {
+		return err
 	}
 
 	tr := m.newTracer()
@@ -623,24 +656,49 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 
 	if cfg.noWait {
 		s.stats.conflicts.Add(1)
+		blockers := e.blockerTxns(txn, target, len(e.queue))
 		s.maybeDropEntry(r)
 		s.mu.Unlock()
-		return lockErr(txn, r, mode, ErrWouldBlock)
+		return lockErrBlocked(txn, r, mode, ErrWouldBlock, blockers)
+	}
+
+	// Graceful degradation: when the admission gate is saturated in degrade
+	// mode, refuse to deepen the wait queues — fail fast with ErrShed (and
+	// the blocker set, for restart-wait policies) instead of queueing, as if
+	// the caller had passed WithNoWait. Conversions are exempt: the
+	// transaction already holds the lock, and refusing an upgrade would only
+	// force a full restart that re-acquires everything.
+	if !convert && m.degradeSaturated() {
+		s.stats.conflicts.Add(1)
+		m.sheds.Add(1)
+		m.degradedAcq.Add(1)
+		blockers := e.blockerTxns(txn, target, len(e.queue))
+		s.maybeDropEntry(r)
+		if tr != nil {
+			tr.add(Event{Kind: "shed", Txn: txn, Resource: r, Mode: target, Shard: s.idx,
+				Blockers: blockers}, tr.start)
+		}
+		s.mu.Unlock()
+		tr.deliver()
+		return lockErrBlocked(txn, r, mode, ErrShed, blockers)
 	}
 
 	if m.opts.Policy == PolicyWaitDie && e.mustDie(txn, target) {
 		s.stats.conflicts.Add(1)
 		s.stats.deadlocks.Add(1)
+		// A wait-die victim never queues, so its victim event (and its
+		// error) carries the blocker set directly — there is no prior wait
+		// event, and restart-wait retry policies pause until these blockers
+		// have drained.
+		blockers := e.blockerTxns(txn, target, len(e.queue))
 		s.maybeDropEntry(r)
 		if tr != nil {
-			// A wait-die victim never queues, so its victim event carries
-			// the blocker set directly (there is no prior wait event).
 			tr.add(Event{Kind: "victim", Txn: txn, Resource: r, Mode: target, Shard: s.idx,
-				Blockers: e.blockerTxns(txn, target, len(e.queue))}, tr.start)
+				Blockers: blockers}, tr.start)
 		}
 		s.mu.Unlock()
 		tr.deliver()
-		return lockErr(txn, r, mode, ErrDeadlock)
+		return lockErrBlocked(txn, r, mode, ErrWaitDie, blockers)
 	}
 
 	// Enqueue. Conversions are placed after existing conversion waiters but
@@ -753,6 +811,9 @@ func (m *Manager) AcquireBatch(ctx context.Context, txn TxnID, reqs []BatchReq, 
 	if err := ctx.Err(); err != nil {
 		return lockErr(txn, reqs[0].Resource, reqs[0].Mode, err)
 	}
+	if err := m.inject(ctx, txn, reqs[0].Resource, reqs[0].Mode); err != nil {
+		return err
+	}
 	m.batches.Add(1)
 	tr := m.newTracer()
 
@@ -856,6 +917,7 @@ func (m *Manager) withdraw(tr *tracer, txn TxnID, r Resource, w *waiter, mode, t
 		return err
 	default:
 	}
+	blockers := s.queuedBlockers(r, w)
 	s.removeWaiter(r, w)
 	m.wf.delete(txn)
 	if kind == "timeout" {
@@ -863,12 +925,13 @@ func (m *Manager) withdraw(tr *tracer, txn TxnID, r Resource, w *waiter, mode, t
 	} else {
 		s.stats.cancels.Add(1)
 	}
-	tr.add(Event{Kind: kind, Txn: txn, Resource: r, Mode: target, Shard: s.idx}, w.enq)
+	tr.add(Event{Kind: kind, Txn: txn, Resource: r, Mode: target, Shard: s.idx,
+		Blockers: blockers}, w.enq)
 	// The withdrawn waiter may have been the FIFO barrier for later ones.
 	m.grantWaitersLocked(tr, s, r)
 	s.mu.Unlock()
 	tr.deliver()
-	return lockErr(txn, r, mode, cause)
+	return lockErrBlocked(txn, r, mode, cause, blockers)
 }
 
 // grantLocked installs (or converts) txn's lock on r. Caller holds s.mu;
@@ -1112,6 +1175,10 @@ func (m *Manager) Stats() Stats {
 	st.Batches = m.batches.Load()
 	st.BatchFastGrants = m.batchFast.Load()
 	st.BatchFallbacks = m.batchFallbacks.Load()
+	st.Sheds = m.sheds.Load()
+	st.AdmitDelays = m.admitDelays.Load()
+	st.DegradedAcquires = m.degradedAcq.Load()
+	st.InjectedFaults = m.injected.Load()
 	st.MaxTableSize = int(m.high.Load())
 	return st
 }
@@ -1128,6 +1195,10 @@ func (m *Manager) ResetStats() {
 	m.batches.Store(0)
 	m.batchFast.Store(0)
 	m.batchFallbacks.Store(0)
+	m.sheds.Store(0)
+	m.admitDelays.Store(0)
+	m.degradedAcq.Store(0)
+	m.injected.Store(0)
 	m.high.Store(m.size.Load())
 	m.resetMu.Lock()
 	fns := append([]func(){}, m.resetFns...)

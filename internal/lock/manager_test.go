@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -9,13 +10,13 @@ import (
 
 func TestGrantCompatible(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "a", S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(3, "a", IS); err != nil {
+	if err := m.AcquireCtx(context.Background(), 3, "a", IS); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.LockCount(); got != 3 {
@@ -25,11 +26,11 @@ func TestGrantCompatible(t *testing.T) {
 
 func TestConflictBlocksUntilRelease(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
-	go func() { got <- m.Acquire(2, "a", S) }()
+	go func() { got <- m.AcquireCtx(context.Background(), 2, "a", S) }()
 	select {
 	case err := <-got:
 		t.Fatalf("S granted while X held: %v", err)
@@ -51,27 +52,27 @@ func TestConflictBlocksUntilRelease(t *testing.T) {
 
 func TestTryAcquire(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.TryAcquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X, WithNoWait()); err != nil {
 		t.Fatal(err)
 	}
-	err := m.TryAcquire(2, "a", IS)
+	err := m.AcquireCtx(context.Background(), 2, "a", IS, WithNoWait())
 	if !errors.Is(err, ErrWouldBlock) {
 		t.Fatalf("want ErrWouldBlock, got %v", err)
 	}
-	if err := m.TryAcquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X, WithNoWait()); err != nil {
 		t.Fatalf("re-acquire by holder failed: %v", err)
 	}
 }
 
 func TestRegrantIsNoop(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(1, "a", IS); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", IS); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
 	st := m.Stats()
@@ -88,10 +89,10 @@ func TestRegrantIsNoop(t *testing.T) {
 
 func TestConversionToSupremum(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", IX); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", IX); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.HeldMode(1, "a"); got != SIX {
@@ -104,14 +105,14 @@ func TestConversionToSupremum(t *testing.T) {
 
 func TestConversionWaitsForOtherHolders(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "a", S); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
-	go func() { got <- m.Acquire(1, "a", X) }() // upgrade blocked by txn 2
+	go func() { got <- m.AcquireCtx(context.Background(), 1, "a", X) }() // upgrade blocked by txn 2
 	select {
 	case err := <-got:
 		t.Fatalf("upgrade granted while S held by other: %v", err)
@@ -129,19 +130,19 @@ func TestConversionWaitsForOtherHolders(t *testing.T) {
 // TestConversionPriority: a conversion jumps ahead of plain waiters.
 func TestConversionPriority(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "a", S); err != nil {
 		t.Fatal(err)
 	}
 	// Txn 3 queues for X first.
 	got3 := make(chan error, 1)
-	go func() { got3 <- m.Acquire(3, "a", X) }()
+	go func() { got3 <- m.AcquireCtx(context.Background(), 3, "a", X) }()
 	time.Sleep(20 * time.Millisecond)
 	// Txn 1 requests upgrade; placed ahead of txn 3.
 	got1 := make(chan error, 1)
-	go func() { got1 <- m.Acquire(1, "a", X) }()
+	go func() { got1 <- m.AcquireCtx(context.Background(), 1, "a", X) }()
 	time.Sleep(20 * time.Millisecond)
 	m.ReleaseAll(2)
 	if err := <-got1; err != nil {
@@ -162,14 +163,14 @@ func TestConversionPriority(t *testing.T) {
 // even though it is compatible with the granted group (no starvation).
 func TestFIFOFairness(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
 	gotX := make(chan error, 1)
-	go func() { gotX <- m.Acquire(2, "a", X) }()
+	go func() { gotX <- m.AcquireCtx(context.Background(), 2, "a", X) }()
 	time.Sleep(20 * time.Millisecond)
 	gotS := make(chan error, 1)
-	go func() { gotS <- m.Acquire(3, "a", S) }()
+	go func() { gotS <- m.AcquireCtx(context.Background(), 3, "a", S) }()
 	select {
 	case err := <-gotS:
 		t.Fatalf("S bypassed waiting X: %v", err)
@@ -187,10 +188,10 @@ func TestFIFOFairness(t *testing.T) {
 
 func TestReleaseSingleResource(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(1, "b", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "b", X); err != nil {
 		t.Fatal(err)
 	}
 	m.Release(1, "a")
@@ -210,7 +211,7 @@ func TestReleaseSingleResource(t *testing.T) {
 func TestHeldLocksOrdered(t *testing.T) {
 	m := NewManager(Options{})
 	for _, r := range []Resource{"db", "seg", "rel", "obj"} {
-		if err := m.Acquire(7, r, IX); err != nil {
+		if err := m.AcquireCtx(context.Background(), 7, r, IX); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -231,8 +232,8 @@ func TestHeldLocksOrdered(t *testing.T) {
 
 func TestHolders(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.Acquire(1, "a", IS)
-	_ = m.Acquire(2, "a", IX)
+	_ = m.AcquireCtx(context.Background(), 1, "a", IS)
+	_ = m.AcquireCtx(context.Background(), 2, "a", IX)
 	h := m.Holders("a")
 	if len(h) != 2 || h[1] != IS || h[2] != IX {
 		t.Errorf("Holders = %v", h)
@@ -244,10 +245,10 @@ func TestHolders(t *testing.T) {
 
 func TestInvalidMode(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", None); err == nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", None); err == nil {
 		t.Error("Acquire(None) succeeded")
 	}
-	if err := m.Acquire(1, "a", Mode(42)); err == nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", Mode(42)); err == nil {
 		t.Error("Acquire(invalid) succeeded")
 	}
 }
@@ -260,8 +261,8 @@ func TestEventTrace(t *testing.T) {
 		events = append(events, e)
 		mu.Unlock()
 	}})
-	_ = m.Acquire(1, "a", S)
-	_ = m.Acquire(1, "a", X) // conversion
+	_ = m.AcquireCtx(context.Background(), 1, "a", S)
+	_ = m.AcquireCtx(context.Background(), 1, "a", X) // conversion
 	m.ReleaseAll(1)
 	mu.Lock()
 	defer mu.Unlock()
@@ -282,8 +283,8 @@ func TestEventTrace(t *testing.T) {
 
 func TestStatsCounters(t *testing.T) {
 	m := NewManager(Options{})
-	_ = m.Acquire(1, "a", X)
-	_ = m.TryAcquire(2, "a", S) // conflict, no wait
+	_ = m.AcquireCtx(context.Background(), 1, "a", X)
+	_ = m.AcquireCtx(context.Background(), 2, "a", S, WithNoWait()) // conflict, no wait
 	m.ReleaseAll(1)
 	st := m.Stats()
 	if st.Requests != 2 || st.Grants != 1 || st.Conflicts != 1 || st.Waits != 0 || st.Releases != 1 {
@@ -325,7 +326,7 @@ func TestConcurrentStress(t *testing.T) {
 				if k%3 == 0 {
 					mode = X
 				}
-				if err := m.Acquire(id, r, mode); err != nil {
+				if err := m.AcquireCtx(context.Background(), id, r, mode); err != nil {
 					m.ReleaseAll(id)
 					continue
 				}

@@ -46,17 +46,17 @@ func TestCrossShardDeadlock(t *testing.T) {
 	m := NewManager(Options{})
 	a, b := twoResourcesInDifferentShards(t, m)
 
-	if err := m.Acquire(1, a, X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, a, X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, b, X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, b, X); err != nil {
 		t.Fatal(err)
 	}
 	r1 := make(chan error, 1)
-	go func() { r1 <- m.Acquire(1, b, X) }()
+	go func() { r1 <- m.AcquireCtx(context.Background(), 1, b, X) }()
 	time.Sleep(20 * time.Millisecond)
 
-	err2 := m.Acquire(2, a, X) // closes the cross-shard cycle
+	err2 := m.AcquireCtx(context.Background(), 2, a, X) // closes the cross-shard cycle
 	if !errors.Is(err2, ErrDeadlock) {
 		t.Fatalf("txn 2: want ErrDeadlock, got %v", err2)
 	}
@@ -83,18 +83,18 @@ func TestCrossShardDeadlockRing(t *testing.T) {
 	m := NewManager(Options{})
 	rs := []Resource{"ring/a", "ring/b", "ring/c"}
 	for i, r := range rs {
-		if err := m.Acquire(TxnID(i+1), r, X); err != nil {
+		if err := m.AcquireCtx(context.Background(), TxnID(i+1), r, X); err != nil {
 			t.Fatal(err)
 		}
 	}
 	r1 := make(chan error, 1)
 	r2 := make(chan error, 1)
-	go func() { r1 <- m.Acquire(1, rs[1], X) }()
+	go func() { r1 <- m.AcquireCtx(context.Background(), 1, rs[1], X) }()
 	time.Sleep(20 * time.Millisecond)
-	go func() { r2 <- m.Acquire(2, rs[2], X) }()
+	go func() { r2 <- m.AcquireCtx(context.Background(), 2, rs[2], X) }()
 	time.Sleep(20 * time.Millisecond)
 
-	err3 := m.Acquire(3, rs[0], X) // youngest closes the ring
+	err3 := m.AcquireCtx(context.Background(), 3, rs[0], X) // youngest closes the ring
 	if !errors.Is(err3, ErrDeadlock) {
 		t.Fatalf("txn 3: want ErrDeadlock, got %v", err3)
 	}
@@ -114,7 +114,7 @@ func TestCrossShardDeadlockRing(t *testing.T) {
 
 func TestAcquireCtxCancelWithdraws(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -136,7 +136,7 @@ func TestAcquireCtxCancelWithdraws(t *testing.T) {
 	// The withdrawn waiter left no queue entry behind: txn 3's X is granted
 	// as soon as txn 1 releases, and the table drains to empty.
 	m.ReleaseAll(1)
-	if err := m.Acquire(3, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 3, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(3)
@@ -163,7 +163,7 @@ func TestAcquireCtxAlreadyCanceled(t *testing.T) {
 
 func TestAcquireCtxDeadline(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
@@ -247,7 +247,7 @@ func TestEventHookMayReenter(t *testing.T) {
 		events = append(events, e)
 		counts = append(counts, m.LockCount()) // re-enters the manager
 	}})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
@@ -281,7 +281,7 @@ func TestShardedStress(t *testing.T) {
 				// Disjoint working set: must never conflict.
 				okAll := true
 				for _, r := range disjoint {
-					if err := m.Acquire(id, r, X); err != nil {
+					if err := m.AcquireCtx(context.Background(), id, r, X); err != nil {
 						okAll = false
 						break
 					}
@@ -296,7 +296,7 @@ func TestShardedStress(t *testing.T) {
 				if k%3 == 0 {
 					mode = X
 				}
-				if err := m.Acquire(id, r, mode); err == nil {
+				if err := m.AcquireCtx(context.Background(), id, r, mode); err == nil {
 					hs := m.Holders(r)
 					for t1, m1 := range hs {
 						for t2, m2 := range hs {
@@ -340,11 +340,11 @@ func TestCrossShardDeadlockStress(t *testing.T) {
 				first, second = second, first
 			}
 			for k := 0; k < 30; k++ {
-				if err := m.Acquire(id, first, X); err != nil {
+				if err := m.AcquireCtx(context.Background(), id, first, X); err != nil {
 					m.ReleaseAll(id)
 					continue
 				}
-				if err := m.Acquire(id, second, X); err != nil {
+				if err := m.AcquireCtx(context.Background(), id, second, X); err != nil {
 					m.ReleaseAll(id)
 					continue
 				}
@@ -367,10 +367,10 @@ func TestCrossShardDeadlockStress(t *testing.T) {
 // benchmark baseline topology) to keep it correct too.
 func TestSingleShardDegenerate(t *testing.T) {
 	m := NewManager(Options{Shards: 1})
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "b", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "b", X); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.LockCount(); got != 2 {

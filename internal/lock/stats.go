@@ -27,6 +27,18 @@ type Stats struct {
 	Downgrades uint64
 	// Releases counts dropped lock-table entries.
 	Releases uint64
+	// Sheds counts work refused by admission control: Begins shed by Admit
+	// plus degrade-mode fast-fails.
+	Sheds uint64
+	// AdmitDelays counts Admit calls that had to stall before passing or
+	// shedding (the gate was saturated when they arrived).
+	AdmitDelays uint64
+	// DegradedAcquires counts acquires refused fast-fail by degrade-mode
+	// admission control (a subset of Sheds).
+	DegradedAcquires uint64
+	// InjectedFaults counts synthetic failures produced by a configured
+	// fault Injector.
+	InjectedFaults uint64
 	// Batches counts AcquireBatch calls.
 	Batches uint64
 	// BatchFastGrants counts requests granted on the AcquireBatch fast path
@@ -52,6 +64,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.Cancels += o.Cancels
 	s.Downgrades += o.Downgrades
 	s.Releases += o.Releases
+	s.Sheds += o.Sheds
+	s.AdmitDelays += o.AdmitDelays
+	s.DegradedAcquires += o.DegradedAcquires
+	s.InjectedFaults += o.InjectedFaults
 	s.Batches += o.Batches
 	s.BatchFastGrants += o.BatchFastGrants
 	s.BatchFallbacks += o.BatchFallbacks
@@ -75,6 +91,10 @@ func (s Stats) Sub(o Stats) Stats {
 	s.Cancels -= o.Cancels
 	s.Downgrades -= o.Downgrades
 	s.Releases -= o.Releases
+	s.Sheds -= o.Sheds
+	s.AdmitDelays -= o.AdmitDelays
+	s.DegradedAcquires -= o.DegradedAcquires
+	s.InjectedFaults -= o.InjectedFaults
 	s.Batches -= o.Batches
 	s.BatchFastGrants -= o.BatchFastGrants
 	s.BatchFallbacks -= o.BatchFallbacks

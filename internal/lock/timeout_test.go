@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -9,11 +10,11 @@ import (
 
 func TestAcquireTimeoutExpires(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	err := m.AcquireTimeout(2, "a", S, 30*time.Millisecond)
+	err := m.AcquireCtx(context.Background(), 2, "a", S, WithTimeout(30*time.Millisecond))
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}
@@ -25,7 +26,7 @@ func TestAcquireTimeoutExpires(t *testing.T) {
 	}
 	// The withdrawn waiter does not block later grants or leak.
 	m.ReleaseAll(1)
-	if err := m.Acquire(3, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 3, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(3)
@@ -36,11 +37,11 @@ func TestAcquireTimeoutExpires(t *testing.T) {
 
 func TestAcquireTimeoutGrantsInTime(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.AcquireTimeout(2, "a", S, time.Second) }()
+	go func() { done <- m.AcquireCtx(context.Background(), 2, "a", S, WithTimeout(time.Second)) }()
 	time.Sleep(20 * time.Millisecond)
 	m.ReleaseAll(1)
 	if err := <-done; err != nil {
@@ -53,7 +54,7 @@ func TestAcquireTimeoutGrantsInTime(t *testing.T) {
 
 func TestAcquireTimeoutImmediateGrant(t *testing.T) {
 	m := NewManager(Options{})
-	if err := m.AcquireTimeout(1, "a", X, time.Millisecond); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X, WithTimeout(time.Millisecond)); err != nil {
 		t.Fatalf("uncontended timed acquire failed: %v", err)
 	}
 }
@@ -69,7 +70,7 @@ func TestAcquireTimeoutRace(t *testing.T) {
 		go func(id TxnID) {
 			defer wg.Done()
 			for k := 0; k < 50; k++ {
-				err := m.AcquireTimeout(id, "hot", X, time.Duration(k%3)*time.Millisecond)
+				err := m.AcquireCtx(context.Background(), id, "hot", X, WithTimeout(time.Duration(k%3)*time.Millisecond))
 				if err == nil {
 					m.ReleaseAll(id)
 				} else if !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrDeadlock) {

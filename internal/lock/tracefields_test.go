@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -14,14 +15,14 @@ import (
 func TestWaitEventBlockers(t *testing.T) {
 	sink := &recordingSink{}
 	m := NewManager(Options{Policy: PolicyNone, Sinks: []EventSink{sink}})
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "a", S); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.Acquire(3, "a", X) }()
+	go func() { done <- m.AcquireCtx(context.Background(), 3, "a", X) }()
 	for i := 0; m.WaitingTxns() == 0; i++ {
 		if i > 2000 {
 			t.Fatal("txn 3 never queued")
@@ -57,10 +58,10 @@ func TestWaitEventBlockers(t *testing.T) {
 func TestWaitDieVictimBlockers(t *testing.T) {
 	sink := &recordingSink{}
 	m := NewManager(Options{Policy: PolicyWaitDie, Sinks: []EventSink{sink}})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
-	err := m.Acquire(2, "a", X)
+	err := m.AcquireCtx(context.Background(), 2, "a", X)
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("young requester got %v, want ErrDeadlock", err)
 	}
@@ -107,19 +108,19 @@ func TestWaitsForDOTThreeTxnCycleAcrossShards(t *testing.T) {
 	rs := distinctShardResources(t, m, 3)
 	a, b, c := rs[0], rs[1], rs[2]
 
-	if err := m.Acquire(1, a, X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, a, X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, b, X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, b, X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(3, c, X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 3, c, X); err != nil {
 		t.Fatal(err)
 	}
 	errs := make(chan error, 3)
-	go func() { errs <- m.Acquire(1, b, X) }()
-	go func() { errs <- m.Acquire(2, c, X) }()
-	go func() { errs <- m.Acquire(3, a, X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 1, b, X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 2, c, X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 3, a, X) }()
 	for i := 0; m.WaitingTxns() < 3; i++ {
 		if i > 2000 {
 			t.Fatal("three-way deadlock never formed")
@@ -200,7 +201,7 @@ func TestResetStatsCascade(t *testing.T) {
 	hooks := 0
 	m.OnResetStats(func() { hooks++ })
 
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)

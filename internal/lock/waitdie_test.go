@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -17,10 +18,10 @@ func TestPolicyString(t *testing.T) {
 // incompatibly by an older one dies immediately instead of waiting.
 func TestWaitDieYoungDies(t *testing.T) {
 	m := NewManager(Options{Policy: PolicyWaitDie})
-	if err := m.Acquire(1, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
 		t.Fatal(err)
 	}
-	err := m.Acquire(2, "a", S) // younger, incompatible → dies
+	err := m.AcquireCtx(context.Background(), 2, "a", S) // younger, incompatible → dies
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("young requester did not die: %v", err)
 	}
@@ -33,11 +34,11 @@ func TestWaitDieYoungDies(t *testing.T) {
 // younger holder.
 func TestWaitDieOldWaits(t *testing.T) {
 	m := NewManager(Options{Policy: PolicyWaitDie})
-	if err := m.Acquire(5, "a", X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 5, "a", X); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.Acquire(2, "a", X) }() // older waits
+	go func() { done <- m.AcquireCtx(context.Background(), 2, "a", X) }() // older waits
 	select {
 	case err := <-done:
 		t.Fatalf("older requester did not wait: %v", err)
@@ -53,13 +54,13 @@ func TestWaitDieOldWaits(t *testing.T) {
 // queue behind an incompatible older waiter.
 func TestWaitDieDiesBehindOlderWaiter(t *testing.T) {
 	m := NewManager(Options{Policy: PolicyWaitDie})
-	if err := m.Acquire(3, "a", X); err != nil { // holder (older than 4)
+	if err := m.AcquireCtx(context.Background(), 3, "a", X); err != nil { // holder (older than 4)
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.Acquire(1, "a", X) }() // oldest: waits
+	go func() { done <- m.AcquireCtx(context.Background(), 1, "a", X) }() // oldest: waits
 	time.Sleep(20 * time.Millisecond)
-	err := m.Acquire(4, "a", X) // youngest: would queue behind txn 1 → dies
+	err := m.AcquireCtx(context.Background(), 4, "a", X) // youngest: would queue behind txn 1 → dies
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("young did not die behind older waiter: %v", err)
 	}
@@ -84,11 +85,11 @@ func TestWaitDieNeverDeadlocks(t *testing.T) {
 				first, second = second, first
 			}
 			for k := 0; k < 30; k++ {
-				if err := m.Acquire(id, first, X); err != nil {
+				if err := m.AcquireCtx(context.Background(), id, first, X); err != nil {
 					m.ReleaseAll(id)
 					continue
 				}
-				if err := m.Acquire(id, second, X); err != nil {
+				if err := m.AcquireCtx(context.Background(), id, second, X); err != nil {
 					m.ReleaseAll(id)
 					continue
 				}
@@ -110,13 +111,13 @@ func TestWaitDieNeverDeadlocks(t *testing.T) {
 // TestWaitDieCompatibleProceeds: compatible requests are unaffected by age.
 func TestWaitDieCompatibleProceeds(t *testing.T) {
 	m := NewManager(Options{Policy: PolicyWaitDie})
-	if err := m.Acquire(1, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(9, "a", S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 9, "a", S); err != nil {
 		t.Fatalf("compatible young request died: %v", err)
 	}
-	if err := m.Acquire(9, "a", IS); err != nil {
+	if err := m.AcquireCtx(context.Background(), 9, "a", IS); err != nil {
 		t.Fatalf("covered regrant died: %v", err)
 	}
 }

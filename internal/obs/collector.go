@@ -43,9 +43,9 @@ const nModes = int(lock.X) + 1
 
 // eventKinds is the fixed set of event-kind counters; unknown kinds land
 // in "other".
-var eventKinds = [nEventKinds]string{"grant", "convert", "wait", "release", "release-all", "downgrade", "victim", "timeout", "cancel", "other"}
+var eventKinds = [nEventKinds]string{"grant", "convert", "wait", "release", "release-all", "downgrade", "victim", "timeout", "cancel", "shed", "other"}
 
-const nEventKinds = 10
+const nEventKinds = 11
 
 // DefaultKinds is the default lockable-unit-kind dimension, derived from
 // the hierarchical resource-name depth (database/segment/relation/object

@@ -24,16 +24,16 @@ func TestCollectorCountsAndHistograms(t *testing.T) {
 	const db = lock.Resource("db1")
 	const rel = lock.Resource("db1/seg1/cells")
 	const obj = lock.Resource("db1/seg1/cells/c1")
-	if err := m.Acquire(1, db, lock.IX); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, db, lock.IX); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(1, rel, lock.IX); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, rel, lock.IX); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(1, obj, lock.S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, obj, lock.S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(1, obj, lock.X); err != nil { // conversion
+	if err := m.AcquireCtx(context.Background(), 1, obj, lock.X); err != nil { // conversion
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
@@ -73,11 +73,11 @@ func TestCollectorWaitHistogram(t *testing.T) {
 	m := newTracedManager(t, c)
 	r := lock.Resource("db1/seg1/cells/c1")
 
-	if err := m.Acquire(1, r, lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, r, lock.X); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.Acquire(2, r, lock.X) }()
+	go func() { done <- m.AcquireCtx(context.Background(), 2, r, lock.X) }()
 	// Wait until txn 2 is queued, then release to grant it.
 	for i := 0; m.WaitingTxns() == 0; i++ {
 		if i > 1000 {
@@ -108,10 +108,10 @@ func TestCollectorTimeoutFeedsWaitHistogram(t *testing.T) {
 	m := newTracedManager(t, c)
 	r := lock.Resource("db1/seg1/cells/c1")
 
-	if err := m.Acquire(1, r, lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, r, lock.X); err != nil {
 		t.Fatal(err)
 	}
-	err := m.AcquireTimeout(2, r, lock.S, 5*time.Millisecond)
+	err := m.AcquireCtx(context.Background(), 2, r, lock.S, lock.WithTimeout(5*time.Millisecond))
 	if !errors.Is(err, lock.ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -131,7 +131,7 @@ func TestCollectorRings(t *testing.T) {
 	m := newTracedManager(t, c)
 	for i := 0; i < 10; i++ {
 		r := lock.Resource("db1/seg1/cells/c" + string(rune('a'+i)))
-		if err := m.Acquire(1, r, lock.S); err != nil {
+		if err := m.AcquireCtx(context.Background(), 1, r, lock.S); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -161,7 +161,7 @@ func TestCollectorRings(t *testing.T) {
 func TestCollectorRingsDisabled(t *testing.T) {
 	c := NewCollector(Options{RingSize: -1})
 	m := newTracedManager(t, c)
-	if err := m.Acquire(1, "db1", lock.S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "db1", lock.S); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
@@ -185,10 +185,10 @@ func TestCollectorCustomKinds(t *testing.T) {
 		},
 	})
 	m := newTracedManager(t, c)
-	if err := m.Acquire(1, "hot/a", lock.S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "hot/a", lock.S); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(1, "cold/b", lock.S); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "cold/b", lock.S); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
@@ -257,7 +257,7 @@ func TestSampledCollector(t *testing.T) {
 	const n = 400
 	for i := 0; i < n; i++ {
 		r := lock.Resource(fmt.Sprintf("db1/seg1/cells/x%d", i))
-		if err := m.Acquire(1, r, lock.S); err != nil {
+		if err := m.AcquireCtx(context.Background(), 1, r, lock.S); err != nil {
 			t.Fatal(err)
 		}
 	}

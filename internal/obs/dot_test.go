@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -67,15 +68,15 @@ func TestWaitsForDOTValidates(t *testing.T) {
 	// Force a two-transaction deadlock: 1 holds a, 2 holds b, then each
 	// requests the other's resource. PolicyNone leaves the cycle standing.
 	a, b := lock.Resource("db1/seg1/cells/a"), lock.Resource("db1/seg1/cells/b")
-	if err := m.Acquire(1, a, lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, a, lock.X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, b, lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, b, lock.X); err != nil {
 		t.Fatal(err)
 	}
 	errs := make(chan error, 2)
-	go func() { errs <- m.Acquire(1, b, lock.X) }()
-	go func() { errs <- m.Acquire(2, a, lock.X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 1, b, lock.X) }()
+	go func() { errs <- m.AcquireCtx(context.Background(), 2, a, lock.X) }()
 	waitForWaiters(t, m, 2)
 
 	dot := m.WaitsForDOT()

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,7 +16,7 @@ import (
 func TestServeEndpoints(t *testing.T) {
 	c := NewCollector(Options{})
 	m := lock.NewManager(lock.Options{Sinks: []lock.EventSink{c}})
-	if err := m.Acquire(1, "db1/seg1/cells/c1", lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "db1/seg1/cells/c1", lock.X); err != nil {
 		t.Fatal(err)
 	}
 	defer m.ReleaseAll(1)

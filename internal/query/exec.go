@@ -105,9 +105,9 @@ func (e *Executor) execute(tx *txn.Txn, an *Analysis, plan core.Plan) ([]Result,
 // lockInstance requests a protocol lock honouring the NOFOLLOW option.
 func (s *execState) lockInstance(p store.Path, mode lock.Mode) error {
 	if s.an.Query.NoFollow {
-		return s.tx.LockPathNoFollow(p, mode)
+		return s.tx.LockPath(nil, p, mode, txn.WithNoFollow())
 	}
-	return s.tx.LockPath(p, mode)
+	return s.tx.LockPath(nil, p, mode)
 }
 
 // covered reports whether the plan's coarse lock already covers instances at

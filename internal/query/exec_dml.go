@@ -131,7 +131,7 @@ func (e *Executor) execDelete(tx *txn.Txn, stmt *Statement) (*StatementResult, e
 		coll := r.Path.Parent()
 		id := r.Path[len(r.Path)-1]
 		if noFollow {
-			if err := tx.LockPathNoFollow(coll, lock.X); err != nil {
+			if err := tx.LockPath(nil, coll, lock.X, txn.WithNoFollow()); err != nil {
 				return nil, err
 			}
 			if err := tx.RemoveElemAt(coll, id); err != nil {

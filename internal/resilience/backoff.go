@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"colock/internal/lock"
+)
+
+// Backoff paces restarts: Pause blocks until the next attempt may begin.
+// attempt is the 1-based number of the attempt that just FAILED; err is its
+// error (always non-nil). Pause returns non-nil only when ctx ended during
+// the pause — the retrier then gives up.
+type Backoff interface {
+	Pause(ctx context.Context, attempt int, err error) error
+}
+
+// Immediate restarts with no pause at all. Cheapest when conflicts are
+// rare; under a storm it burns CPU re-colliding with the same holders.
+type Immediate struct{}
+
+// Pause returns at once (or ctx's error if it already ended).
+func (Immediate) Pause(ctx context.Context, attempt int, err error) error {
+	return ctx.Err()
+}
+
+// CappedExponential sleeps Base<<(attempt-1), capped at Cap, with up to
+// Jitter (a fraction, e.g. 0.5) of the delay added at random so restarted
+// transactions don't re-collide in lockstep. The zero value is usable:
+// Base defaults to 1ms, Cap to 100ms, Jitter to 0.5.
+type CappedExponential struct {
+	Base   time.Duration
+	Cap    time.Duration
+	Jitter float64
+}
+
+// Pause sleeps the attempt's backoff delay, cut short by ctx.
+func (b CappedExponential) Pause(ctx context.Context, attempt int, err error) error {
+	base, cap_, jitter := b.Base, b.Cap, b.Jitter
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if cap_ <= 0 {
+		cap_ = 100 * time.Millisecond
+	}
+	if jitter <= 0 {
+		jitter = 0.5
+	}
+	d := base
+	for i := 1; i < attempt && d < cap_; i++ {
+		d *= 2
+	}
+	if d > cap_ {
+		d = cap_
+	}
+	if j := int64(float64(d) * jitter); j > 0 {
+		d += time.Duration(rand.Int63n(j + 1))
+	}
+	return sleep(ctx, d)
+}
+
+// RestartWait implements Thomasian-style restart waiting: before re-running
+// a killed transaction, poll until every transaction that blocked the fatal
+// request (the *LockError's Blockers) has left the lock table — holding
+// nothing and waiting on nothing. Restarting earlier would, with high
+// probability, just re-collide with the same holders; waiting for them to
+// drain converts a doomed restart into a likely-clean one.
+type RestartWait struct {
+	// Active reports whether a transaction still occupies the lock table —
+	// typically (*lock.Manager).TxnActive. Required; a nil Active degrades
+	// to Fallback (or an immediate restart).
+	Active func(lock.TxnID) bool
+	// Poll is the re-check interval (default 200µs).
+	Poll time.Duration
+	// Max bounds the pause (default 50ms): past it the restart proceeds
+	// anyway, so a long-running blocker cannot stall the retrier forever.
+	Max time.Duration
+	// Fallback, if set, paces restarts whose error carried no blocker set
+	// (e.g. an injected fault or a shed Begin). Nil restarts immediately.
+	Fallback Backoff
+}
+
+// Pause blocks until the blockers of the failed attempt have drained, Max
+// elapses, or ctx ends.
+func (b RestartWait) Pause(ctx context.Context, attempt int, err error) error {
+	blockers := Blockers(err)
+	if len(blockers) == 0 || b.Active == nil {
+		if b.Fallback != nil {
+			return b.Fallback.Pause(ctx, attempt, err)
+		}
+		return ctx.Err()
+	}
+	poll := b.Poll
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 50 * time.Millisecond
+	}
+	deadline := time.Now().Add(max)
+	for {
+		drained := true
+		for _, t := range blockers {
+			if b.Active(t) {
+				drained = false
+				break
+			}
+		}
+		if drained || !time.Now().Before(deadline) {
+			return ctx.Err()
+		}
+		if err := sleep(ctx, poll); err != nil {
+			return err
+		}
+	}
+}
+
+// sleep waits for d or until ctx ends, whichever is first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,84 @@
+// Package resilience turns lock-protocol aborts from terminal errors into
+// managed restarts. The lock hierarchy (paper rules 1–5) guarantees
+// correctness; this layer is about surviving contention storms: a Retrier
+// re-runs a transaction closure under a pluggable backoff policy, admission
+// control in lock.Manager sheds work when the waits-for graph saturates,
+// and Chaos injects deterministic synthetic faults so both are testable
+// under -race. The design follows Thomasian's restart-policy results for
+// high data contention: once conflicts thicken, WHAT a system does after an
+// abort — back off, restart-wait, limit admissions — dominates throughput.
+package resilience
+
+import (
+	"context"
+	"errors"
+
+	"colock/internal/lock"
+)
+
+// Cause labels why an attempt failed, for observers and retry decisions.
+// The string values are stable: they key retry counters in obs.
+type Cause string
+
+const (
+	// CauseDeadlock: chosen as a deadlock-detection victim.
+	CauseDeadlock Cause = "deadlock"
+	// CauseWaitDie: killed by the wait-die prevention rule.
+	CauseWaitDie Cause = "wait-die"
+	// CauseTimeout: an acquire deadline (WithTimeout or a per-attempt
+	// budget) expired.
+	CauseTimeout Cause = "timeout"
+	// CauseShed: refused by admission control.
+	CauseShed Cause = "shed"
+	// CauseWouldBlock: a WithNoWait request found a conflict.
+	CauseWouldBlock Cause = "would-block"
+	// CauseCanceled: the caller's context was canceled — the caller gave
+	// up, so retrying would be wrong.
+	CauseCanceled Cause = "canceled"
+	// CauseOther: not a lock-protocol failure (application error).
+	CauseOther Cause = "other"
+)
+
+// Classify maps an error from a transaction attempt to its Cause and
+// reports whether a retrier should re-run the closure. Lock-protocol
+// aborts (deadlock victim, wait-die death, timeout, shed, would-block) are
+// transient — the same transaction can succeed on a re-run — so they
+// retry; cancellation and application errors do not.
+func Classify(err error) (Cause, bool) {
+	switch {
+	case err == nil:
+		return "", false
+	case errors.Is(err, lock.ErrWaitDie):
+		// Checked before ErrDeadlockVictim: a wait-die death wraps the
+		// deadlock sentinel so legacy errors.Is(err, ErrDeadlock) holds.
+		return CauseWaitDie, true
+	case errors.Is(err, lock.ErrDeadlockVictim):
+		return CauseDeadlock, true
+	case errors.Is(err, lock.ErrTimeout):
+		return CauseTimeout, true
+	case errors.Is(err, lock.ErrShed):
+		return CauseShed, true
+	case errors.Is(err, lock.ErrWouldBlock):
+		return CauseWouldBlock, true
+	case errors.Is(err, context.DeadlineExceeded):
+		// A per-attempt budget expiring is a timeout: the parent context
+		// may be perfectly healthy, so the attempt retries (the Retrier
+		// separately stops when the parent itself is done).
+		return CauseTimeout, true
+	case errors.Is(err, context.Canceled):
+		return CauseCanceled, false
+	default:
+		return CauseOther, false
+	}
+}
+
+// Blockers extracts the blocker set recorded on a *LockError — the
+// transactions the failed request was queued behind — or nil. RestartWait
+// pauses until these have drained.
+func Blockers(err error) []lock.TxnID {
+	var le *lock.LockError
+	if errors.As(err, &le) {
+		return le.Blockers
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package resilience_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+	"colock/internal/resilience"
+)
+
+// countingInjector counts every manager acquisition (InjectAcquire runs
+// exactly once per AcquireCtx call) and fails the first failFirst of them
+// with a synthetic deadlock victim.
+type countingInjector struct {
+	calls     atomic.Int64
+	failFirst int64
+}
+
+func (c *countingInjector) InjectAcquire(txn lock.TxnID, r lock.Resource, mode lock.Mode) lock.Injection {
+	if c.calls.Add(1) <= c.failFirst {
+		return lock.Injection{Err: lock.ErrDeadlockVictim}
+	}
+	return lock.Injection{}
+}
+
+// TestOptionRetryMatrix drives every acquire-option combination (durable ×
+// no-wait × timeout) through every backoff policy, with an injector that
+// kills the first two attempts. Each attempt must reach the manager exactly
+// once — options must neither short-circuit the call nor multiply it — so
+// after two injected victims and one success the injector has seen exactly
+// three acquisitions, and the retrier reports success.
+func TestOptionRetryMatrix(t *testing.T) {
+	backoffs := []struct {
+		name string
+		make func(m *lock.Manager) resilience.Backoff
+	}{
+		{"immediate", func(*lock.Manager) resilience.Backoff { return resilience.Immediate{} }},
+		{"capped-exponential", func(*lock.Manager) resilience.Backoff {
+			return resilience.CappedExponential{Base: 10 * time.Microsecond, Cap: 100 * time.Microsecond}
+		}},
+		{"restart-wait", func(m *lock.Manager) resilience.Backoff {
+			return resilience.RestartWait{
+				Active: m.TxnActive,
+				Poll:   10 * time.Microsecond,
+				Max:    time.Millisecond,
+			}
+		}},
+	}
+	for _, durable := range []bool{false, true} {
+		for _, noWait := range []bool{false, true} {
+			for _, timeout := range []time.Duration{0, 50 * time.Millisecond} {
+				for _, bo := range backoffs {
+					name := fmt.Sprintf("durable=%v/nowait=%v/timeout=%v/%s",
+						durable, noWait, timeout, bo.name)
+					t.Run(name, func(t *testing.T) {
+						m := lock.NewManager(lock.Options{})
+						inj := &countingInjector{failFirst: 2}
+						m.SetInjector(inj)
+						var opts []lock.AcquireOption
+						if durable {
+							opts = append(opts, lock.WithDurable())
+						}
+						if noWait {
+							opts = append(opts, lock.WithNoWait())
+						}
+						if timeout > 0 {
+							opts = append(opts, lock.WithTimeout(timeout))
+						}
+						r := &resilience.Retrier{MaxAttempts: 5, Backoff: bo.make(m)}
+						var id lock.TxnID
+						err := r.Run(context.Background(), func(ctx context.Context) error {
+							id++
+							if err := m.AcquireCtx(ctx, id, "res", lock.X, opts...); err != nil {
+								m.ReleaseAll(id)
+								return err
+							}
+							return nil
+						})
+						if err != nil {
+							t.Fatalf("retrier failed: %v", err)
+						}
+						if got := inj.calls.Load(); got != 3 {
+							t.Errorf("manager acquisitions = %d, want exactly 3 (one per attempt)", got)
+						}
+						if held := m.HeldLocks(id); len(held) != 1 {
+							t.Errorf("winning attempt holds %d locks, want 1", len(held))
+						}
+					})
+				}
+			}
+		}
+	}
+}

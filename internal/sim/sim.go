@@ -197,7 +197,7 @@ func (w *Workstation) CheckOut(relation, key string, forUpdate bool) error {
 		s.auth.Grant(t.ID(), relation)
 		mode = lock.X
 	}
-	if err := t.Lock(core.DataNode(store.P(relation, key)), mode); err != nil {
+	if err := t.Lock(nil, core.DataNode(store.P(relation, key)), mode); err != nil {
 		t.Abort()
 		return err
 	}

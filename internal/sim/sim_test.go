@@ -131,7 +131,7 @@ func TestCrashRestartPreservesCheckout(t *testing.T) {
 	// The durable X lock still blocks others after restart.
 	tx := s.Txns().Begin()
 	blocked := make(chan error, 1)
-	go func() { blocked <- tx.LockPath(store.P("effectors", "e1"), lock.S) }()
+	go func() { blocked <- tx.LockPath(nil, store.P("effectors", "e1"), lock.S) }()
 	select {
 	case err := <-blocked:
 		t.Fatalf("long lock lost in crash: %v", err)
@@ -155,7 +155,7 @@ func TestCrashRestartPreservesCheckout(t *testing.T) {
 func TestCrashLosesShortLocks(t *testing.T) {
 	s := NewServer(store.PaperDatabase())
 	tx := s.Txns().Begin()
-	if err := tx.LockPath(store.P("cells", "c1"), lock.X); err != nil {
+	if err := tx.LockPath(nil, store.P("cells", "c1"), lock.X); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.CrashAndRestart(); err != nil {

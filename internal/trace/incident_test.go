@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"path/filepath"
@@ -46,7 +47,7 @@ func TestManualIncidentRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	iw := NewIncidentWriter(dir, rec, m, IncidentOptions{})
 
-	if err := m.Acquire(1, "db1/seg1/cells/c1", lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "db1/seg1/cells/c1", lock.X); err != nil {
 		t.Fatal(err)
 	}
 	sp := rec.Start(1, "lock", "db1/seg1/cells/c1", lock.X)
@@ -96,11 +97,11 @@ func TestIncidentAutoOnTimeout(t *testing.T) {
 	iw := NewIncidentWriter(t.TempDir(), rec, m, IncidentOptions{})
 	m.AttachSink(iw)
 
-	if err := m.Acquire(1, "a", lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", lock.X); err != nil {
 		t.Fatal(err)
 	}
 	sp := rec.Start(2, "lock", "a", lock.X)
-	err := m.AcquireTimeout(2, "a", lock.X, 5*time.Millisecond)
+	err := m.AcquireCtx(context.Background(), 2, "a", lock.X, lock.WithTimeout(5*time.Millisecond))
 	sp.End(err)
 	if !errors.Is(err, lock.ErrTimeout) {
 		t.Fatalf("got %v, want ErrTimeout", err)
@@ -135,14 +136,14 @@ func TestIncidentAutoOnDeadlockVictim(t *testing.T) {
 	iw := NewIncidentWriter(t.TempDir(), rec, m, IncidentOptions{})
 	m.AttachSink(iw)
 
-	if err := m.Acquire(1, "a", lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", lock.X); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "b", lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 2, "b", lock.X); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.Acquire(1, "b", lock.X) }()
+	go func() { done <- m.AcquireCtx(context.Background(), 1, "b", lock.X) }()
 	for i := 0; m.WaitingTxns() == 0; i++ {
 		if i > 2000 {
 			t.Fatal("txn 1 never queued")
@@ -150,7 +151,7 @@ func TestIncidentAutoOnDeadlockVictim(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// Txn 2 (younger) closes the cycle and is chosen as the victim.
-	err := m.Acquire(2, "a", lock.X)
+	err := m.AcquireCtx(context.Background(), 2, "a", lock.X)
 	if !errors.Is(err, lock.ErrDeadlock) {
 		t.Fatalf("got %v, want ErrDeadlock", err)
 	}

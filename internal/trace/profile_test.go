@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -97,11 +98,11 @@ func TestProfileIgnoresFastPathGrants(t *testing.T) {
 func TestProfileEndToEndWithManager(t *testing.T) {
 	p := NewProfile()
 	m := lock.NewManager(lock.Options{Policy: lock.PolicyNone, Sinks: []lock.EventSink{p}})
-	if err := m.Acquire(1, "a", lock.X); err != nil {
+	if err := m.AcquireCtx(context.Background(), 1, "a", lock.X); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.Acquire(2, "a", lock.X) }()
+	go func() { done <- m.AcquireCtx(context.Background(), 2, "a", lock.X) }()
 	for i := 0; m.WaitingTxns() == 0; i++ {
 		if i > 2000 {
 			t.Fatal("txn 2 never queued")

@@ -26,7 +26,7 @@ func TestLockCtxCancelWithdraws(t *testing.T) {
 	reader := m.Begin()
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- reader.LockPathCtx(ctx, p, lock.S) }()
+	go func() { done <- reader.LockPath(ctx, p, lock.S) }()
 	time.Sleep(20 * time.Millisecond)
 	cancel()
 	err := <-done
@@ -50,13 +50,13 @@ func TestLockCtxDeadline(t *testing.T) {
 	p := store.P("cells", "c1", "robots", "r1")
 
 	writer := m.Begin()
-	if err := writer.LockPath(p, lock.X); err != nil {
+	if err := writer.LockPath(nil, p, lock.X); err != nil {
 		t.Fatal(err)
 	}
 	reader := m.Begin()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	err := reader.LockPathCtx(ctx, p, lock.X)
+	err := reader.LockPath(ctx, p, lock.X)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want DeadlineExceeded, got %v", err)
 	}

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -156,7 +157,7 @@ func TestConcurrentWorkloadIsConflictSerializable(t *testing.T) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(seed*100 + int64(w)))
 				for i := 0; i < 8; i++ {
-					err := m.RunWithRetry(50, func(tx *Txn) error {
+					err := m.RunWithRetry(context.Background(), func(tx *Txn) error {
 						for op := 0; op < 3; op++ {
 							p := paths[rng.Intn(len(paths))]
 							if rng.Intn(2) == 0 {
@@ -170,7 +171,7 @@ func TestConcurrentWorkloadIsConflictSerializable(t *testing.T) {
 							}
 						}
 						return nil
-					})
+					}, WithMaxAttempts(50))
 					if err != nil {
 						errs <- err
 						return

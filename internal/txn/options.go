@@ -1,0 +1,80 @@
+package txn
+
+import (
+	"time"
+
+	"colock/internal/resilience"
+)
+
+// Option customizes Txn.Lock / Txn.LockPath calls and Manager.RunWithRetry
+// runs. The lock-call options (WithTimeout, WithNoFollow) and the retry
+// options (WithMaxAttempts, WithBackoff, WithAttemptTimeout,
+// WithRetryObserver) form ONE set, so a call site composes lock behavior
+// and restart policy in a single variadic tail; options that don't apply to
+// the receiving call are ignored.
+type Option func(*config)
+
+type config struct {
+	// Per-lock-call.
+	timeout  time.Duration
+	noFollow bool
+
+	// Per-RunWithRetry.
+	maxAttempts    int
+	maxAttemptsSet bool
+	backoff        resilience.Backoff
+	attemptTimeout time.Duration
+	observer       resilience.Observer
+}
+
+func buildConfig(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithTimeout bounds each lock-manager acquisition of the protocol chain:
+// a request not granted within d is withdrawn and fails wrapping
+// lock.ErrTimeout. Per acquisition, not per call — the workstation-server
+// "don't block forever behind a check-out lock" knob.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// WithNoFollow locks a data path without downward propagation into
+// referenced common data — only safe for operations whose semantics never
+// access the referenced data (§4.5, NOFOLLOW queries).
+func WithNoFollow() Option {
+	return func(c *config) { c.noFollow = true }
+}
+
+// WithMaxAttempts bounds RunWithRetry's total attempts; n <= 0 means
+// unlimited (bounded only by the context). Without this option the default
+// is 10.
+func WithMaxAttempts(n int) Option {
+	return func(c *config) { c.maxAttempts = n; c.maxAttemptsSet = true }
+}
+
+// WithBackoff sets RunWithRetry's restart pacing policy — e.g.
+// resilience.CappedExponential{} or a resilience.RestartWait draining the
+// blockers that killed the previous attempt. Default is an immediate
+// restart.
+func WithBackoff(b resilience.Backoff) Option {
+	return func(c *config) { c.backoff = b }
+}
+
+// WithAttemptTimeout gives each RunWithRetry attempt its own budget: the
+// transaction's context carries a deadline, every lock acquisition inside
+// the attempt is withdrawn when it expires, and the attempt restarts as a
+// timeout. The caller's outer context still bounds the whole run.
+func WithAttemptTimeout(d time.Duration) Option {
+	return func(c *config) { c.attemptTimeout = d }
+}
+
+// WithRetryObserver wires a resilience.Observer (e.g. *obs.RetryCollector)
+// into RunWithRetry, recording retries by cause and attempts-per-commit.
+func WithRetryObserver(o resilience.Observer) Option {
+	return func(c *config) { c.observer = o }
+}

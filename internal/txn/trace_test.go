@@ -86,11 +86,11 @@ func TestSpanFlushAtCommitAndAbort(t *testing.T) {
 func TestTxnLockTimeout(t *testing.T) {
 	m, _, sink := newTracedManager(t)
 	holder := m.Begin()
-	if err := holder.LockPath(store.P("cells", "c1"), lock.X); err != nil {
+	if err := holder.LockPath(nil, store.P("cells", "c1"), lock.X); err != nil {
 		t.Fatal(err)
 	}
 	blocked := m.Begin()
-	err := blocked.LockTimeout(core.DataNode(store.P("cells", "c1")), lock.X, 5*time.Millisecond)
+	err := blocked.Lock(nil, core.DataNode(store.P("cells", "c1")), lock.X, WithTimeout(5*time.Millisecond))
 	if !errors.Is(err, lock.ErrTimeout) {
 		t.Fatalf("got %v, want ErrTimeout", err)
 	}

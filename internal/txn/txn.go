@@ -12,10 +12,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"colock/internal/core"
 	"colock/internal/lock"
+	"colock/internal/resilience"
 	"colock/internal/store"
 )
 
@@ -72,23 +72,51 @@ func (m *Manager) Protocol() *core.Protocol { return m.proto }
 // Store returns the underlying store.
 func (m *Manager) Store() *store.Store { return m.st }
 
-// Begin starts a short transaction.
-func (m *Manager) Begin() *Txn { return m.begin(false) }
+// Begin starts a short transaction, bypassing admission control (callers
+// that must respect the gate use BeginCtx).
+func (m *Manager) Begin() *Txn {
+	t, _ := m.begin(context.Background(), false, false)
+	return t
+}
+
+// BeginCtx starts a short transaction gated by the lock manager's admission
+// control: while the waits-for graph is saturated (shed mode), the Begin is
+// delayed and then refused with an error wrapping lock.ErrShed — the
+// Retrier classifies and retries it like any other transient abort. ctx
+// also becomes the transaction's default context: internal lock
+// acquisitions made by data operations (Read, UpdateAtomic, …) flow through
+// it, which is how RunWithRetry's per-attempt budgets reach every acquire.
+func (m *Manager) BeginCtx(ctx context.Context) (*Txn, error) {
+	return m.begin(ctx, false, true)
+}
 
 // BeginLong starts a long transaction: all its locks are durable and survive
 // a simulated system restart (check-out semantics).
-func (m *Manager) BeginLong() *Txn { return m.begin(true) }
+func (m *Manager) BeginLong() *Txn {
+	t, _ := m.begin(context.Background(), true, false)
+	return t
+}
 
-func (m *Manager) begin(long bool) *Txn {
+func (m *Manager) begin(ctx context.Context, long, admit bool) (*Txn, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	id := lock.TxnID(m.next.Add(1))
+	if admit {
+		if err := m.proto.Manager().Admit(ctx, id); err != nil {
+			return nil, err
+		}
+	}
 	t := &Txn{
-		id:   lock.TxnID(m.next.Add(1)),
+		id:   id,
 		m:    m,
 		long: long,
+		ctx:  ctx,
 	}
 	m.mu.Lock()
 	m.active[t.id] = t
 	m.mu.Unlock()
-	return t
+	return t, nil
 }
 
 // Adopt re-creates a handle for a long transaction restored after a crash
@@ -101,7 +129,7 @@ func (m *Manager) Adopt(id lock.TxnID) *Txn {
 			break
 		}
 	}
-	t := &Txn{id: id, m: m, long: true}
+	t := &Txn{id: id, m: m, long: true, ctx: context.Background()}
 	m.mu.Lock()
 	m.active[id] = t
 	m.mu.Unlock()
@@ -150,6 +178,10 @@ type Txn struct {
 	id   lock.TxnID
 	m    *Manager
 	long bool
+	// ctx is the transaction's default context: internal lock acquisitions
+	// made by data operations use it, so a per-attempt budget installed by
+	// RunWithRetry (via BeginCtx) bounds every acquire of the attempt.
+	ctx context.Context
 
 	mu    sync.Mutex
 	state State
@@ -178,58 +210,31 @@ func (t *Txn) checkActive() error {
 	return nil
 }
 
-// Lock acquires a protocol lock on a node. Growing phase of 2PL; locks are
-// only released at commit or abort (strict 2PL). A deadlock-victim error is
-// returned to the caller, who must Abort.
-func (t *Txn) Lock(n core.Node, mode lock.Mode) error {
-	return t.LockCtx(context.Background(), n, mode)
-}
-
-// LockCtx is Lock with a context: cancellation or deadline expiry withdraws
-// the blocked lock request and returns an error satisfying
-// errors.Is(err, ctx.Err()). Locks acquired earlier in the protocol chain
-// stay held (2PL forbids selective release) — after a canceled LockCtx the
-// transaction should Abort, just as after a deadlock victim error.
-func (t *Txn) LockCtx(ctx context.Context, n core.Node, mode lock.Mode) error {
+// Lock acquires a protocol lock on a node — the single acquisition entry
+// point, every variant expressed as an option: WithTimeout bounds each
+// acquisition of the chain, WithNoFollow skips downward propagation into
+// referenced common data. Growing phase of 2PL; locks are only released at
+// commit or abort (strict 2PL). A nil ctx uses the transaction's own
+// context (from BeginCtx). On cancellation, deadline expiry, or a
+// deadlock-victim error, locks acquired earlier in the chain stay held (2PL
+// forbids selective release) — the transaction must Abort.
+func (t *Txn) Lock(ctx context.Context, n core.Node, mode lock.Mode, opts ...Option) error {
 	if err := t.checkActive(); err != nil {
 		return err
 	}
-	if t.long {
-		return t.m.proto.LockLongCtx(ctx, t.id, n, mode)
+	if ctx == nil {
+		ctx = t.ctx
 	}
-	return t.m.proto.LockCtx(ctx, t.id, n, mode)
+	var cfg config
+	if len(opts) > 0 {
+		cfg = buildConfig(opts)
+	}
+	return t.m.proto.LockWith(ctx, t.id, n, mode, t.long, cfg.noFollow, cfg.timeout)
 }
 
 // LockPath is Lock on a data path.
-func (t *Txn) LockPath(p store.Path, mode lock.Mode) error {
-	return t.LockCtx(context.Background(), core.DataNode(p), mode)
-}
-
-// LockTimeout is Lock with a per-acquisition deadline: each lock-manager
-// acquisition of the protocol chain fails with an error wrapping
-// lock.ErrTimeout if not granted within d. Timeouts trigger the flight
-// recorder's automatic incident dump (when one is attached); as with any
-// failed lock call, the transaction should Abort.
-func (t *Txn) LockTimeout(n core.Node, mode lock.Mode, d time.Duration) error {
-	if err := t.checkActive(); err != nil {
-		return err
-	}
-	return t.m.proto.LockTimeout(t.id, n, mode, d)
-}
-
-// LockPathCtx is LockCtx on a data path.
-func (t *Txn) LockPathCtx(ctx context.Context, p store.Path, mode lock.Mode) error {
-	return t.LockCtx(ctx, core.DataNode(p), mode)
-}
-
-// LockPathNoFollow locks a data path without downward propagation into
-// referenced common data — only safe for operations whose semantics never
-// access the referenced data (§4.5, NOFOLLOW queries).
-func (t *Txn) LockPathNoFollow(p store.Path, mode lock.Mode) error {
-	if err := t.checkActive(); err != nil {
-		return err
-	}
-	return t.m.proto.LockNoFollow(t.id, core.DataNode(p), mode)
+func (t *Txn) LockPath(ctx context.Context, p store.Path, mode lock.Mode, opts ...Option) error {
+	return t.Lock(ctx, core.DataNode(p), mode, opts...)
 }
 
 // DeEscalate trades the transaction's coarse S/X lock on a node for locks of
@@ -256,7 +261,7 @@ func (t *Txn) Unlock(n core.Node) error {
 // protocol. The clone keeps later store mutations from leaking into the
 // reader, preserving degree-3 repeatable reads at the API boundary.
 func (t *Txn) Read(p store.Path) (store.Value, error) {
-	if err := t.LockPath(p, lock.S); err != nil {
+	if err := t.LockPath(t.ctx, p, lock.S); err != nil {
 		return nil, err
 	}
 	t.m.recordAccess(t.id, AccessR, p)
@@ -284,7 +289,7 @@ func (t *Txn) ReadAt(p store.Path) (store.Value, error) {
 // UpdateAtomic X-locks the path and replaces its atomic value, recording an
 // undo action.
 func (t *Txn) UpdateAtomic(p store.Path, v store.Value) error {
-	if err := t.LockPath(p, lock.X); err != nil {
+	if err := t.LockPath(t.ctx, p, lock.X); err != nil {
 		return err
 	}
 	return t.updateLocked(p, v)
@@ -321,7 +326,7 @@ func (t *Txn) updateLocked(p store.Path, v store.Value) error {
 
 // AddElem X-locks the collection and inserts an element.
 func (t *Txn) AddElem(collection store.Path, id string, v store.Value) error {
-	if err := t.LockPath(collection, lock.X); err != nil {
+	if err := t.LockPath(t.ctx, collection, lock.X); err != nil {
 		return err
 	}
 	if err := t.m.st.AddElem(collection, id, v); err != nil {
@@ -354,7 +359,7 @@ func (t *Txn) AddElemAt(collection store.Path, id string, v store.Value) error {
 
 // RemoveElem X-locks the collection and removes an element.
 func (t *Txn) RemoveElem(collection store.Path, id string) error {
-	if err := t.LockPath(collection, lock.X); err != nil {
+	if err := t.LockPath(t.ctx, collection, lock.X); err != nil {
 		return err
 	}
 	old, err := t.m.st.RemoveElem(collection, id)
@@ -411,7 +416,7 @@ func (t *Txn) requireX(p store.Path) error {
 // future work).
 func (t *Txn) Insert(relation, key string, obj *store.Tuple) error {
 	p := store.P(relation, key)
-	if err := t.LockPath(p, lock.X); err != nil {
+	if err := t.LockPath(t.ctx, p, lock.X); err != nil {
 		return err
 	}
 	if err := t.m.st.Insert(relation, key, obj); err != nil {
@@ -428,7 +433,7 @@ func (t *Txn) Insert(relation, key string, obj *store.Tuple) error {
 // Delete removes a complex object after X-locking it.
 func (t *Txn) Delete(relation, key string) error {
 	p := store.P(relation, key)
-	if err := t.LockPath(p, lock.X); err != nil {
+	if err := t.LockPath(t.ctx, p, lock.X); err != nil {
 		return err
 	}
 	old := t.m.st.Delete(relation, key)
@@ -525,25 +530,42 @@ func (t *Txn) Abort() {
 	t.m.finish(t, false)
 }
 
-// RunWithRetry executes body inside a fresh transaction, retrying when the
-// transaction is chosen as a deadlock victim. Any other error aborts and is
-// returned. The body must use the supplied transaction for all data access.
-func (m *Manager) RunWithRetry(maxAttempts int, body func(*Txn) error) error {
-	if maxAttempts <= 0 {
-		maxAttempts = 10
+// RunWithRetry executes body inside a fresh transaction per attempt,
+// retrying every abort the resilience layer classifies as transient —
+// deadlock victim, wait-die death, acquire timeout, shed by admission
+// control, would-block — under the configured restart policy. Application
+// errors and caller cancellation are returned without retrying. Each
+// attempt begins through BeginCtx, so admission control gates restarts the
+// same as first attempts, and WithAttemptTimeout budgets flow into every
+// lock acquisition of the attempt. The body must use the supplied
+// transaction for all data access and must be restartable: each attempt
+// gets a fresh transaction with an empty undo log, so savepoints taken
+// inside one attempt never leak into the next.
+//
+// Defaults: 10 attempts, immediate restart. Tune with WithMaxAttempts
+// (<= 0 for unlimited), WithBackoff, WithAttemptTimeout and
+// WithRetryObserver.
+func (m *Manager) RunWithRetry(ctx context.Context, body func(*Txn) error, opts ...Option) error {
+	cfg := buildConfig(opts)
+	maxAttempts := 10
+	if cfg.maxAttemptsSet {
+		maxAttempts = cfg.maxAttempts
 	}
-	var lastErr error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		t := m.Begin()
-		err := body(t)
-		if err == nil {
-			return t.Commit()
-		}
-		t.Abort()
-		if !errors.Is(err, lock.ErrDeadlock) {
+	r := &resilience.Retrier{
+		MaxAttempts:    maxAttempts,
+		Backoff:        cfg.backoff,
+		AttemptTimeout: cfg.attemptTimeout,
+		Observer:       cfg.observer,
+	}
+	return r.Run(ctx, func(actx context.Context) error {
+		t, err := m.BeginCtx(actx)
+		if err != nil {
 			return err
 		}
-		lastErr = err
-	}
-	return fmt.Errorf("txn: giving up after %d deadlock retries: %w", maxAttempts, lastErr)
+		if err := body(t); err != nil {
+			t.Abort()
+			return err
+		}
+		return t.Commit()
+	})
 }

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestLockPathNoFollowSkipsLibrary(t *testing.T) {
 	m := newManager(t)
 	tx := m.Begin()
 	defer tx.Abort()
-	if err := tx.LockPathNoFollow(store.P("cells", "c1", "robots", "r1"), lock.X); err != nil {
+	if err := tx.LockPath(nil, store.P("cells", "c1", "robots", "r1"), lock.X, WithNoFollow()); err != nil {
 		t.Fatal(err)
 	}
 	for _, h := range m.Protocol().Manager().HeldLocks(tx.ID()) {
@@ -23,7 +24,7 @@ func TestLockPathNoFollowSkipsLibrary(t *testing.T) {
 	}
 	// On a finished transaction it refuses.
 	tx.Abort()
-	if err := tx.LockPathNoFollow(store.P("cells", "c1"), lock.S); err == nil {
+	if err := tx.LockPath(nil, store.P("cells", "c1"), lock.S, WithNoFollow()); err == nil {
 		t.Error("NOFOLLOW on finished txn accepted")
 	}
 }
@@ -32,7 +33,7 @@ func TestTxnDeEscalateAndUnlock(t *testing.T) {
 	m := newManager(t)
 	tx := m.Begin()
 	obj := store.P("cells", "c1")
-	if err := tx.LockPath(obj, lock.X); err != nil {
+	if err := tx.LockPath(nil, obj, lock.X); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.DeEscalate(core.DataNode(obj), []store.Path{
@@ -72,7 +73,7 @@ func TestAddRemoveElemAt(t *testing.T) {
 		t.Error("uncovered RemoveElemAt accepted")
 	}
 
-	if err := tx.LockPath(coll, lock.X); err != nil {
+	if err := tx.LockPath(nil, coll, lock.X); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.AddElemAt(coll, "e3", store.Ref{Relation: "effectors", Key: "e3"}); err != nil {
@@ -118,7 +119,7 @@ func TestMutationsOnFinishedTxn(t *testing.T) {
 	if err := tx.Delete("effectors", "e1"); err == nil {
 		t.Error("Delete on finished txn accepted")
 	}
-	if err := tx.Lock(core.DataNode(store.P("cells", "c1")), lock.S); err == nil {
+	if err := tx.Lock(nil, core.DataNode(store.P("cells", "c1")), lock.S); err == nil {
 		t.Error("Lock on finished txn accepted")
 	}
 	if _, err := tx.ReadAt(store.P("cells", "c1")); err == nil {
@@ -161,7 +162,7 @@ func TestInsertDeleteStoreErrorsPropagate(t *testing.T) {
 func TestRunWithRetryDefaultAttempts(t *testing.T) {
 	m := newManager(t)
 	calls := 0
-	err := m.RunWithRetry(0, func(tx *Txn) error {
+	err := m.RunWithRetry(context.Background(), func(tx *Txn) error {
 		calls++
 		return nil
 	})

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -181,7 +182,7 @@ func TestReadAtRequiresCoverage(t *testing.T) {
 		t.Error("uncovered ReadAt succeeded")
 	}
 	// Coarse S on the object covers every descendant.
-	if err := tx.LockPath(store.P("cells", "c1"), lock.S); err != nil {
+	if err := tx.LockPath(nil, store.P("cells", "c1"), lock.S); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := tx.ReadAt(store.P("cells", "c1", "cell_id")); err != nil {
@@ -193,13 +194,13 @@ func TestReadAtRequiresCoverage(t *testing.T) {
 func TestUpdateAtomicAtRequiresXCoverage(t *testing.T) {
 	m := newManager(t)
 	tx := m.Begin()
-	if err := tx.LockPath(store.P("cells", "c1"), lock.S); err != nil {
+	if err := tx.LockPath(nil, store.P("cells", "c1"), lock.S); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.UpdateAtomicAt(store.P("cells", "c1", "cell_id"), store.Str("x")); err == nil {
 		t.Error("S coverage allowed an update")
 	}
-	if err := tx.LockPath(store.P("cells", "c1"), lock.X); err != nil {
+	if err := tx.LockPath(nil, store.P("cells", "c1"), lock.X); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.UpdateAtomicAt(store.P("cells", "c1", "cell_id"), store.Str("c1")); err != nil {
@@ -231,11 +232,11 @@ func TestNoLostUpdates(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				err := m.RunWithRetry(50, func(tx *Txn) error {
+				err := m.RunWithRetry(context.Background(), func(tx *Txn) error {
 					// X first (read-modify-write); upgrading from S would
 					// deadlock symmetric writers, which RunWithRetry also
 					// survives, but X-first keeps the test fast.
-					if err := tx.LockPath(p, lock.X); err != nil {
+					if err := tx.LockPath(nil, p, lock.X); err != nil {
 						return err
 					}
 					v, err := tx.ReadAt(p)
@@ -245,7 +246,7 @@ func TestNoLostUpdates(t *testing.T) {
 					var n int
 					fmt.Sscanf(string(v.(store.Str)), "%d", &n)
 					return tx.UpdateAtomicAt(p, store.Str(fmt.Sprintf("%d", n+1)))
-				})
+				}, WithMaxAttempts(50))
 				if err != nil {
 					errs <- err
 					return
@@ -279,13 +280,13 @@ func TestDeadlockVictimAbortsAndRetrySucceeds(t *testing.T) {
 	barrier := make(chan struct{})
 	run := func(first, second store.Path) {
 		defer wg.Done()
-		errs <- m.RunWithRetry(20, func(tx *Txn) error {
-			if err := tx.LockPath(first, lock.X); err != nil {
+		errs <- m.RunWithRetry(context.Background(), func(tx *Txn) error {
+			if err := tx.LockPath(nil, first, lock.X); err != nil {
 				return err
 			}
 			<-barrier
-			return tx.LockPath(second, lock.X)
-		})
+			return tx.LockPath(nil, second, lock.X)
+		}, WithMaxAttempts(20))
 	}
 	wg.Add(2)
 	go run(pa, pb)
@@ -306,7 +307,7 @@ func TestDeadlockVictimAbortsAndRetrySucceeds(t *testing.T) {
 func TestRunWithRetryPropagatesOtherErrors(t *testing.T) {
 	m := newManager(t)
 	boom := errors.New("boom")
-	err := m.RunWithRetry(5, func(tx *Txn) error { return boom })
+	err := m.RunWithRetry(context.Background(), func(tx *Txn) error { return boom }, WithMaxAttempts(5))
 	if !errors.Is(err, boom) {
 		t.Errorf("err = %v", err)
 	}
@@ -321,7 +322,7 @@ func TestLongTxnLocksAreDurable(t *testing.T) {
 	if !tx.Long() {
 		t.Error("Long() = false")
 	}
-	if err := tx.LockPath(store.P("cells", "c1"), lock.X); err != nil {
+	if err := tx.LockPath(nil, store.P("cells", "c1"), lock.X); err != nil {
 		t.Fatal(err)
 	}
 	snap := m.Protocol().Manager().Snapshot()
