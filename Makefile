@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke stormbench stormbench-smoke nodeprecated obs-demo trace-demo figures clean
+.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke stormbench stormbench-smoke healthbench healthmon-smoke nodeprecated obs-demo trace-demo figures clean
 
 # ci is the gate every change must pass: formatting, vet, the
 # no-deprecated-wrappers grep, build, the full test suite under the race
 # detector (the lock manager and protocol are concurrent; -race is not
-# optional here), the end-to-end incident-dump demo, and the fast-path and
-# contention-survival smoke benchmarks.
-ci: fmt vet nodeprecated build race trace-demo hotbench-smoke stormbench-smoke
+# optional here), the end-to-end incident-dump demo, the fast-path and
+# contention-survival smoke benchmarks, and the health-monitor smoke gate.
+ci: fmt vet nodeprecated build race trace-demo hotbench-smoke stormbench-smoke healthmon-smoke
 
 # fmt fails if any file needs gofmt, listing the offenders.
 fmt:
@@ -76,6 +76,24 @@ stormbench-smoke:
 	$(GO) run ./cmd/lockbench -stormbench -quick -stormout "$$f" >/dev/null && \
 	$(GO) test ./cmd/lockbench -count=1 -run TestExternalStormBenchFile -stormbenchfile "$$f" && \
 	echo "stormbench-smoke: $$f passes (kit no slower than bare, chaos converged)" && \
+	rm -f "$$f"
+
+# healthbench regenerates BENCH_PR7.json (health-monitor overhead at 1-in-64
+# sampling + the SLO burn-and-recover storm; see DESIGN.md §13).
+healthbench:
+	$(GO) run ./cmd/lockbench -healthbench -healthout BENCH_PR7.json
+
+# healthmon-smoke runs a scripted colockshell session that storms a hot key
+# and dumps the /health document with `.health dump`, then asserts, via the
+# flag-gated validation test in internal/health, that the dump parses, the
+# verdict is well-formed, every windowed rate is present, and the storm's hot
+# key leads the top-K contention sketch.
+healthmon-smoke:
+	@f=$$(mktemp) && \
+	printf "%s\n" ".storm 8 10" ".health" ".health dump $$f" ".topk 5" ".quit" \
+		| $(GO) run ./cmd/colockshell >/dev/null && \
+	$(GO) test ./internal/health -count=1 -run TestExternalHealthFile -healthfile "$$f" && \
+	echo "healthmon-smoke: $$f passes (verdict parses, hot key in top-K)" && \
 	rm -f "$$f"
 
 # nodeprecated fails the build if any Deprecated marker survives in

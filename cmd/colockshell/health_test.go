@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"colock/internal/health"
+	"colock/internal/lock"
+)
+
+// TestShellHealthCommands drives the .health/.topk surface through the repl:
+// a storm feeds the monitor (the storm's retry observer is teed into it),
+// then the verdict, the JSON document, the dump file (the healthmon-smoke
+// contract), and the top-K table are all produced.
+func TestShellHealthCommands(t *testing.T) {
+	s, buf := newTestShellPolicy(t, false, lock.PolicyWaitDie)
+	dump := filepath.Join(t.TempDir(), "health.json")
+	runScript(t, s,
+		`.storm 4 10`,
+		`.health`,
+		`.health json`,
+		`.health dump `+dump,
+		`.topk 5`,
+		`.health auto on`,
+		`.health auto off`,
+		`.health bogus`,
+		`.quit`,
+	)
+	out := buf.String()
+	for _, want := range []string{
+		"health: ",           // verdict line
+		`"state"`,            // .health json
+		"written to " + dump, // .health dump
+		"auto-admission on",  // .health auto on
+		"auto-admission off", // .health auto off
+		"usage: .health",     // bad subcommand
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+
+	// The dump parses as a health.Report and carries the storm's hot key —
+	// the same assertions the healthmon-smoke gate runs externally.
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep health.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if rep.State != "ok" && rep.State != "warn" && rep.State != "critical" {
+		t.Fatalf("bad verdict %q", rep.State)
+	}
+	found := false
+	for _, e := range rep.TopK {
+		if strings.Contains(e.Resource, "cells/c1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("storm hot key missing from dumped top-K: %+v", rep.TopK)
+	}
+	if !strings.Contains(out, "cells/c1") {
+		t.Errorf(".topk table misses the hot key:\n%s", out)
+	}
+
+	// Windowed retry counts flowed through the teed observer.
+	sawRetries := rep.Current.Counts["retries"]
+	for _, w := range rep.Windows {
+		sawRetries += w.Counts["retries"]
+	}
+	if sawRetries == 0 {
+		t.Error("no retries recorded in any health window despite the storm")
+	}
+}
+
+// TestShellResetCascade pins the satellite fix: one Manager.ResetStats call
+// zeroes every counter surface the shell wires — manager stats, protocol
+// rules, the retry collector, and the health monitor.
+func TestShellResetCascade(t *testing.T) {
+	s, _ := newTestShellPolicy(t, false, lock.PolicyWaitDie)
+	runScript(t, s, `.storm 4 5`, `.quit`)
+
+	if s.retry.Attempts().Commits == 0 {
+		t.Fatal("storm produced no commits to reset")
+	}
+	rep := s.healthSnapshot()
+	if rep.Current.Counts["acquires"] == 0 && len(rep.Windows) == 0 {
+		t.Fatal("storm left no health data to reset")
+	}
+
+	s.proto.Manager().ResetStats()
+
+	if got := s.retry.Attempts(); got.Commits != 0 || got.GiveUps != 0 {
+		t.Errorf("retry collector survived ResetStats: %+v", got)
+	}
+	if st := s.proto.Manager().Stats(); st.Grants != 0 {
+		t.Errorf("manager grants survived ResetStats: %d", st.Grants)
+	}
+	if ps := s.proto.Stats(); ps.Requests != 0 {
+		t.Errorf("protocol rule counters survived ResetStats: %+v", ps)
+	}
+	rep = s.mon.Report(0)
+	if len(rep.Windows) != 0 || len(rep.TopK) != 0 {
+		t.Errorf("health monitor survived ResetStats: %d windows, %d topk rows",
+			len(rep.Windows), len(rep.TopK))
+	}
+	for name, c := range rep.Current.Counts {
+		if c != 0 {
+			t.Errorf("health current window %s = %d after ResetStats", name, c)
+		}
+	}
+}

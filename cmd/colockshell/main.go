@@ -29,6 +29,7 @@ import (
 
 	"colock/internal/authz"
 	"colock/internal/core"
+	"colock/internal/health"
 	"colock/internal/lock"
 	"colock/internal/metrics"
 	"colock/internal/obs"
@@ -59,6 +60,11 @@ type shell struct {
 	chaos    *resilience.Chaos
 	chaosCfg resilience.ChaosConfig
 	retry    *obs.RetryCollector
+
+	// Lock-health monitor (.health / .topk) and its optional auto-admission
+	// policy (.health auto on|off).
+	mon  *health.Monitor
+	auto *health.AutoAdmission
 }
 
 // traceRing keeps the most recent lock-manager events for the .trace
@@ -128,8 +134,34 @@ func newShell(prime bool, policy lock.Policy, incidentDir string, out *bufio.Wri
 	iw := trace.NewIncidentWriter(incidentDir, rec, mgr, trace.IncidentOptions{})
 	mgr.AttachSink(prof)
 	mgr.AttachSink(iw)
+	mon := health.NewMonitor(health.Options{
+		Window: time.Second,
+		Retain: 60,
+		TopK:   32,
+		SLO: health.SLO{
+			MaxAbortRate:   0.05,
+			MaxWaitP99:     250 * time.Millisecond,
+			MaxWaiterDepth: 64,
+		},
+		WaiterDepth: mgr.WaitingTxns,
+	})
+	mgr.AttachSink(mon) // joins the ResetStats cascade via the resettable check
+	// SLO transitions surface in the .trace ring like any lock event.
+	mon.OnTransition(func(tr health.Transition) {
+		ring.add(lock.Event{
+			Kind:     "health",
+			At:       time.Now(),
+			Resource: lock.Resource(fmt.Sprintf("%s->%s %s", tr.From, tr.To, tr.Reason)),
+		})
+	})
+	retry := obs.NewRetryCollector()
+	// The retry collector is not an event sink (it observes the retry layer,
+	// not the manager), so it must be registered into the reset cascade
+	// explicitly — otherwise .storm summaries survive a ResetStats.
+	mgr.OnResetStats(retry.ResetStats)
 	opts.Tracer = rec
 	proto := core.NewProtocol(mgr, st, nm, opts)
+	proto.OnFastPathHit(mon.RecordFastPathHit)
 	tm := txn.NewManager(proto, st)
 	return &shell{
 		st: st, proto: proto, mgr: tm,
@@ -141,7 +173,8 @@ func newShell(prime bool, policy lock.Policy, incidentDir string, out *bufio.Wri
 		rec:   rec,
 		prof:  prof,
 		iw:    iw,
-		retry: obs.NewRetryCollector(),
+		retry: retry,
+		mon:   mon,
 	}
 }
 
@@ -175,13 +208,14 @@ func main() {
 	defer s.out.Flush()
 
 	if *obsAddr != "" {
-		ts := &obs.TraceSources{Recorder: s.rec, Incidents: s.iw, Profile: s.prof}
-		srv, err := obs.Serve(*obsAddr, s.proto.Manager(), s.col, ts, s.proto.WriteMetrics)
+		ts := &obs.TraceSources{Recorder: s.rec, Incidents: s.iw, Profile: s.prof, Health: s.mon.Handler()}
+		srv, err := obs.Serve(*obsAddr, s.proto.Manager(), s.col, ts,
+			s.proto.WriteMetrics, s.retry.WriteMetrics, s.mon.WriteMetrics)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(s.out, "observability endpoint on http://%s/ (/metrics, /queues, /dot, /trace/...)\n", srv.Addr())
+		fmt.Fprintf(s.out, "observability endpoint on http://%s/ (/metrics, /queues, /dot, /health, /trace/...)\n", srv.Addr())
 	}
 	fmt.Fprintf(s.out, "incident dumps in %s\n", *incidents)
 
@@ -222,6 +256,10 @@ func (s *shell) repl(in *bufio.Scanner) {
 			s.forceDeadlock()
 		case line == ".metrics":
 			s.showMetrics()
+		case strings.HasPrefix(line, ".health"):
+			s.healthCmd(strings.TrimSpace(strings.TrimPrefix(line, ".health")))
+		case strings.HasPrefix(line, ".topk"):
+			s.showTopK(strings.TrimSpace(strings.TrimPrefix(line, ".topk")))
 		case strings.HasPrefix(line, ".chaos"):
 			s.chaosCmd(strings.TrimSpace(strings.TrimPrefix(line, ".chaos")))
 		case strings.HasPrefix(line, ".storm"):
@@ -265,6 +303,8 @@ Commands: .locks   show locks of the current transaction
           .forcetimeout  run a scripted two-txn scenario ending in a lock timeout
           .forcedeadlock run a scripted two-txn ABBA deadlock (needs detect/waitdie)
           .metrics lock-manager and protocol telemetry (latencies, counters)
+          .health [json|dump <path>|auto on|auto off]  SLO verdict + window series
+          .topk [n]  hottest contended resources (decayed space-saving sketch)
           .chaos [off|victim=R timeout=R delay=R seed=N]  deterministic fault injection
           .storm [workers] [rounds]  hot-key write storm through the retry layer
           .queues [all]  live lock queues (contended only, or all)

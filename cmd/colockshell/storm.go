@@ -10,6 +10,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -82,9 +83,12 @@ func (s *shell) chaosCmd(arg string) {
 	fmt.Fprintf(s.out, "chaos on: %+v (every acquire may now be a synthetic victim/timeout/delay)\n", cfg)
 }
 
-// storm handles `.storm [workers] [rounds]`: a hot-key write storm on
-// cells/c1 where every worker transaction runs through RunWithRetry with
-// exponential backoff. With `.chaos` active the storm also rides through
+// storm handles `.storm [workers] [rounds]`: a hot-key write storm on the
+// cells/c1/robots/r1/trajectory leaf where every worker transaction runs
+// through RunWithRetry with exponential backoff. The leaf keeps the conflict
+// point deterministic — X-locking the whole cells/c1 object would propagate
+// X to the referenced effectors (rules 3/4) and scatter the conflicts across
+// the propagated locks. With `.chaos` active the storm also rides through
 // synthetic faults. Results: wall time, goodput, and the retry collector's
 // attempts-per-commit summary.
 func (s *shell) storm(arg string) {
@@ -113,7 +117,10 @@ func (s *shell) storm(arg string) {
 
 	rc := s.retry
 	rc.ResetStats()
-	hot := store.P("cells", "c1")
+	// Retries feed both the retry collector (attempts-per-commit summary)
+	// and the health monitor's windowed retry rate.
+	observer := resilience.Tee(rc, s.mon)
+	hot := store.P("cells", "c1", "robots", "r1", "trajectory")
 	m := s.proto.Manager()
 	fmt.Fprintf(s.out, "-- storm: %d workers × %d rounds, X on %s, retry with capped-exponential backoff\n",
 		workers, rounds, hot)
@@ -131,13 +138,20 @@ func (s *shell) storm(arg string) {
 					if s.prime {
 						s.auth.Grant(tx.ID(), "cells")
 					}
-					return tx.LockPath(nil, hot, lock.X)
+					if err := tx.LockPath(nil, hot, lock.X); err != nil {
+						return err
+					}
+					// Hold the hot lock across a scheduling point so the
+					// workers genuinely collide (otherwise each txn is a few
+					// microseconds and the storm serializes by accident).
+					runtime.Gosched()
+					return nil
 				},
 					txn.WithMaxAttempts(0), // unlimited: converge, whatever chaos does
 					txn.WithBackoff(resilience.CappedExponential{
 						Base: 200 * time.Microsecond, Cap: 5 * time.Millisecond,
 					}),
-					txn.WithRetryObserver(rc))
+					txn.WithRetryObserver(observer))
 				if err != nil {
 					failMu.Lock()
 					failures++

@@ -1,0 +1,237 @@
+package main
+
+// Health-monitor overhead benchmark: measures what attaching an
+// internal/health.Monitor as an event sink (with per-operation sampling)
+// costs on the shardbench workload, then runs a contended wait-die storm
+// with the monitor fully attached and reports the SLO burn-and-recover
+// sequence plus the top contended resource the sketch ranked. Emits
+// machine-readable BENCH_PR7.json.
+//
+// The acceptance bar for the health-monitor PR is ≤5% acquire/release
+// throughput regression with the monitor attached at 1-in-64 sampling — the
+// same bar and the same paired-slice methodology as obsbench: per-worker
+// managers built once, ABBA-ordered slice pairs so machine-load drift hits
+// both sides equally, and the median pair by ratio reported.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colock/internal/health"
+	"colock/internal/lock"
+	"colock/internal/metrics"
+)
+
+type healthOverheadResult struct {
+	Goroutines         int     `json:"goroutines"`
+	BareOpsPerSec      float64 `json:"bare_ops_per_sec"`
+	MonitoredOpsPerSec float64 `json:"monitored_ops_per_sec"`
+	OverheadPct        float64 `json:"overhead_pct"`
+}
+
+type healthSLOSummary struct {
+	Transitions   []string `json:"transitions"` // e.g. ["ok->warn","warn->critical","critical->ok"]
+	FinalState    string   `json:"final_state"`
+	WindowsClosed int      `json:"windows_closed"`
+	StormAcquires uint64   `json:"storm_acquires"`
+	StormAborts   uint64   `json:"storm_aborts"`
+	TopResource   string   `json:"top_resource"`
+	TopMode       string   `json:"top_mode"`
+	TopCount      uint64   `json:"top_count"`
+}
+
+type healthBenchReport struct {
+	Benchmark   string                 `json:"benchmark"`
+	Description string                 `json:"description"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	LocksPerTxn int                    `json:"locks_per_txn"`
+	SampleShift uint8                  `json:"sample_shift"`
+	Overhead    []healthOverheadResult `json:"overhead"`
+	SLO         healthSLOSummary       `json:"slo"`
+}
+
+// runHealthBench measures monitor overhead at each worker count, then runs
+// the SLO storm phase.
+func runHealthBench(workerCounts []int, dur time.Duration) *healthBenchReport {
+	rep := &healthBenchReport{
+		Benchmark: "healthbench",
+		Description: "lock acquire/release throughput without vs with an attached health.Monitor " +
+			fmt.Sprintf("(1-in-%d operation sampling); %d disjoint X locks per transaction; ", 1<<obsSampleShift, locksPerTxn) +
+			"SLO burn-and-recover sequence from a separate contended wait-die storm with full tracing",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		LocksPerTxn: locksPerTxn,
+		SampleShift: obsSampleShift,
+	}
+	const pairs = 11
+	sliceDur := dur / 5
+	for _, w := range workerCounts {
+		mb := lock.NewManager(lock.Options{})
+		mon := health.NewMonitor(health.Options{Window: time.Second})
+		mm := lock.NewManager(lock.Options{
+			Sinks:            []lock.EventSink{mon},
+			EventSampleShift: obsSampleShift,
+		})
+		runBare := func() uint64 { return runWorkers(w, sliceDur, txnShape(mb)) }
+		runMon := func() uint64 { return runWorkers(w, sliceDur, txnShape(mm)) }
+		runBare() // warmup
+		runMon()
+		type pairObs struct{ b, m uint64 }
+		obsPairs := make([]pairObs, 0, pairs)
+		for i := 0; i < pairs; i++ {
+			var p pairObs
+			if i%2 == 0 {
+				p.b = runBare()
+				p.m = runMon()
+			} else {
+				p.m = runMon()
+				p.b = runBare()
+			}
+			obsPairs = append(obsPairs, p)
+		}
+		sort.Slice(obsPairs, func(i, j int) bool {
+			return float64(obsPairs[i].m)*float64(obsPairs[j].b) < float64(obsPairs[j].m)*float64(obsPairs[i].b)
+		})
+		mid := obsPairs[len(obsPairs)/2]
+		secs := sliceDur.Seconds()
+		r := healthOverheadResult{
+			Goroutines:         w,
+			BareOpsPerSec:      float64(mid.b) / secs,
+			MonitoredOpsPerSec: float64(mid.m) / secs,
+		}
+		if mid.b > 0 {
+			r.OverheadPct = (1 - float64(mid.m)/float64(mid.b)) * 100
+		}
+		rep.Overhead = append(rep.Overhead, r)
+	}
+	rep.SLO = healthStormPhase(8, dur)
+	return rep
+}
+
+// healthStormPhase drives a hot-key wait-die storm with the monitor fully
+// attached (no sampling) and walks the SLO machine through its burn-and-
+// recover cycle on a manual window clock — the same condition-based phase
+// gating the stress test uses: each storm phase runs until the live window
+// provably breaches, then the window is closed with Advance.
+func healthStormPhase(workers int, dur time.Duration) healthSLOSummary {
+	start := time.Now()
+	const win = time.Hour // manual clock: real time never crosses a boundary
+	mgr := lock.NewManager(lock.Options{Policy: lock.PolicyWaitDie})
+	mon := health.NewMonitor(health.Options{
+		Window: win, Retain: 16, TopK: 8, Start: start,
+		SLO:         health.SLO{MaxAbortRate: 0.05, WarnAfter: 1, CritAfter: 2, RecoverAfter: 2},
+		WaiterDepth: mgr.WaitingTxns,
+	})
+	mgr.AttachSink(mon)
+	var transitions []string
+	var tmu sync.Mutex
+	mon.OnTransition(func(tr health.Transition) {
+		tmu.Lock()
+		transitions = append(transitions, fmt.Sprintf("%s->%s", tr.From, tr.To))
+		tmu.Unlock()
+	})
+
+	hot := lock.Resource("db1/seg1/cells/c1/robots/r1/trajectory")
+	var txnSeq atomic.Uint64
+	aborts := func(ws health.WindowStats) uint64 {
+		return ws.Counts[health.RateVictims] + ws.Counts[health.RateWaitDie] + ws.Counts[health.RateTimeouts]
+	}
+	stormPhase := func() {
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					txn := lock.TxnID(txnSeq.Add(1))
+					if err := mgr.AcquireCtx(context.Background(), txn, hot, lock.X); err != nil {
+						mon.Retry("victim", 1) // wait-die death: the retry layer would re-run
+						continue
+					}
+					runtime.Gosched() // hold across a scheduling point so workers collide
+					mgr.ReleaseAll(txn)
+				}
+			}()
+		}
+		deadline := time.Now().Add(dur * 20)
+		for {
+			cur := mon.Current()
+			if a := aborts(cur); a >= 200 && cur.AbortRate() >= 0.15 {
+				break
+			}
+			if time.Now().After(deadline) {
+				break // benchmark, not a test: report whatever happened
+			}
+			time.Sleep(time.Millisecond)
+		}
+		stop.Store(true)
+		wg.Wait()
+	}
+
+	stormPhase()
+	mon.Advance(start.Add(1 * win)) // → warn
+	stormPhase()
+	mon.Advance(start.Add(2 * win)) // → critical
+	mon.Advance(start.Add(3 * win)) // hysteresis: still critical
+	mon.Advance(start.Add(4 * win)) // → ok
+
+	wins := mon.Windows(0)
+	var sum healthSLOSummary
+	sum.WindowsClosed = len(wins)
+	for _, ws := range wins {
+		sum.StormAcquires += ws.Counts[health.RateAcquires]
+		sum.StormAborts += aborts(ws)
+	}
+	if top := mon.TopK(1); len(top) > 0 {
+		sum.TopResource = string(top[0].Resource)
+		sum.TopMode = top[0].Mode
+		sum.TopCount = top[0].Count
+	}
+	sum.FinalState = mon.State().String()
+	tmu.Lock()
+	sum.Transitions = transitions
+	tmu.Unlock()
+	return sum
+}
+
+// writeHealthBench runs the benchmark and writes the JSON report to path.
+func writeHealthBench(path string, workerCounts []int, dur time.Duration) (*healthBenchReport, error) {
+	rep := runHealthBench(workerCounts, dur)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// printHealthBench renders the report as console tables.
+func printHealthBench(rep *healthBenchReport) {
+	over := metrics.NewTable(
+		fmt.Sprintf("Health-monitor overhead (GOMAXPROCS=%d, 1-in-%d sampling)", rep.GOMAXPROCS, 1<<rep.SampleShift),
+		"goroutines", "bare ops/s", "monitored ops/s", "overhead")
+	for _, r := range rep.Overhead {
+		over.Addf(r.Goroutines,
+			fmt.Sprintf("%.0f", r.BareOpsPerSec),
+			fmt.Sprintf("%.0f", r.MonitoredOpsPerSec),
+			metrics.Pct(r.OverheadPct/100))
+	}
+	fmt.Println(over.String())
+
+	fmt.Printf("SLO storm: %d windows, %d acquires, %d aborts; transitions %v; final state %s\n",
+		rep.SLO.WindowsClosed, rep.SLO.StormAcquires, rep.SLO.StormAborts,
+		rep.SLO.Transitions, rep.SLO.FinalState)
+	if rep.SLO.TopResource != "" {
+		fmt.Printf("hottest resource: %s (%s) count=%d\n", rep.SLO.TopResource, rep.SLO.TopMode, rep.SLO.TopCount)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWriteHealthBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep, err := writeHealthBench(path, []int{1, 2}, 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Overhead) != 2 {
+		t.Fatalf("overhead rows = %d, want 2", len(rep.Overhead))
+	}
+	for _, r := range rep.Overhead {
+		if r.BareOpsPerSec <= 0 || r.MonitoredOpsPerSec <= 0 {
+			t.Errorf("non-positive throughput at %d goroutines: %+v", r.Goroutines, r)
+		}
+	}
+	// The storm phase must drive the full burn-and-recover cycle: the phase
+	// gate waits for the live window to provably breach before closing it.
+	want := []string{"ok->warn", "warn->critical", "critical->ok"}
+	if len(rep.SLO.Transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", rep.SLO.Transitions, want)
+	}
+	for i, w := range want {
+		if rep.SLO.Transitions[i] != w {
+			t.Fatalf("transition %d = %q, want %q", i, rep.SLO.Transitions[i], w)
+		}
+	}
+	if rep.SLO.FinalState != "ok" {
+		t.Errorf("final state %q, want ok", rep.SLO.FinalState)
+	}
+	if rep.SLO.StormAborts == 0 || rep.SLO.StormAcquires == 0 {
+		t.Errorf("empty storm: %+v", rep.SLO)
+	}
+	if rep.SLO.TopResource == "" || rep.SLO.TopMode != "X" {
+		t.Errorf("sketch missed the hot key: %+v", rep.SLO)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round healthBenchReport
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if round.Benchmark != "healthbench" || round.SampleShift != obsSampleShift {
+		t.Errorf("round-tripped report = %+v", round)
+	}
+	printHealthBench(rep)
+}
+
+// healthBenchFile gates TestExternalHealthBenchFile: the Makefile
+// healthbench target writes BENCH_PR7.json, then invokes this test to hold
+// the report to the PR's acceptance bar.
+var healthBenchFile = flag.String("healthbenchfile", "", "path to a BENCH_PR7.json to validate")
+
+func TestExternalHealthBenchFile(t *testing.T) {
+	if *healthBenchFile == "" {
+		t.Skip("no -healthbenchfile flag; this test validates a written BENCH_PR7.json")
+	}
+	data, err := os.ReadFile(*healthBenchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep healthBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Benchmark != "healthbench" || len(rep.Overhead) == 0 {
+		t.Fatalf("not a healthbench report: %+v", rep)
+	}
+	// The PR's acceptance bar: ≤5% throughput regression with the monitor
+	// attached at 1-in-64 sampling, at every measured concurrency.
+	for _, r := range rep.Overhead {
+		if r.OverheadPct > 5.0 {
+			t.Errorf("overhead %.2f%% at %d goroutines exceeds the 5%% bar", r.OverheadPct, r.Goroutines)
+		}
+	}
+	if rep.SLO.FinalState != "ok" || len(rep.SLO.Transitions) != 3 {
+		t.Errorf("SLO cycle incomplete: %+v", rep.SLO)
+	}
+}

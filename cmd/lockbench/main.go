@@ -10,6 +10,7 @@
 //	lockbench -tracebench  # span-tracing-overhead benchmark → BENCH_PR3.json
 //	lockbench -hotbench    # fast-path speedup benchmark → BENCH_PR4.json
 //	lockbench -stormbench  # contention-survival goodput benchmark → BENCH_PR6.json
+//	lockbench -healthbench # health-monitor overhead + SLO storm → BENCH_PR7.json
 package main
 
 import (
@@ -126,7 +127,25 @@ func main() {
 	hotout := flag.String("hotout", "BENCH_PR4.json", "output path for the -hotbench JSON report")
 	stormbench := flag.Bool("stormbench", false, "run the contention-survival goodput benchmark and write -stormout")
 	stormout := flag.String("stormout", "BENCH_PR6.json", "output path for the -stormbench JSON report")
+	healthbench := flag.Bool("healthbench", false, "run the health-monitor overhead benchmark and write -healthout")
+	healthout := flag.String("healthout", "BENCH_PR7.json", "output path for the -healthbench JSON report")
 	flag.Parse()
+
+	if *healthbench {
+		dur := 2 * time.Second
+		workers := []int{1, 4, 16}
+		if *quick {
+			dur = 300 * time.Millisecond
+			workers = []int{1, 4}
+		}
+		rep, err := writeHealthBench(*healthout, workers, dur)
+		if err != nil {
+			log.Fatalf("healthbench: %v", err)
+		}
+		printHealthBench(rep)
+		fmt.Printf("report written to %s\n", *healthout)
+		return
+	}
 
 	if *stormbench {
 		workers := []int{8, 32}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"colock/internal/health"
+	"colock/internal/lock"
+	"colock/internal/obs"
+)
+
+// TestFetchAndRenderEndToEnd runs the real pipeline: a lock manager feeds a
+// health monitor, obs.Handler serves /health, fetchReport polls it, and the
+// frame renders the traffic the manager actually saw.
+func TestFetchAndRenderEndToEnd(t *testing.T) {
+	// An hour-wide window keeps the whole test inside the current window:
+	// the handler's Advance(now) never closes one, so nothing decays and
+	// the assertions are deterministic however slow the runner is.
+	mon := health.NewMonitor(health.Options{
+		Window: time.Hour,
+		SLO:    health.SLO{MaxAbortRate: 0.5},
+	})
+	mgr := lock.NewManager(lock.Options{Sinks: []lock.EventSink{mon}})
+	ts := &obs.TraceSources{Health: mon.Handler()}
+	srv := httptest.NewServer(obs.Handler(mgr, nil, ts))
+	defer srv.Close()
+
+	// Two waits on the same resource so one touch survives a decay, plus a
+	// grant for the acquire series.
+	now := time.Now()
+	mon.Record(lock.Event{Kind: "grant", At: now, Resource: "db1/hot", Mode: lock.X})
+	mon.Record(lock.Event{Kind: "wait", At: now, Resource: "db1/hot", Mode: lock.X})
+	mon.Record(lock.Event{Kind: "wait", At: now, Resource: "db1/hot", Mode: lock.X})
+
+	rep, err := fetchReport(srv.Client(), srv.URL+"/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.State == "" || rep.WindowMs != 3600000 {
+		t.Fatalf("bad report: state=%q window_ms=%v", rep.State, rep.WindowMs)
+	}
+
+	var b strings.Builder
+	render(&b, rep, false)
+	out := b.String()
+	if !strings.Contains(out, "db1/hot") {
+		t.Errorf("hot resource missing from frame:\n%s", out)
+	}
+	if !strings.Contains(out, "acquires") || !strings.Contains(out, "wait_die") {
+		t.Errorf("rate rows missing from frame:\n%s", out)
+	}
+}
+
+func TestFetchReportErrors(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	if _, err := fetchReport(srv.Client(), srv.URL+"/health"); err == nil {
+		t.Error("404 did not error")
+	}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer bad.Close()
+	if _, err := fetchReport(bad.Client(), bad.URL+"/health"); err == nil {
+		t.Error("malformed body did not error")
+	}
+}

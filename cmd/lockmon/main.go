@@ -1,0 +1,75 @@
+// Command lockmon is a live terminal dashboard over a colock /health
+// endpoint: it polls the lock-health monitor (each poll also advances the
+// monitor's window clock — polling IS the clock) and renders the SLO
+// verdict, sparkline rate series over the retained windows, windowed wait
+// latency, and the top-K contended resources.
+//
+//	$ colockshell -obs 127.0.0.1:8023   # in one terminal
+//	$ lockmon -addr 127.0.0.1:8023      # in another
+//
+// Flags: -addr is the observability endpoint; -interval the poll period;
+// -n limits the number of polls (0 = until interrupted); -once polls a
+// single time and prints without taking over the screen (script-friendly).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"colock/internal/health"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockmon: ")
+	addr := flag.String("addr", "127.0.0.1:8023", "observability endpoint host:port (colockshell -obs)")
+	interval := flag.Duration("interval", time.Second, "poll period")
+	polls := flag.Int("n", 0, "stop after this many polls (0 = run until interrupted)")
+	once := flag.Bool("once", false, "poll once, print, exit (no screen takeover)")
+	flag.Parse()
+
+	url := "http://" + *addr + "/health"
+	client := &http.Client{Timeout: 5 * time.Second}
+	if *once {
+		*polls = 1
+	}
+	for i := 0; *polls == 0 || i < *polls; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		rep, err := fetchReport(client, url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*once {
+			// Home the cursor and clear to end of screen: repaint without
+			// flicker, leaving scrollback alone.
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		render(os.Stdout, rep, !*once)
+	}
+}
+
+// fetchReport polls one /health document.
+func fetchReport(c *http.Client, url string) (health.Report, error) {
+	var rep health.Report
+	resp, err := c.Get(url)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return rep, fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return rep, nil
+}

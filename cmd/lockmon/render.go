@@ -1,0 +1,105 @@
+package main
+
+// Pure rendering: health.Report in, ANSI text out. Kept free of I/O and
+// time so the dashboard is unit-testable; main only decides when to poll
+// and whether to clear the screen.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"colock/internal/health"
+)
+
+// sparkTicks is the classic 8-level block ramp.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline scales vals into the block ramp; the scale is per-series (max
+// value maps to the tallest block). All-zero series render as a flat line.
+func sparkline(vals []uint64) string {
+	var max uint64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		if max == 0 {
+			out[i] = sparkTicks[0]
+			continue
+		}
+		// Round up so any non-zero value is visibly above the floor.
+		idx := int((v*uint64(len(sparkTicks)-1) + max - 1) / max)
+		out[i] = sparkTicks[idx]
+	}
+	return string(out)
+}
+
+// ansi wraps s in an SGR color when color is on.
+func ansi(color bool, code, s string) string {
+	if !color {
+		return s
+	}
+	return "\x1b[" + code + "m" + s + "\x1b[0m"
+}
+
+// stateColor maps the verdict to green/yellow/red.
+func stateColor(state string) string {
+	switch state {
+	case "ok":
+		return "32;1"
+	case "warn":
+		return "33;1"
+	case "critical":
+		return "31;1"
+	}
+	return "0"
+}
+
+// rateSeries extracts one rate's value per retained window (oldest first),
+// ending with the still-open window.
+func rateSeries(rep health.Report, rate string) []uint64 {
+	out := make([]uint64, 0, len(rep.Windows)+1)
+	for _, w := range rep.Windows {
+		out = append(out, w.Counts[rate])
+	}
+	return append(out, rep.Current.Counts[rate])
+}
+
+// renderRates lists every rate the monitor tracks, in display order.
+var renderRates = []string{
+	"acquires", "fast_path_hits", "blocks", "victims",
+	"wait_die", "timeouts", "sheds", "retries",
+}
+
+// render paints one full dashboard frame.
+func render(w io.Writer, rep health.Report, color bool) {
+	verdict := ansi(color, stateColor(rep.State), fmt.Sprintf("%-8s", rep.State))
+	fmt.Fprintf(w, "lockmon  %s  window=%v  waiters=%d  breach=%d clean=%d\n",
+		verdict, time.Duration(rep.WindowMs*float64(time.Millisecond)),
+		rep.WaiterDepth, rep.BreachStreak, rep.CleanStreak)
+	if rep.Reason != "" {
+		fmt.Fprintf(w, "  %s\n", ansi(color, "33", rep.Reason))
+	}
+	fmt.Fprintf(w, "\nrates over %d closed window(s) + current:\n", len(rep.Windows))
+	for _, rate := range renderRates {
+		series := rateSeries(rep, rate)
+		last := series[len(series)-1]
+		fmt.Fprintf(w, "  %-15s %s  %d\n", rate, sparkline(series), last)
+	}
+
+	cur := rep.Current
+	fmt.Fprintf(w, "\nwait latency (current window, %d waits): p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		cur.WaitCount, cur.WaitP50Ms, cur.WaitP95Ms, cur.WaitP99Ms, cur.WaitMaxMs)
+
+	fmt.Fprintf(w, "\nhottest resources (decayed counts):\n")
+	if len(rep.TopK) == 0 {
+		fmt.Fprintf(w, "  (no contention recorded)\n")
+		return
+	}
+	for i, e := range rep.TopK {
+		fmt.Fprintf(w, "  %2d. %-48s %-4s %6d ±%d\n", i+1, e.Resource, e.Mode, e.Count, e.MaxErr)
+	}
+}

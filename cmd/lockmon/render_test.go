@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"colock/internal/health"
+)
+
+func TestSparkline(t *testing.T) {
+	cases := []struct {
+		in   []uint64
+		want string
+	}{
+		{[]uint64{0, 0, 0}, "▁▁▁"},
+		{[]uint64{7}, "█"},
+		{[]uint64{0, 7, 14}, "▁▅█"}, // ceil scaling: 7/14 → tick 4
+		{[]uint64{1, 1000}, "▂█"},   // ceil keeps tiny non-zero visible
+		{[]uint64{}, ""},
+	}
+	for _, c := range cases {
+		if got := sparkline(c.in); got != c.want {
+			t.Errorf("sparkline(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Every output rune is from the ramp.
+	for _, r := range sparkline([]uint64{1, 2, 3, 4, 5, 6, 7, 8}) {
+		if !strings.ContainsRune(string(sparkTicks), r) {
+			t.Errorf("unexpected rune %q", r)
+		}
+	}
+}
+
+func TestSparklineNonZeroVisible(t *testing.T) {
+	// A tiny non-zero next to a huge max must not collapse to the floor
+	// tick — operators read the floor as "nothing happened".
+	got := sparkline([]uint64{1, 1 << 40})
+	if got[:len("▁")] == "▁" {
+		t.Errorf("non-zero value rendered as the zero tick: %q", got)
+	}
+}
+
+func sampleReport() health.Report {
+	counts := func(acq, blocks, wd uint64) map[string]uint64 {
+		return map[string]uint64{
+			"acquires": acq, "fast_path_hits": acq / 2, "blocks": blocks,
+			"victims": 0, "wait_die": wd, "timeouts": 0, "sheds": 0, "retries": wd,
+		}
+	}
+	return health.Report{
+		State:        "warn",
+		Reason:       "abort rate 0.120 > 0.050",
+		BreachStreak: 1,
+		WindowMs:     1000,
+		Windows: []health.WindowView{
+			{Epoch: 0, Counts: counts(100, 5, 1)},
+			{Epoch: 1, Counts: counts(400, 40, 60)},
+		},
+		Current: health.WindowView{
+			Epoch: 2, Counts: counts(10, 1, 0),
+			WaitCount: 41, WaitP50Ms: 0.2, WaitP95Ms: 1.5, WaitP99Ms: 3.25, WaitMaxMs: 9,
+		},
+		TopK: []health.TopKView{
+			{Resource: "db1/seg1/cells/c1/robots/r1/trajectory", Mode: "X", Count: 61, MaxErr: 0},
+			{Resource: "db1/seg2/effectors/e1", Mode: "S", Count: 4, MaxErr: 1},
+		},
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	var b strings.Builder
+	render(&b, sampleReport(), false)
+	out := b.String()
+	for _, want := range []string{
+		"warn",
+		"abort rate 0.120 > 0.050",
+		"rates over 2 closed window(s) + current:",
+		"acquires",
+		"retries",
+		"p99=3.25ms",
+		"cells/c1/robots/r1/trajectory",
+		"61",
+		"±1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame misses %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("color off still produced ANSI escapes")
+	}
+	// Sparklines present: at least one non-floor tick from the busy series.
+	if !strings.ContainsRune(out, '█') {
+		t.Errorf("no full tick in frame:\n%s", out)
+	}
+}
+
+func TestRenderColorAndEmptyTopK(t *testing.T) {
+	rep := sampleReport()
+	rep.State = "critical"
+	rep.TopK = nil
+	var b strings.Builder
+	render(&b, rep, true)
+	out := b.String()
+	if !strings.Contains(out, "\x1b[31;1m") {
+		t.Errorf("critical verdict not red:\n%q", out)
+	}
+	if !strings.Contains(out, "(no contention recorded)") {
+		t.Errorf("empty top-K not handled:\n%s", out)
+	}
+}

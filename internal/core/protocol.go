@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colock/internal/authz"
@@ -55,6 +56,11 @@ type Protocol struct {
 
 	// counters tallies rule applications; see ProtocolStats.
 	counters protoCounters
+
+	// onFastHit, when set, is notified once per grant-cache fast-path hit.
+	// Cache hits never reach the lock manager, so they are invisible to
+	// its event sinks; rate monitors hook here instead. See OnFastPathHit.
+	onFastHit atomic.Pointer[func()]
 }
 
 // Options configures a Protocol.
@@ -97,6 +103,25 @@ func (p *Protocol) Manager() *lock.Manager { return p.mgr }
 
 // Tracer exposes the span recorder (nil when tracing is off).
 func (p *Protocol) Tracer() *trace.Recorder { return p.tr }
+
+// OnFastPathHit registers fn to run once per grant-cache fast-path hit, on
+// the requesting goroutine with no protocol or manager locks held. One hook
+// slot: a second call replaces the first. fn must be cheap (an atomic add) —
+// it sits on the hottest path the cache exists to keep short.
+func (p *Protocol) OnFastPathHit(fn func()) {
+	if fn == nil {
+		return
+	}
+	p.onFastHit.Store(&fn)
+}
+
+// noteFastPathHit tallies one cache-served request and notifies the hook.
+func (p *Protocol) noteFastPathHit() {
+	p.counters.fastPathHits.Add(1)
+	if f := p.onFastHit.Load(); f != nil {
+		(*f)()
+	}
+}
 
 // CanModify reports whether the authorization component grants txn the
 // right to modify the relation. The query executor enforces it for
@@ -261,7 +286,7 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 				if tg != nil && tg.covers(ares, intent, durable) {
 					// Granted-mode cache hit: the manager already holds a
 					// covering lock for this txn; no manager call, no span.
-					p.counters.fastPathHits.Add(1)
+					p.noteFastPathHit()
 					requested[ares] = lock.Sup(requested[ares], intent)
 					continue
 				}
@@ -327,7 +352,7 @@ func (p *Protocol) lockRec(ctx context.Context, txn lock.TxnID, n Node, mode loc
 	// granted-mode cache skips the manager (and emits no span); S/X always
 	// goes to the manager, whose held-covers regrant path answers it.
 	if tg != nil && mode.IsIntention() && tg.covers(res, mode, durable) {
-		p.counters.fastPathHits.Add(1)
+		p.noteFastPathHit()
 		return nil
 	}
 	c := sp.Child("acquire", res, mode)
@@ -360,7 +385,7 @@ func (p *Protocol) upwardBatched(ctx context.Context, txn lock.TxnID, anc []lock
 			// Deliberately NOT folded into requested: the cache answers any
 			// later encounter the memo would, and skipping the map write
 			// keeps the steady state free of per-call map traffic.
-			p.counters.fastPathHits.Add(1)
+			p.noteFastPathHit()
 			continue
 		}
 		need++
@@ -405,7 +430,7 @@ func (p *Protocol) lockChainBatched(ctx context.Context, txn lock.TxnID, res loc
 				continue
 			}
 			if tg.covers(ares, intent, durable) {
-				p.counters.fastPathHits.Add(1)
+				p.noteFastPathHit()
 				continue
 			}
 			need++
@@ -418,7 +443,7 @@ func (p *Protocol) lockChainBatched(ctx context.Context, txn lock.TxnID, res loc
 	// manager's regrant answer is authoritative.
 	nodeCached := mode.IsIntention() && tg.covers(res, mode, durable)
 	if nodeCached {
-		p.counters.fastPathHits.Add(1)
+		p.noteFastPathHit()
 	} else {
 		need++
 		requested[res] = lock.Sup(requested[res], mode)

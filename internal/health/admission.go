@@ -1,0 +1,117 @@
+package health
+
+import (
+	"sync"
+
+	"colock/internal/lock"
+)
+
+// AutoAdmission is the opt-in policy closing the loop between the SLO
+// verdict and the manager's admission gate: on a transition to critical it
+// installs a degraded AdmissionConfig (saving whatever gate was configured
+// before), and on recovery to ok it restores the saved gate (or disables
+// admission control if none was installed). Warn takes no action — it is
+// the operator's early signal, not the policy's.
+//
+// Attach with Monitor.EnableAutoAdmission, or construct directly and
+// register OnTransition yourself. Disable makes the policy inert and
+// restores the pre-engagement gate if currently engaged.
+type AutoAdmission struct {
+	mgr      *lock.Manager
+	degraded lock.AdmissionConfig
+
+	mu         sync.Mutex
+	enabled    bool
+	engaged    bool
+	saved      lock.AdmissionConfig
+	hadSaved   bool
+	engages    uint64
+	recoveries uint64
+}
+
+// NewAutoAdmission builds the policy; degraded is the gate to install while
+// critical (its MaxWaiters must be positive or engaging would disable
+// admission instead of tightening it).
+func NewAutoAdmission(mgr *lock.Manager, degraded lock.AdmissionConfig) *AutoAdmission {
+	return &AutoAdmission{mgr: mgr, degraded: degraded, enabled: true}
+}
+
+// EnableAutoAdmission wires an AutoAdmission policy to the monitor's
+// transitions and returns it (for Disable / stats).
+func (m *Monitor) EnableAutoAdmission(mgr *lock.Manager, degraded lock.AdmissionConfig) *AutoAdmission {
+	a := NewAutoAdmission(mgr, degraded)
+	m.OnTransition(a.OnTransition)
+	return a
+}
+
+// OnTransition reacts to one SLO state change; register it with
+// Monitor.OnTransition.
+func (a *AutoAdmission) OnTransition(t Transition) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.enabled {
+		return
+	}
+	switch t.To {
+	case StateCritical:
+		a.engage()
+	case StateOK:
+		a.disengage()
+	}
+}
+
+// engage installs the degraded gate once per burn. Caller holds a.mu.
+func (a *AutoAdmission) engage() {
+	if a.engaged {
+		return
+	}
+	a.saved, a.hadSaved = a.mgr.AdmissionConfigured()
+	a.mgr.ConfigureAdmission(a.degraded)
+	a.engaged = true
+	a.engages++
+}
+
+// disengage restores the pre-engagement gate. Caller holds a.mu.
+func (a *AutoAdmission) disengage() {
+	if !a.engaged {
+		return
+	}
+	if a.hadSaved {
+		a.mgr.ConfigureAdmission(a.saved)
+	} else {
+		a.mgr.ConfigureAdmission(lock.AdmissionConfig{})
+	}
+	a.engaged = false
+	a.recoveries++
+}
+
+// Disable makes the policy inert; if the degraded gate is currently
+// installed it is rolled back first.
+func (a *AutoAdmission) Disable() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.disengage()
+	a.enabled = false
+}
+
+// Enable re-arms a disabled policy (it engages again on the next
+// transition to critical, not retroactively).
+func (a *AutoAdmission) Enable() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.enabled = true
+}
+
+// Engaged reports whether the degraded gate is currently installed.
+func (a *AutoAdmission) Engaged() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.engaged
+}
+
+// Stats reports how many times the policy degraded and recovered the gate.
+func (a *AutoAdmission) Stats() (engages, recoveries uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.engages, a.recoveries
+}

@@ -1,0 +1,96 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+)
+
+var degraded = lock.AdmissionConfig{MaxWaiters: 2, Mode: lock.AdmitDegrade}
+
+func TestAutoAdmissionEngageAndRecoverNoPriorGate(t *testing.T) {
+	mgr := lock.NewManager(lock.Options{})
+	a := NewAutoAdmission(mgr, degraded)
+
+	a.OnTransition(Transition{From: StateWarn, To: StateCritical})
+	cfg, ok := mgr.AdmissionConfigured()
+	if !ok || cfg.Mode != lock.AdmitDegrade || cfg.MaxWaiters != 2 {
+		t.Fatalf("gate after critical = %+v ok=%v, want degraded installed", cfg, ok)
+	}
+	if !a.Engaged() {
+		t.Fatal("policy not engaged")
+	}
+
+	a.OnTransition(Transition{From: StateCritical, To: StateOK})
+	if _, ok := mgr.AdmissionConfigured(); ok {
+		t.Fatal("gate still installed after recovery with no prior config")
+	}
+	if a.Engaged() {
+		t.Fatal("policy still engaged after recovery")
+	}
+	if e, r := a.Stats(); e != 1 || r != 1 {
+		t.Fatalf("stats = %d engages, %d recoveries, want 1,1", e, r)
+	}
+}
+
+func TestAutoAdmissionRestoresPriorGate(t *testing.T) {
+	mgr := lock.NewManager(lock.Options{})
+	prior := lock.AdmissionConfig{MaxWaiters: 50, MaxDelay: time.Second, Mode: lock.AdmitShed}
+	mgr.ConfigureAdmission(prior)
+	a := NewAutoAdmission(mgr, degraded)
+
+	a.OnTransition(Transition{From: StateWarn, To: StateCritical})
+	if cfg, _ := mgr.AdmissionConfigured(); cfg.Mode != lock.AdmitDegrade {
+		t.Fatalf("gate while critical = %+v, want degraded", cfg)
+	}
+	a.OnTransition(Transition{From: StateCritical, To: StateOK})
+	cfg, ok := mgr.AdmissionConfigured()
+	if !ok || cfg.MaxWaiters != 50 || cfg.Mode != lock.AdmitShed {
+		t.Fatalf("gate after recovery = %+v ok=%v, want prior shed gate restored", cfg, ok)
+	}
+}
+
+func TestAutoAdmissionWarnIsNoActionAndEngageOnce(t *testing.T) {
+	mgr := lock.NewManager(lock.Options{})
+	a := NewAutoAdmission(mgr, degraded)
+	a.OnTransition(Transition{From: StateOK, To: StateWarn})
+	if _, ok := mgr.AdmissionConfigured(); ok {
+		t.Fatal("warn installed a gate")
+	}
+	a.OnTransition(Transition{From: StateWarn, To: StateCritical})
+	a.OnTransition(Transition{From: StateCritical, To: StateCritical})
+	if e, _ := a.Stats(); e != 1 {
+		t.Fatalf("engages = %d, want 1 (idempotent while critical)", e)
+	}
+}
+
+func TestAutoAdmissionDisableRollsBack(t *testing.T) {
+	mgr := lock.NewManager(lock.Options{})
+	mon := newTestMonitor(SLO{MaxAbortRate: 0.1, WarnAfter: 1, CritAfter: 1, RecoverAfter: 1})
+	a := mon.EnableAutoAdmission(mgr, degraded)
+
+	mon.Record(lock.Event{Kind: "victim", At: at(0), WaitDie: true, Resource: "r", Mode: lock.X})
+	mon.Advance(at(1))
+	if !a.Engaged() {
+		t.Fatal("policy did not engage through the monitor's transition")
+	}
+	a.Disable()
+	if _, ok := mgr.AdmissionConfigured(); ok {
+		t.Fatal("Disable left the degraded gate installed")
+	}
+	// Disabled: further transitions are ignored.
+	mon.Record(lock.Event{Kind: "victim", At: at(1), WaitDie: true, Resource: "r", Mode: lock.X})
+	mon.Advance(at(2))
+	if a.Engaged() {
+		t.Fatal("disabled policy engaged")
+	}
+	// Re-enabled: the next critical transition engages again.
+	a.Enable()
+	mon.Advance(at(3)) // clean → ok
+	mon.Record(lock.Event{Kind: "victim", At: at(3), WaitDie: true, Resource: "r", Mode: lock.X})
+	mon.Advance(at(4))
+	if !a.Engaged() {
+		t.Fatal("re-enabled policy did not engage")
+	}
+}

@@ -1,0 +1,57 @@
+package health
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// healthFile gates TestExternalHealthFile: the Makefile healthmon-smoke
+// target runs a scripted colockshell session that storms a hot key and
+// dumps /health's document with `.health dump`, then invokes this test to
+// validate the dump.
+var healthFile = flag.String("healthfile", "", "path to a .health JSON dump to validate")
+
+func TestExternalHealthFile(t *testing.T) {
+	if *healthFile == "" {
+		t.Skip("no -healthfile flag; this test validates healthmon-smoke output")
+	}
+	data, err := os.ReadFile(*healthFile)
+	if err != nil {
+		t.Fatalf("read %s: %v", *healthFile, err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("health dump does not parse: %v", err)
+	}
+	switch rep.State {
+	case "ok", "warn", "critical":
+	default:
+		t.Fatalf("verdict state %q is not ok/warn/critical", rep.State)
+	}
+	if rep.WindowMs <= 0 {
+		t.Fatalf("window_ms = %v, want > 0", rep.WindowMs)
+	}
+	for r := Rate(0); r < nRates; r++ {
+		if _, ok := rep.Current.Counts[r.String()]; !ok {
+			t.Fatalf("current window missing rate %q", r)
+		}
+	}
+	if len(rep.TopK) == 0 {
+		t.Fatal("top-K empty after the scripted storm")
+	}
+	// The smoke session's storm X-locks cells/c1; the sketch must have
+	// caught it.
+	found := false
+	for _, e := range rep.TopK {
+		if strings.Contains(e.Resource, "cells/c1") && e.Count > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("hot key cells/c1 not in top-K: %+v", rep.TopK)
+	}
+}

@@ -1,0 +1,124 @@
+package health
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func breachingWindow() WindowStats {
+	// 5 grants, 5 wait-die deaths → abort rate 0.5.
+	ws := WindowStats{}
+	ws.Counts[RateAcquires] = 5
+	ws.Counts[RateWaitDie] = 5
+	return ws
+}
+
+func cleanWindow() WindowStats {
+	ws := WindowStats{}
+	ws.Counts[RateAcquires] = 10
+	return ws
+}
+
+func TestSLODefaults(t *testing.T) {
+	c := SLO{MaxAbortRate: 0.1}.withDefaults()
+	if c.WarnAfter != 1 || c.CritAfter != 3 || c.RecoverAfter != 2 {
+		t.Fatalf("defaults = %+v, want WarnAfter=1 CritAfter=3 RecoverAfter=2", c)
+	}
+	// CritAfter never below WarnAfter.
+	c = SLO{MaxAbortRate: 0.1, WarnAfter: 5, CritAfter: 2}.withDefaults()
+	if c.CritAfter != 5 {
+		t.Fatalf("CritAfter = %d, want clamped to WarnAfter=5", c.CritAfter)
+	}
+}
+
+func TestSLOBreachReasons(t *testing.T) {
+	c := SLO{MaxAbortRate: 0.25, MaxWaitP99: 10 * time.Millisecond, MaxWaiterDepth: 4}
+	if ok, why := c.breach(breachingWindow(), 0); !ok || !strings.Contains(why, "abort rate") {
+		t.Fatalf("abort-rate breach = %v %q", ok, why)
+	}
+	slow := cleanWindow()
+	slow.WaitP99 = 50 * time.Millisecond
+	if ok, why := c.breach(slow, 0); !ok || !strings.Contains(why, "wait p99") {
+		t.Fatalf("p99 breach = %v %q", ok, why)
+	}
+	if ok, why := c.breach(cleanWindow(), 9); !ok || !strings.Contains(why, "waiter depth") {
+		t.Fatalf("depth breach = %v %q", ok, why)
+	}
+	if ok, _ := c.breach(cleanWindow(), 0); ok {
+		t.Fatal("clean window graded as breach")
+	}
+}
+
+func TestSLOZeroThresholdsDisabled(t *testing.T) {
+	sm := sloMachine{cfg: SLO{}.withDefaults()}
+	for i := 0; i < 10; i++ {
+		if _, changed := sm.observe(breachingWindow(), 100); changed {
+			t.Fatal("disabled SLO produced a transition")
+		}
+	}
+	if sm.state != StateOK {
+		t.Fatalf("disabled SLO state = %v, want ok", sm.state)
+	}
+}
+
+func TestSLOStateMachineBurnAndRecover(t *testing.T) {
+	sm := sloMachine{cfg: SLO{MaxAbortRate: 0.25, WarnAfter: 1, CritAfter: 3, RecoverAfter: 2}}
+
+	// First breaching window: ok → warn.
+	tr, changed := sm.observe(breachingWindow(), 0)
+	if !changed || tr.From != StateOK || tr.To != StateWarn {
+		t.Fatalf("window 1: changed=%v %v→%v, want ok→warn", changed, tr.From, tr.To)
+	}
+	// Second: still warn, no transition.
+	if _, changed := sm.observe(breachingWindow(), 0); changed {
+		t.Fatal("window 2: unexpected transition")
+	}
+	// Third consecutive breach: warn → critical.
+	tr, changed = sm.observe(breachingWindow(), 0)
+	if !changed || tr.From != StateWarn || tr.To != StateCritical {
+		t.Fatalf("window 3: changed=%v %v→%v, want warn→critical", changed, tr.From, tr.To)
+	}
+	// One clean window: hysteresis holds critical.
+	if _, changed := sm.observe(cleanWindow(), 0); changed {
+		t.Fatal("window 4: critical eased after a single clean window")
+	}
+	// Second consecutive clean window: critical → ok (never via warn).
+	tr, changed = sm.observe(cleanWindow(), 0)
+	if !changed || tr.From != StateCritical || tr.To != StateOK {
+		t.Fatalf("window 5: changed=%v %v→%v, want critical→ok", changed, tr.From, tr.To)
+	}
+	if sm.lastReason != "" {
+		t.Fatalf("reason not cleared on recovery: %q", sm.lastReason)
+	}
+}
+
+func TestSLOCleanWindowResetsBurnProgress(t *testing.T) {
+	sm := sloMachine{cfg: SLO{MaxAbortRate: 0.25, WarnAfter: 1, CritAfter: 2, RecoverAfter: 3}}
+	sm.observe(breachingWindow(), 0) // warn, streak 1
+	sm.observe(cleanWindow(), 0)     // clean streak 1 < RecoverAfter: stays warn
+	if sm.state != StateWarn {
+		t.Fatalf("state = %v, want warn held by hysteresis", sm.state)
+	}
+	// The clean window reset the breach streak: the next breach is streak
+	// 1 again, not 2, so critical is NOT reached.
+	sm.observe(breachingWindow(), 0)
+	if sm.state != StateWarn {
+		t.Fatalf("state = %v, want warn (burn progress was reset)", sm.state)
+	}
+	sm.observe(breachingWindow(), 0)
+	if sm.state != StateCritical {
+		t.Fatalf("state = %v, want critical after 2 consecutive breaches", sm.state)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if StateOK.String() != "ok" || StateWarn.String() != "warn" || StateCritical.String() != "critical" {
+		t.Fatalf("state names: %v %v %v", StateOK, StateWarn, StateCritical)
+	}
+	for r := Rate(0); r < nRates; r++ {
+		if r.String() == "rate?" {
+			t.Fatalf("rate %d unnamed", r)
+		}
+	}
+}

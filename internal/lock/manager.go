@@ -96,6 +96,10 @@ type Event struct {
 	// actually released, in release order — what a dying deadlock victim
 	// gave up, for incident dumps.
 	Resources []Resource
+	// WaitDie marks victim events produced by wait-die prevention (the
+	// requester died younger-waits-never) as opposed to detected-cycle
+	// victims; rate monitors separate the two abort classes.
+	WaitDie bool
 }
 
 // EventSink consumes trace events. Sinks are invoked exactly like the
@@ -694,7 +698,7 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 		s.maybeDropEntry(r)
 		if tr != nil {
 			tr.add(Event{Kind: "victim", Txn: txn, Resource: r, Mode: target, Shard: s.idx,
-				Blockers: blockers}, tr.start)
+				Blockers: blockers, WaitDie: true}, tr.start)
 		}
 		s.mu.Unlock()
 		tr.deliver()

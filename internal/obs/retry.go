@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -125,6 +126,37 @@ func (rc *RetryCollector) ResetStats() {
 	for i := range rc.attempts {
 		rc.attempts[i].Store(0)
 	}
+}
+
+// WriteMetrics appends the retry families in Prometheus text format; wire
+// it into Handler's extra writers. Causes are emitted in sorted order so
+// successive scrapes diff cleanly.
+func (rc *RetryCollector) WriteMetrics(w io.Writer) {
+	retries := rc.Retries()
+	causes := make([]string, 0, len(retries))
+	for c := range retries {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	fmt.Fprintf(w, "# HELP colock_retries_total Failed-then-retried attempts by cause.\n")
+	fmt.Fprintf(w, "# TYPE colock_retries_total counter\n")
+	for _, c := range causes {
+		fmt.Fprintf(w, "colock_retries_total{cause=%q} %d\n", c, retries[c])
+	}
+	s := rc.Attempts()
+	fmt.Fprintf(w, "# HELP colock_retry_commits_total Retrier runs that committed.\n")
+	fmt.Fprintf(w, "# TYPE colock_retry_commits_total counter\n")
+	fmt.Fprintf(w, "colock_retry_commits_total %d\n", s.Commits)
+	fmt.Fprintf(w, "# HELP colock_retry_giveups_total Retrier runs that exhausted their attempts.\n")
+	fmt.Fprintf(w, "# TYPE colock_retry_giveups_total counter\n")
+	fmt.Fprintf(w, "colock_retry_giveups_total %d\n", s.GiveUps)
+	fmt.Fprintf(w, "# HELP colock_retry_attempts_per_commit Attempts-per-commit distribution.\n")
+	fmt.Fprintf(w, "# TYPE colock_retry_attempts_per_commit summary\n")
+	fmt.Fprintf(w, "colock_retry_attempts_per_commit_sum %d\n", s.Sum)
+	fmt.Fprintf(w, "colock_retry_attempts_per_commit_count %d\n", s.Commits)
+	fmt.Fprintf(w, "# HELP colock_retry_attempts_max Worst attempts-per-commit observed.\n")
+	fmt.Fprintf(w, "# TYPE colock_retry_attempts_max gauge\n")
+	fmt.Fprintf(w, "colock_retry_attempts_max %d\n", s.Max)
 }
 
 // String renders a one-paragraph summary for shells and incident dumps.

@@ -30,6 +30,11 @@ type TraceSources struct {
 	// Profile renders the blocked-time contention profile in folded-stack
 	// text (/trace/profile), ready for flamegraph tooling.
 	Profile *trace.Profile
+	// Health serves the lock-health verdict on /health (JSON state + window
+	// series + top-K hot resources). Wire internal/health.Monitor.Handler
+	// here; obs stays dependency-free of the health package by taking the
+	// plain http.Handler.
+	Health http.Handler
 }
 
 // Handler returns an http.Handler exposing the observability surface:
@@ -38,6 +43,7 @@ type TraceSources struct {
 //	/debug/vars       expvar-style JSON gauges
 //	/queues           live lock-table queue snapshot (JSON; ?contended=1 filters)
 //	/dot              waits-for graph in Graphviz DOT format
+//	/health           lock-health verdict (JSON; see internal/health)
 //	/trace/spans      span trees (JSON; ?txn=N for one txn's buffer, else ?n=K recent)
 //	/trace/incidents  incident-dump index (JSON)
 //	/trace/profile    blocked-time contention profile (folded-stack text)
@@ -118,6 +124,13 @@ func Handler(m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(infos)
 	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		if ts.Health == nil {
+			http.NotFound(w, r)
+			return
+		}
+		ts.Health.ServeHTTP(w, r)
+	})
 	mux.HandleFunc("/trace/profile", func(w http.ResponseWriter, r *http.Request) {
 		if ts.Profile == nil {
 			http.NotFound(w, r)
@@ -131,7 +144,7 @@ func Handler(m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "colock observability\n\n/metrics\n/debug/vars\n/queues\n/dot\n/trace/spans\n/trace/incidents\n/trace/profile\n")
+		fmt.Fprint(w, "colock observability\n\n/metrics\n/debug/vars\n/queues\n/dot\n/health\n/trace/spans\n/trace/incidents\n/trace/profile\n")
 	})
 	return mux
 }

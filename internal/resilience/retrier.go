@@ -16,6 +16,34 @@ type Observer interface {
 	Done(attempts int, err error)
 }
 
+// teeObserver fans notifications out to several observers in order.
+type teeObserver struct{ os []Observer }
+
+func (t teeObserver) Retry(cause string, attempt int) {
+	for _, o := range t.os {
+		o.Retry(cause, attempt)
+	}
+}
+
+func (t teeObserver) Done(attempts int, err error) {
+	for _, o := range t.os {
+		o.Done(attempts, err)
+	}
+}
+
+// Tee combines observers into one that notifies each in argument order;
+// nils are skipped. A retry collector and a health monitor can then share
+// one Retrier's observer slot.
+func Tee(os ...Observer) Observer {
+	kept := make([]Observer, 0, len(os))
+	for _, o := range os {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return teeObserver{os: kept}
+}
+
 // Retrier re-runs a transaction closure until it succeeds, its error is
 // classified non-retryable, attempts run out, or the caller's context ends.
 // The zero value retries forever, immediately — set Backoff and MaxAttempts
