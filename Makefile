@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke stormbench stormbench-smoke healthbench healthmon-smoke nodeprecated obs-demo trace-demo figures clean
+.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke stormbench stormbench-smoke healthbench healthmon-smoke journalbench journal-smoke nodeprecated obs-demo trace-demo figures clean
 
 # ci is the gate every change must pass: formatting, vet, the
 # no-deprecated-wrappers grep, build, the full test suite under the race
 # detector (the lock manager and protocol are concurrent; -race is not
 # optional here), the end-to-end incident-dump demo, the fast-path and
-# contention-survival smoke benchmarks, and the health-monitor smoke gate.
-ci: fmt vet nodeprecated build race trace-demo hotbench-smoke stormbench-smoke healthmon-smoke
+# contention-survival smoke benchmarks, the health-monitor smoke gate, and
+# the journal-forensics smoke gate.
+ci: fmt vet nodeprecated build race trace-demo hotbench-smoke stormbench-smoke healthmon-smoke journal-smoke
 
 # fmt fails if any file needs gofmt, listing the offenders.
 fmt:
@@ -95,6 +96,28 @@ healthmon-smoke:
 	$(GO) test ./internal/health -count=1 -run TestExternalHealthFile -healthfile "$$f" && \
 	echo "healthmon-smoke: $$f passes (verdict parses, hot key in top-K)" && \
 	rm -f "$$f"
+
+# journalbench regenerates BENCH_PR8.json (durable-journal overhead at
+# 1-in-64 sampling against both the bare and collector baselines; see
+# DESIGN.md §14).
+journalbench:
+	$(GO) run ./cmd/lockbench -journalbench -journalout BENCH_PR8.json
+
+# journal-smoke runs a scripted colockshell session with a durable journal
+# attached, storms a hot key, and dumps the live /health verdict; then it
+# replays the journal offline with colockreplay -json and asserts, via the
+# flag-gated validation test in cmd/colockreplay, that forensics sees the
+# storm: the trajectory-leaf hot key, at least one convoy on it, and an SLO
+# replay verdict that matches what the live monitor reported.
+journal-smoke:
+	@dir=$$(mktemp -d) && hf=$$(mktemp) && f=$$(mktemp) && \
+	printf "%s\n" ".storm 8 10" ".journal flush" ".journal" ".health dump $$hf" ".quit" \
+		| $(GO) run ./cmd/colockshell -journal "$$dir" >/dev/null && \
+	$(GO) run ./cmd/colockreplay -dir "$$dir" -json "$$f" >/dev/null && \
+	$(GO) test ./cmd/colockreplay -count=1 -run TestExternalReplayFile \
+		-replayfile "$$f" -livehealth "$$hf" && \
+	echo "journal-smoke: replay of $$dir passes (hot key, convoy, SLO verdict matches live)" && \
+	rm -rf "$$dir" "$$hf" "$$f"
 
 # nodeprecated fails the build if any Deprecated marker survives in
 # internal/lock: the consolidated AcquireCtx + options API is the only

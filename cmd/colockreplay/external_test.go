@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// replayFile gates TestExternalReplayFile: the Makefile journal-smoke target
+// runs a scripted colockshell session with a durable journal, storms a hot
+// key, replays the journal with colockreplay -json, and invokes this test to
+// validate the forensics report. liveHealth optionally points at the same
+// session's `.health dump` so the offline SLO verdict can be checked against
+// the live monitor's.
+var (
+	replayFile = flag.String("replayfile", "", "path to a colockreplay -json report to validate")
+	liveHealth = flag.String("livehealth", "", "optional live .health dump; its verdict must match the replay's")
+)
+
+func TestExternalReplayFile(t *testing.T) {
+	if *replayFile == "" {
+		t.Skip("no -replayfile flag; this test validates journal-smoke output")
+	}
+	data, err := os.ReadFile(*replayFile)
+	if err != nil {
+		t.Fatalf("read %s: %v", *replayFile, err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("replay report does not parse: %v", err)
+	}
+	if rep.Records == 0 {
+		t.Fatal("replay report has no records")
+	}
+	if rep.Torn {
+		t.Fatal("smoke journal was closed cleanly but reads back torn")
+	}
+	if rep.Kinds["grant"] == 0 || rep.Kinds["wait"] == 0 {
+		t.Fatalf("storm journal missing grant/wait events: kinds=%v", rep.Kinds)
+	}
+
+	// The smoke session's storm X-locks the trajectory leaf under cells/c1;
+	// the hot-resource ranking must have caught it.
+	hotFound := false
+	for _, h := range rep.Hot {
+		if strings.Contains(h.Resource, "cells/c1") && h.Blocks > 0 {
+			hotFound = true
+			break
+		}
+	}
+	if !hotFound {
+		t.Fatalf("hot key cells/c1 not in hot resources: %+v", rep.Hot)
+	}
+
+	// Eight workers on one X key pile up waiters: the convoy detector must
+	// report at least one convoy, on the stormed resource.
+	if len(rep.Convoys) == 0 {
+		t.Fatal("no convoys detected in the storm journal")
+	}
+	convoyOnHot := false
+	for _, c := range rep.Convoys {
+		if strings.Contains(c.Resource, "cells/c1") && c.PeakDepth >= 3 {
+			convoyOnHot = true
+			break
+		}
+	}
+	if !convoyOnHot {
+		t.Fatalf("no convoy (peak ≥ 3) on the stormed key: %+v", rep.Convoys)
+	}
+
+	// The historical SLO replay must produce a well-formed verdict.
+	switch rep.SLO.FinalState {
+	case "ok", "warn", "critical":
+	default:
+		t.Fatalf("SLO final state %q is not ok/warn/critical", rep.SLO.FinalState)
+	}
+	switch rep.SLO.WorstState {
+	case "ok", "warn", "critical":
+	default:
+		t.Fatalf("SLO worst state %q is not ok/warn/critical", rep.SLO.WorstState)
+	}
+	if rep.SLO.Windows < 1 {
+		t.Fatalf("SLO replay closed %d windows, want ≥ 1", rep.SLO.Windows)
+	}
+
+	// When the live monitor's dump rides along, the offline verdict must
+	// agree with what the live session reported.
+	if *liveHealth != "" {
+		hd, err := os.ReadFile(*liveHealth)
+		if err != nil {
+			t.Fatalf("read %s: %v", *liveHealth, err)
+		}
+		var live struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(hd, &live); err != nil {
+			t.Fatalf("live health dump does not parse: %v", err)
+		}
+		if live.State != rep.SLO.FinalState {
+			t.Fatalf("SLO verdicts disagree: live monitor %q, journal replay %q",
+				live.State, rep.SLO.FinalState)
+		}
+	}
+}

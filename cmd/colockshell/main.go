@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 	"colock/internal/authz"
 	"colock/internal/core"
 	"colock/internal/health"
+	"colock/internal/journal"
 	"colock/internal/lock"
 	"colock/internal/metrics"
 	"colock/internal/obs"
@@ -65,6 +67,10 @@ type shell struct {
 	// policy (.health auto on|off).
 	mon  *health.Monitor
 	auto *health.AutoAdmission
+
+	// Durable lock-event journal (.journal; -journal dir). Nil unless the
+	// shell was started with a journal directory.
+	jw *journal.Writer
 }
 
 // traceRing keeps the most recent lock-manager events for the .trace
@@ -100,8 +106,12 @@ func (t *traceRing) snapshot() []lock.Event {
 // collector, the contention profile and the incident writer (sinks), and the
 // protocol records span trees into the recorder — every user statement is
 // traced (sample shift 0) since the shell is interactive. Incident dumps for
-// deadlock victims and acquire timeouts land in incidentDir.
-func newShell(prime bool, policy lock.Policy, incidentDir string, out *bufio.Writer) *shell {
+// deadlock victims and acquire timeouts land in incidentDir. A non-empty
+// journalDir additionally attaches the durable lock-event journal: every
+// event (plus fast-path hits and SLO transitions) persists to append-only
+// segments that colockreplay analyzes offline, and incident dumps record the
+// journal offset for -around correlation.
+func newShell(prime bool, policy lock.Policy, incidentDir, journalDir string, out *bufio.Writer) (*shell, error) {
 	st := store.PaperDatabase()
 	core.CollectStatistics(st)
 	nm := core.NewNamer(st.Catalog(), false)
@@ -130,8 +140,23 @@ func newShell(prime bool, policy lock.Policy, incidentDir string, out *bufio.Wri
 			return "other"
 		},
 	})
+	var jw *journal.Writer
+	if journalDir != "" {
+		var err error
+		jw, err = journal.Open(journalDir, journal.Options{})
+		if err != nil {
+			return nil, err
+		}
+		// Attached before the incident writer so the event that triggers a
+		// dump is inside the journal offset the dump records.
+		mgr.AttachSink(jw)
+	}
 	prof := trace.NewProfile()
-	iw := trace.NewIncidentWriter(incidentDir, rec, mgr, trace.IncidentOptions{})
+	incOpts := trace.IncidentOptions{}
+	if jw != nil {
+		incOpts.JournalOffset = jw.Offset
+	}
+	iw := trace.NewIncidentWriter(incidentDir, rec, mgr, incOpts)
 	mgr.AttachSink(prof)
 	mgr.AttachSink(iw)
 	mon := health.NewMonitor(health.Options{
@@ -146,13 +171,19 @@ func newShell(prime bool, policy lock.Policy, incidentDir string, out *bufio.Wri
 		WaiterDepth: mgr.WaitingTxns,
 	})
 	mgr.AttachSink(mon) // joins the ResetStats cascade via the resettable check
-	// SLO transitions surface in the .trace ring like any lock event.
+	// SLO transitions surface in the .trace ring like any lock event, and in
+	// the journal so offline replay can compare its own grading against the
+	// transitions the live monitor actually fired.
 	mon.OnTransition(func(tr health.Transition) {
+		detail := fmt.Sprintf("%s->%s %s", tr.From, tr.To, tr.Reason)
 		ring.add(lock.Event{
 			Kind:     "health",
 			At:       time.Now(),
-			Resource: lock.Resource(fmt.Sprintf("%s->%s %s", tr.From, tr.To, tr.Reason)),
+			Resource: lock.Resource(detail),
 		})
+		if jw != nil {
+			jw.Note("health", detail)
+		}
 	})
 	retry := obs.NewRetryCollector()
 	// The retry collector is not an event sink (it observes the retry layer,
@@ -161,7 +192,16 @@ func newShell(prime bool, policy lock.Policy, incidentDir string, out *bufio.Wri
 	mgr.OnResetStats(retry.ResetStats)
 	opts.Tracer = rec
 	proto := core.NewProtocol(mgr, st, nm, opts)
-	proto.OnFastPathHit(mon.RecordFastPathHit)
+	// OnFastPathHit holds ONE callback, so the monitor's counter and the
+	// journal compose in a single closure.
+	if jw != nil {
+		proto.OnFastPathHit(func() {
+			mon.RecordFastPathHit()
+			jw.RecordFastPathHit()
+		})
+	} else {
+		proto.OnFastPathHit(mon.RecordFastPathHit)
+	}
 	tm := txn.NewManager(proto, st)
 	return &shell{
 		st: st, proto: proto, mgr: tm,
@@ -175,7 +215,8 @@ func newShell(prime bool, policy lock.Policy, incidentDir string, out *bufio.Wri
 		iw:    iw,
 		retry: retry,
 		mon:   mon,
-	}
+		jw:    jw,
+	}, nil
 }
 
 func parsePolicy(name string) (lock.Policy, error) {
@@ -198,19 +239,31 @@ func main() {
 	obsAddr := flag.String("obs", "", "serve the observability HTTP endpoint on this address (e.g. 127.0.0.1:8023)")
 	incidents := flag.String("incidents", filepath.Join(os.TempDir(), "colockshell-incidents"),
 		"directory for deadlock/timeout incident dumps (JSONL)")
+	journalDir := flag.String("journal", "",
+		"directory for the durable lock-event journal (analyze offline with colockreplay)")
 	flag.Parse()
 
 	policy, err := parsePolicy(*deadlock)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := newShell(*prime, policy, *incidents, bufio.NewWriter(os.Stdout))
+	s, err := newShell(*prime, policy, *incidents, *journalDir, bufio.NewWriter(os.Stdout))
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer s.out.Flush()
+	if s.jw != nil {
+		defer s.jw.Close()
+	}
 
 	if *obsAddr != "" {
 		ts := &obs.TraceSources{Recorder: s.rec, Incidents: s.iw, Profile: s.prof, Health: s.mon.Handler()}
-		srv, err := obs.Serve(*obsAddr, s.proto.Manager(), s.col, ts,
-			s.proto.WriteMetrics, s.retry.WriteMetrics, s.mon.WriteMetrics)
+		extras := []func(io.Writer){s.proto.WriteMetrics, s.retry.WriteMetrics, s.mon.WriteMetrics}
+		if s.jw != nil {
+			ts.Journal = s.jw.StatusHandler()
+			extras = append(extras, s.jw.WriteMetrics)
+		}
+		srv, err := obs.Serve(*obsAddr, s.proto.Manager(), s.col, ts, extras...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -218,6 +271,9 @@ func main() {
 		fmt.Fprintf(s.out, "observability endpoint on http://%s/ (/metrics, /queues, /dot, /health, /trace/...)\n", srv.Addr())
 	}
 	fmt.Fprintf(s.out, "incident dumps in %s\n", *incidents)
+	if s.jw != nil {
+		fmt.Fprintf(s.out, "journaling lock events to %s (colockreplay -dir %s)\n", *journalDir, *journalDir)
+	}
 
 	fmt.Fprintln(s.out, "colock shell over the paper's example database (Figures 1/6).")
 	fmt.Fprintln(s.out, "Enter HDBL queries or .help; rule 4' is", map[bool]string{true: "ON", false: "OFF"}[*prime])
@@ -260,6 +316,8 @@ func (s *shell) repl(in *bufio.Scanner) {
 			s.healthCmd(strings.TrimSpace(strings.TrimPrefix(line, ".health")))
 		case strings.HasPrefix(line, ".topk"):
 			s.showTopK(strings.TrimSpace(strings.TrimPrefix(line, ".topk")))
+		case strings.HasPrefix(line, ".journal"):
+			s.journalCmd(strings.TrimSpace(strings.TrimPrefix(line, ".journal")))
 		case strings.HasPrefix(line, ".chaos"):
 			s.chaosCmd(strings.TrimSpace(strings.TrimPrefix(line, ".chaos")))
 		case strings.HasPrefix(line, ".storm"):
@@ -305,6 +363,7 @@ Commands: .locks   show locks of the current transaction
           .metrics lock-manager and protocol telemetry (latencies, counters)
           .health [json|dump <path>|auto on|auto off]  SLO verdict + window series
           .topk [n]  hottest contended resources (decayed space-saving sketch)
+          .journal [flush]  durable lock-event journal status (-journal dir)
           .chaos [off|victim=R timeout=R delay=R seed=N]  deterministic fault injection
           .storm [workers] [rounds]  hot-key write storm through the retry layer
           .queues [all]  live lock queues (contended only, or all)
@@ -681,10 +740,47 @@ func (s *shell) finish(commit bool) {
 	s.tx = nil
 }
 
+// journalCmd implements .journal: bare shows the writer's status, "flush"
+// forces buffered records to disk first (useful before pointing colockreplay
+// at a live journal).
+func (s *shell) journalCmd(arg string) {
+	if s.jw == nil {
+		fmt.Fprintln(s.out, "no journal attached (restart with -journal <dir>)")
+		return
+	}
+	switch arg {
+	case "":
+	case "flush":
+		if err := s.jw.Flush(); err != nil {
+			fmt.Fprintf(s.out, "error: journal flush: %v\n", err)
+			return
+		}
+		fmt.Fprintln(s.out, "-- journal flushed")
+	default:
+		fmt.Fprintln(s.out, "usage: .journal [flush]")
+		return
+	}
+	st := s.jw.Status()
+	fmt.Fprintf(s.out, "journal %s\n", st.Dir)
+	fmt.Fprintf(s.out, "  segment %d of %d, %d records persisted (%d accepted, %d dropped), %d bytes\n",
+		st.Segment, st.Segments, st.Records, st.Accepted, st.Dropped, st.Bytes)
+	if st.Error != "" {
+		fmt.Fprintf(s.out, "  WRITE ERROR: %s (journaling stopped; events are being dropped)\n", st.Error)
+	}
+}
+
 func (s *shell) quit() {
 	if s.tx != nil && s.tx.State() == txn.Active {
 		s.tx.Abort()
 		fmt.Fprintln(s.out, "-- aborted open transaction")
+	}
+	if s.jw != nil {
+		if err := s.jw.Close(); err != nil {
+			fmt.Fprintf(s.out, "journal close: %v\n", err)
+		} else {
+			st := s.jw.Status()
+			fmt.Fprintf(s.out, "journal closed: %d records in %s\n", st.Records, st.Dir)
+		}
 	}
 	fmt.Fprintln(s.out, "bye")
 }

@@ -17,7 +17,11 @@ func newTestShell(t *testing.T, prime bool) (*shell, *bytes.Buffer) {
 func newTestShellPolicy(t *testing.T, prime bool, policy lock.Policy) (*shell, *bytes.Buffer) {
 	t.Helper()
 	var buf bytes.Buffer
-	return newShell(prime, policy, t.TempDir(), bufio.NewWriter(&buf)), &buf
+	s, err := newShell(prime, policy, t.TempDir(), "", bufio.NewWriter(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &buf
 }
 
 func runScript(t *testing.T, s *shell, lines ...string) string {

@@ -57,7 +57,10 @@ func TestShellProfileAndIncidentEmpty(t *testing.T) {
 func TestShellForceTimeout(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	s := newShell(false, lock.PolicyDetect, dir, bufio.NewWriter(&buf))
+	s, err := newShell(false, lock.PolicyDetect, dir, "", bufio.NewWriter(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
 	runScript(t, s, `.forcetimeout`, `.profile`, `.quit`)
 	out := buf.String()
 	if !strings.Contains(out, "timeout") {

@@ -1,0 +1,216 @@
+package main
+
+// Durable-journal overhead benchmark: measures what attaching a
+// journal.Writer (append-only segment journal fed by a bounded lock-free
+// ring) costs on the shardbench workload. Emits machine-readable
+// BENCH_PR8.json.
+//
+// Two baselines bound the claim:
+//
+//   - "bare": manager with no sinks vs manager with ONLY the journal. This
+//     charges the journal for event materialization itself (the manager
+//     builds a lock.Event only when a sink exists), the worst case.
+//   - "collector": manager with the obs collector attached (colockshell's
+//     always-on configuration) vs collector + journal. This is the marginal
+//     cost of durability in a deployment that already observes events: one
+//     ring push per event, the background goroutine does the encoding and
+//     file I/O off the hot path.
+//
+// Both comparisons run at the deployed 1-in-64 operation sampling
+// (EventSampleShift, the same configuration obsbench and healthbench
+// measure): the journal persists the stream the manager emits, and the
+// acceptance bar for the journal PR is ≤5% on the collector-relative row at
+// that sampling. The ring never blocks the lock manager — when the disk
+// can't keep up, records drop and are counted (the report includes the drop
+// tally; forensics on an overloaded journal sees a gap, not a slow lock
+// manager).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"colock/internal/journal"
+	"colock/internal/lock"
+	"colock/internal/metrics"
+	"colock/internal/obs"
+)
+
+type journalOverheadResult struct {
+	Goroutines       int     `json:"goroutines"`
+	Baseline         string  `json:"baseline"` // "bare" or "collector"
+	BaseOpsPerSec    float64 `json:"base_ops_per_sec"`
+	JournalOpsPerSec float64 `json:"journal_ops_per_sec"`
+	OverheadPct      float64 `json:"overhead_pct"`
+}
+
+type journalWriteStats struct {
+	Records        uint64  `json:"records"`
+	Accepted       uint64  `json:"accepted"`
+	Dropped        uint64  `json:"dropped"`
+	Bytes          int64   `json:"bytes"`
+	Segments       uint64  `json:"segments"`
+	BytesPerRecord float64 `json:"bytes_per_record"`
+}
+
+type journalBenchReport struct {
+	Benchmark   string                  `json:"benchmark"`
+	Description string                  `json:"description"`
+	GOMAXPROCS  int                     `json:"gomaxprocs"`
+	LocksPerTxn int                     `json:"locks_per_txn"`
+	SampleShift uint8                   `json:"sample_shift"`
+	Overhead    []journalOverheadResult `json:"overhead"`
+	Writes      journalWriteStats       `json:"writes"`
+}
+
+// pairedOverhead runs the ABBA paired-slice comparison (shared-machine
+// noise defense shared with obsbench: tightly paired slices, alternating
+// order, median pair by ratio) and returns the median pair's rates.
+func pairedOverhead(runBase, runJournal func() uint64, sliceDur time.Duration) (base, journaled float64, pct float64) {
+	const pairs = 11
+	runBase() // warmup
+	runJournal()
+	type pairObs struct{ b, j uint64 }
+	obsPairs := make([]pairObs, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		var p pairObs
+		if i%2 == 0 {
+			p.b = runBase()
+			p.j = runJournal()
+		} else {
+			p.j = runJournal()
+			p.b = runBase()
+		}
+		obsPairs = append(obsPairs, p)
+	}
+	sort.Slice(obsPairs, func(i, j int) bool {
+		return float64(obsPairs[i].j)*float64(obsPairs[j].b) < float64(obsPairs[j].j)*float64(obsPairs[i].b)
+	})
+	mid := obsPairs[len(obsPairs)/2]
+	secs := sliceDur.Seconds()
+	base = float64(mid.b) / secs
+	journaled = float64(mid.j) / secs
+	if mid.b > 0 {
+		pct = (1 - float64(mid.j)/float64(mid.b)) * 100
+	}
+	return base, journaled, pct
+}
+
+// runJournalBench measures journal overhead against both baselines at each
+// worker count, then reports the final run's write-side statistics.
+func runJournalBench(workerCounts []int, dur time.Duration) (*journalBenchReport, error) {
+	rep := &journalBenchReport{
+		Benchmark: "journalbench",
+		Description: "lock acquire/release throughput without vs with the durable lock-event journal " +
+			fmt.Sprintf("(1-in-%d operation sampling; %d disjoint X locks per transaction); ", 1<<obsSampleShift, locksPerTxn) +
+			"baseline \"bare\" charges event materialization to the journal, " +
+			"baseline \"collector\" measures the marginal cost over an attached obs collector",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		LocksPerTxn: locksPerTxn,
+		SampleShift: obsSampleShift,
+	}
+	sliceDur := dur / 5
+	var lastStatus journal.Status
+	for _, w := range workerCounts {
+		jdir, err := os.MkdirTemp("", "journalbench-*")
+		if err != nil {
+			return nil, err
+		}
+		jw, err := journal.Open(jdir, journal.Options{})
+		if err != nil {
+			os.RemoveAll(jdir)
+			return nil, err
+		}
+
+		// Bare baseline: no sinks vs journal-only.
+		mBare := lock.NewManager(lock.Options{})
+		mJournal := lock.NewManager(lock.Options{
+			Sinks:            []lock.EventSink{jw},
+			EventSampleShift: obsSampleShift,
+		})
+		base, journaled, pct := pairedOverhead(
+			func() uint64 { return runWorkers(w, sliceDur, txnShape(mBare)) },
+			func() uint64 { return runWorkers(w, sliceDur, txnShape(mJournal)) },
+			sliceDur)
+		rep.Overhead = append(rep.Overhead, journalOverheadResult{
+			Goroutines: w, Baseline: "bare",
+			BaseOpsPerSec: base, JournalOpsPerSec: journaled, OverheadPct: pct,
+		})
+
+		// Collector baseline: collector vs collector + journal.
+		mCol := lock.NewManager(lock.Options{
+			Sinks:            []lock.EventSink{obs.NewCollector(obs.Options{RingSize: 256})},
+			EventSampleShift: obsSampleShift,
+		})
+		mColJournal := lock.NewManager(lock.Options{
+			Sinks:            []lock.EventSink{obs.NewCollector(obs.Options{RingSize: 256}), jw},
+			EventSampleShift: obsSampleShift,
+		})
+		base, journaled, pct = pairedOverhead(
+			func() uint64 { return runWorkers(w, sliceDur, txnShape(mCol)) },
+			func() uint64 { return runWorkers(w, sliceDur, txnShape(mColJournal)) },
+			sliceDur)
+		rep.Overhead = append(rep.Overhead, journalOverheadResult{
+			Goroutines: w, Baseline: "collector",
+			BaseOpsPerSec: base, JournalOpsPerSec: journaled, OverheadPct: pct,
+		})
+
+		if err := jw.Close(); err != nil {
+			os.RemoveAll(jdir)
+			return nil, err
+		}
+		lastStatus = jw.Status()
+		os.RemoveAll(jdir)
+	}
+	rep.Writes = journalWriteStats{
+		Records:  lastStatus.Records,
+		Accepted: lastStatus.Accepted,
+		Dropped:  lastStatus.Dropped,
+		Bytes:    lastStatus.Bytes,
+		Segments: lastStatus.Segments,
+	}
+	if lastStatus.Records > 0 {
+		rep.Writes.BytesPerRecord = float64(lastStatus.Bytes) / float64(lastStatus.Records)
+	}
+	return rep, nil
+}
+
+// writeJournalBench runs the benchmark and writes the JSON report to path.
+func writeJournalBench(path string, workerCounts []int, dur time.Duration) (*journalBenchReport, error) {
+	rep, err := runJournalBench(workerCounts, dur)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// printJournalBench renders the report as console tables.
+func printJournalBench(rep *journalBenchReport) {
+	over := metrics.NewTable(
+		fmt.Sprintf("Journal overhead (GOMAXPROCS=%d, 1-in-%d sampling)", rep.GOMAXPROCS, 1<<rep.SampleShift),
+		"goroutines", "baseline", "base ops/s", "journal ops/s", "overhead")
+	for _, r := range rep.Overhead {
+		over.Addf(r.Goroutines, r.Baseline,
+			fmt.Sprintf("%.0f", r.BaseOpsPerSec),
+			fmt.Sprintf("%.0f", r.JournalOpsPerSec),
+			metrics.Pct(r.OverheadPct/100))
+	}
+	fmt.Println(over.String())
+
+	ws := metrics.NewTable("Journal write-side (final worker count)",
+		"records", "accepted", "dropped", "bytes", "segments", "bytes/record")
+	ws.Addf(rep.Writes.Records, rep.Writes.Accepted, rep.Writes.Dropped,
+		rep.Writes.Bytes, rep.Writes.Segments, fmt.Sprintf("%.1f", rep.Writes.BytesPerRecord))
+	fmt.Println(ws.String())
+}

@@ -11,6 +11,7 @@
 //	lockbench -hotbench    # fast-path speedup benchmark → BENCH_PR4.json
 //	lockbench -stormbench  # contention-survival goodput benchmark → BENCH_PR6.json
 //	lockbench -healthbench # health-monitor overhead + SLO storm → BENCH_PR7.json
+//	lockbench -journalbench # durable-journal overhead benchmark → BENCH_PR8.json
 package main
 
 import (
@@ -129,7 +130,25 @@ func main() {
 	stormout := flag.String("stormout", "BENCH_PR6.json", "output path for the -stormbench JSON report")
 	healthbench := flag.Bool("healthbench", false, "run the health-monitor overhead benchmark and write -healthout")
 	healthout := flag.String("healthout", "BENCH_PR7.json", "output path for the -healthbench JSON report")
+	journalbench := flag.Bool("journalbench", false, "run the durable-journal overhead benchmark and write -journalout")
+	journalout := flag.String("journalout", "BENCH_PR8.json", "output path for the -journalbench JSON report")
 	flag.Parse()
+
+	if *journalbench {
+		dur := 2 * time.Second
+		workers := []int{1, 4, 16}
+		if *quick {
+			dur = 300 * time.Millisecond
+			workers = []int{1, 4}
+		}
+		rep, err := writeJournalBench(*journalout, workers, dur)
+		if err != nil {
+			log.Fatalf("journalbench: %v", err)
+		}
+		printJournalBench(rep)
+		fmt.Printf("report written to %s\n", *journalout)
+		return
+	}
 
 	if *healthbench {
 		dur := 2 * time.Second

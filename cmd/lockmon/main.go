@@ -10,6 +10,12 @@
 // Flags: -addr is the observability endpoint; -interval the poll period;
 // -n limits the number of polls (0 = until interrupted); -once polls a
 // single time and prints without taking over the screen (script-friendly).
+//
+// With -replay <journal-dir> lockmon needs no live endpoint at all: it
+// replays a durable lock-event journal (colockshell -journal) through a
+// fresh health monitor and renders the dashboard the live monitor would
+// have shown at the end of the recording — the same panels, grading the
+// past.
 package main
 
 import (
@@ -32,7 +38,18 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "poll period")
 	polls := flag.Int("n", 0, "stop after this many polls (0 = run until interrupted)")
 	once := flag.Bool("once", false, "poll once, print, exit (no screen takeover)")
+	replay := flag.String("replay", "", "render a journal directory instead of polling (offline mode)")
+	window := flag.Duration("window", time.Second, "window width for -replay")
 	flag.Parse()
+
+	if *replay != "" {
+		rep, err := replayReport(*replay, *window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(os.Stdout, rep, false)
+		return
+	}
 
 	url := "http://" + *addr + "/health"
 	client := &http.Client{Timeout: 5 * time.Second}

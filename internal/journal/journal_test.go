@@ -1,0 +1,450 @@
+package journal
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"colock/internal/lock"
+)
+
+// at builds a deterministic wall-clock timestamp (no monotonic reading, so
+// decoded records compare equal with reflect.DeepEqual).
+func at(i int) time.Time { return time.Unix(1700000000, int64(i)*int64(time.Millisecond)) }
+
+// sampleRecords exercises every field: blockers, release-all sweeps,
+// wait-die flags, zero durations, synthetic kinds.
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: "grant", Txn: 1, Resource: "db1/seg1/cells/c1", Mode: lock.X, Shard: 3, At: at(0), Dur: 42 * time.Microsecond},
+		{Kind: "wait", Txn: 2, Resource: "db1/seg1/cells/c1", Mode: lock.X, Shard: 3, At: at(1), Blockers: []lock.TxnID{1}},
+		{Kind: "grant", Txn: 2, Resource: "db1/seg1/cells/c1", Mode: lock.X, Shard: 3, Waited: true, At: at(2), Dur: time.Millisecond},
+		{Kind: "victim", Txn: 3, Resource: "db1/seg1/cells/c2", Mode: lock.IX, Shard: 5, WaitDie: true, At: at(3), Dur: 7 * time.Millisecond, Blockers: []lock.TxnID{1, 2}},
+		{Kind: "release-all", Txn: 1, Shard: 0, At: at(4), Dur: time.Microsecond,
+			Resources: []lock.Resource{"db1/seg1/cells/c1", "db1", "db1/seg1"}},
+		{Kind: "fastpath", At: at(5)},
+		{Kind: "health", Resource: "ok->warn abort rate 0.4 > 0.05", At: at(6)},
+		{Kind: "reset", At: at(7)},
+	}
+}
+
+func writeJournal(t *testing.T, dir string, opts Options, recs []Record) {
+	t.Helper()
+	w, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		w.push(r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	writeJournal(t, dir, Options{}, want)
+
+	got, torn, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("clean journal reported torn")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != uint64(i+1) {
+			t.Errorf("record %d: Seq = %d, want %d", i, got[i].Seq, i+1)
+		}
+		got[i].Seq = 0
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSegmentRotationAndInterning(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force many rotations; the repeated resource name must
+	// re-intern per segment and still decode everywhere.
+	var recs []Record
+	for i := 0; i < 500; i++ {
+		recs = append(recs, Record{Kind: "grant", Txn: lock.TxnID(i%7 + 1),
+			Resource: "db1/seg1/cells/c1/robots/r1/trajectory", Mode: lock.X, At: at(i)})
+	}
+	writeJournal(t, dir, Options{MaxSegmentBytes: 1024}, recs)
+
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected ≥3 segments from 1KiB rotation, got %d", len(segs))
+	}
+	got, torn, err := ReadAll(dir)
+	if err != nil || torn {
+		t.Fatalf("ReadAll: torn=%v err=%v", torn, err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records across %d segments, want %d", len(got), len(segs), len(recs))
+	}
+	for i, r := range got {
+		if r.Resource != recs[i].Resource || r.Txn != recs[i].Txn {
+			t.Fatalf("record %d: %+v, want %+v", i, r, recs[i])
+		}
+	}
+}
+
+func TestReopenAppendsNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, Options{}, sampleRecords()[:3])
+	writeJournal(t, dir, Options{}, sampleRecords()[3:])
+
+	segs, _ := Segments(dir)
+	if len(segs) != 2 {
+		t.Fatalf("expected 2 segments after reopen, got %d: %v", len(segs), segs)
+	}
+	got, torn, err := ReadAll(dir)
+	if err != nil || torn {
+		t.Fatalf("ReadAll: torn=%v err=%v", torn, err)
+	}
+	if len(got) != len(sampleRecords()) {
+		t.Fatalf("got %d records, want %d", len(got), len(sampleRecords()))
+	}
+}
+
+// TestTornFinalRecord truncates the last segment mid-record and asserts the
+// Reader recovers every record before the tear.
+func TestTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	writeJournal(t, dir, Options{}, want)
+
+	segs, _ := Segments(dir)
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int64{1, 3, 7} { // progressively tear deeper into the tail
+		if err := os.Truncate(last, info.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		got, torn, err := ReadAll(dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !torn {
+			t.Fatalf("cut %d: tear not reported", cut)
+		}
+		if len(got) != len(want)-1 {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), len(want)-1)
+		}
+	}
+	// Tear away everything but the header: zero records, still tolerated
+	// only if the tail is the final segment.
+	if err := os.Truncate(last, int64(len(segMagic))+2); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := ReadAll(dir)
+	if err != nil || !torn || len(got) != 0 {
+		t.Fatalf("header-only tail: got %d records torn=%v err=%v", len(got), torn, err)
+	}
+}
+
+// TestCorruptMiddleSegmentFails: the torn-record tolerance applies only to
+// the final segment's tail — damage anywhere else is corruption.
+func TestCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	var recs []Record
+	for i := 0; i < 300; i++ {
+		recs = append(recs, Record{Kind: "grant", Txn: 1, Resource: lock.Resource(strings.Repeat("r", 40)), At: at(i)})
+	}
+	writeJournal(t, dir, Options{MaxSegmentBytes: 2048}, recs)
+	segs, _ := Segments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("need ≥2 segments, got %d", len(segs))
+	}
+	info, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], info.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadAll(dir); err == nil {
+		t.Fatal("mid-journal truncation did not error")
+	}
+
+	// A flipped byte (CRC failure) in the final segment's middle still ends
+	// the stream there — the length chain is untrustworthy past the flip —
+	// but the reader reports the tear rather than inventing records.
+	dir2 := t.TempDir()
+	writeJournal(t, dir2, Options{}, sampleRecords())
+	segs2, _ := Segments(dir2)
+	data, err := os.ReadFile(segs2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)+10] ^= 0xff
+	if err := os.WriteFile(segs2[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := ReadAll(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || len(got) != 0 {
+		t.Fatalf("flipped first record: got %d records torn=%v", len(got), torn)
+	}
+}
+
+func TestTimestampOrderAcrossDisorder(t *testing.T) {
+	dir := t.TempDir()
+	// Write deliberately shuffled timestamps (disorder well inside the
+	// reorder window); the reader must emit them sorted.
+	var recs []Record
+	for i := 0; i < 200; i++ {
+		j := i
+		if i%2 == 0 && i+5 < 200 {
+			j = i + 5
+		}
+		recs = append(recs, Record{Kind: "grant", Txn: lock.TxnID(i), Resource: "r", At: at(j)})
+	}
+	writeJournal(t, dir, Options{}, recs)
+	got, _, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].At.Before(got[i-1].At) {
+			t.Fatalf("record %d out of order: %v before %v", i, got[i].At, got[i-1].At)
+		}
+	}
+}
+
+func TestRingFullDropsAndFIFO(t *testing.T) {
+	r := newEventRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.push(Record{Txn: lock.TxnID(i)}) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if r.push(Record{Txn: 99}) {
+		t.Fatal("push into a full ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		rec, ok := r.pop()
+		if !ok || rec.Txn != lock.TxnID(i) {
+			t.Fatalf("pop %d: ok=%v txn=%d", i, ok, rec.Txn)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	// Wrap around: capacity is reusable after pops.
+	if !r.push(Record{Txn: 7}) {
+		t.Fatal("push after drain failed")
+	}
+	if rec, ok := r.pop(); !ok || rec.Txn != 7 {
+		t.Fatal("wrap-around pop failed")
+	}
+}
+
+func TestRingConcurrentProducers(t *testing.T) {
+	r := newEventRing(1 << 12)
+	const producers, each = 8, 400
+	var wg sync.WaitGroup
+	var droppedMu sync.Mutex
+	dropped := 0
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if !r.push(Record{Txn: lock.TxnID(p*each + i)}) {
+					droppedMu.Lock()
+					dropped++
+					droppedMu.Unlock()
+				}
+			}
+		}(p)
+	}
+	produced := make(chan struct{})
+	done := make(chan struct{})
+	seen := make(map[lock.TxnID]bool)
+	go func() {
+		defer close(done)
+		for {
+			rec, ok := r.pop()
+			if !ok {
+				select {
+				case <-produced:
+					// Producers finished: one final drain, then stop.
+					for {
+						rec, ok := r.pop()
+						if !ok {
+							return
+						}
+						seen[rec.Txn] = true
+					}
+				default:
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+			}
+			if seen[rec.Txn] {
+				t.Error("duplicate record")
+				return
+			}
+			seen[rec.Txn] = true
+		}
+	}()
+	wg.Wait()
+	close(produced)
+	<-done
+	if len(seen)+dropped != producers*each {
+		t.Fatalf("records lost: seen %d + dropped %d != %d", len(seen), dropped, producers*each)
+	}
+}
+
+func TestManagerIntegration(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lock.NewManager(lock.Options{Sinks: []lock.EventSink{w}})
+	ctx := context.Background()
+	if err := m.AcquireCtx(ctx, 1, "db1/a", lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AcquireCtx(ctx, 1, "db1/b", lock.S); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	m.ResetStats() // cascades to the writer: journals a "reset" marker
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, torn, err := ReadAll(dir)
+	if err != nil || torn {
+		t.Fatalf("ReadAll: torn=%v err=%v", torn, err)
+	}
+	kinds := map[string]int{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+	}
+	if kinds["grant"] != 2 || kinds["release-all"] != 1 || kinds["reset"] != 1 {
+		t.Fatalf("unexpected kinds journaled: %v", kinds)
+	}
+	st := w.Status()
+	if st.Records != uint64(len(recs)) || st.Dropped != 0 || st.Segments != 1 {
+		t.Fatalf("bad status: %+v (read %d records)", st, len(recs))
+	}
+}
+
+func TestStatusAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Note("health", "ok->warn wait p99")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w.WriteMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"colock_journal_records_total 1",
+		"colock_journal_dropped_total 0",
+		"colock_journal_segments 1",
+		"colock_journal_bytes_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	if w.Offset() != 1 {
+		t.Errorf("Offset = %d, want 1", w.Offset())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing twice is safe.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flush after close returns without hanging.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyDirReads(t *testing.T) {
+	got, torn, err := ReadAll(t.TempDir())
+	if err != nil || torn || len(got) != 0 {
+		t.Fatalf("empty dir: got %d torn=%v err=%v", len(got), torn, err)
+	}
+}
+
+// FuzzRecordRoundTrip drives arbitrary field values through one
+// encoder/decoder pair and asserts the record survives unchanged.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add("grant", uint64(1), "db1/seg1/cells/c1", byte(5), uint32(3), true, false, int64(1700000000e9), int64(250), uint64(2), "db1/x")
+	f.Add("", uint64(0), "", byte(0), uint32(0), false, false, int64(0), int64(-5), uint64(0), "")
+	f.Add("victim", uint64(1<<63), strings.Repeat("long/", 100), byte(255), uint32(1<<20), true, true, int64(-1), int64(1<<40), uint64(7), "q")
+	f.Fuzz(func(t *testing.T, kind string, txn uint64, resource string, mode byte, shard uint32, waited, waitdie bool, atNanos, dur int64, blocker uint64, extraRes string) {
+		rec := Record{
+			Kind:     kind,
+			Txn:      lock.TxnID(txn),
+			Resource: lock.Resource(resource),
+			Mode:     lock.Mode(mode),
+			Shard:    int(shard & 0x7fffffff),
+			Waited:   waited,
+			WaitDie:  waitdie,
+		}
+		if atNanos != 0 {
+			rec.At = time.Unix(0, atNanos)
+		}
+		if dur > 0 {
+			rec.Dur = time.Duration(dur)
+		}
+		if blocker != 0 {
+			rec.Blockers = []lock.TxnID{lock.TxnID(blocker)}
+		}
+		if extraRes != "" {
+			rec.Resources = []lock.Resource{lock.Resource(extraRes), rec.Resource}
+		}
+
+		var buf bytes.Buffer
+		enc, err := newSegmentEncoder(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.writeRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := newSegmentDecoder(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+		}
+	})
+}

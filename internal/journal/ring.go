@@ -1,0 +1,70 @@
+package journal
+
+import "sync/atomic"
+
+// eventRing is a bounded lock-free multi-producer single-consumer queue
+// (Vyukov's bounded MPMC design, used here MPSC): producers are lock-event
+// goroutines inside the manager's sink fan-out, the consumer is the
+// Writer's background goroutine. A full ring makes push fail instead of
+// blocking — the Writer counts the drop and the lock manager never waits
+// on the journal.
+type eventRing struct {
+	mask  uint64
+	slots []ringSlot
+	head  atomic.Uint64 // next producer position
+	tail  atomic.Uint64 // next consumer position
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	rec Record
+}
+
+// newEventRing builds a ring with capacity rounded up to a power of two.
+func newEventRing(capacity int) *eventRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &eventRing{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues rec; false when the ring is full.
+func (r *eventRing) push(rec Record) bool {
+	for {
+		pos := r.head.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				slot.rec = rec
+				slot.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos:
+			return false // the slot still holds an unconsumed record: full
+		}
+		// seq > pos: another producer advanced head; retry with a fresh load.
+	}
+}
+
+// pop dequeues the oldest record; false when the ring is empty. Single
+// consumer only.
+func (r *eventRing) pop() (Record, bool) {
+	pos := r.tail.Load()
+	slot := &r.slots[pos&r.mask]
+	seq := slot.seq.Load()
+	if seq != pos+1 {
+		return Record{}, false
+	}
+	rec := slot.rec
+	slot.rec = Record{} // drop references for GC
+	slot.seq.Store(pos + r.mask + 1)
+	r.tail.Store(pos + 1)
+	return rec, true
+}

@@ -1,0 +1,371 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colock/internal/lock"
+)
+
+// Options configures a Writer.
+type Options struct {
+	// MaxSegmentBytes rotates to a new segment file once the current one
+	// exceeds this size (default 8 MiB).
+	MaxSegmentBytes int64
+	// RingSize is the bounded event ring's capacity, rounded up to a power
+	// of two (default 8192). When the ring is full events are dropped and
+	// counted — the hot path never blocks on the journal.
+	RingSize int
+	// FlushEvery is the background flush period for the buffered segment
+	// writer (default 200ms). Close and Flush always flush.
+	FlushEvery time.Duration
+}
+
+// Writer persists lock events to an append-only segment journal in dir. It
+// implements lock.EventSink: Record copies the event into a lock-free ring
+// and returns; a single background goroutine drains, interns, encodes and
+// writes. Attach it with Manager.AttachSink.
+type Writer struct {
+	dir  string
+	opts Options
+	ring *eventRing
+
+	notify  chan struct{}
+	flushCh chan chan error
+	done    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+
+	accepted atomic.Uint64 // records accepted into the ring
+	dropped  atomic.Uint64 // records dropped (ring full or sticky write error)
+	written  atomic.Uint64 // records persisted, == the Reader's Seq ordinals
+	bytes    atomic.Int64  // bytes written across all segments
+	segments atomic.Uint64 // segment files created (pre-existing included)
+	curSeg   atomic.Uint64 // current segment sequence number
+
+	errMu    sync.Mutex
+	writeErr error // sticky: first write failure
+
+	// Consumer-goroutine state; never touched by producers.
+	f           *os.File
+	bw          *bufio.Writer
+	enc         *segmentEncoder
+	closedBytes int64 // bytes in closed segments; live segment adds enc.n
+}
+
+// Open creates (or appends to) the journal directory and starts the writer
+// goroutine. Existing segments are never modified: writing always begins a
+// fresh segment numbered after the highest present.
+func Open(dir string, opts Options) (*Writer, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = 8 << 20
+	}
+	if opts.RingSize <= 0 {
+		opts.RingSize = 8192
+	}
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = 200 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	existing, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(existing); n > 0 {
+		if _, seq, err := parseSegmentName(existing[n-1]); err == nil {
+			next = seq + 1
+		}
+	}
+	w := &Writer{
+		dir:     dir,
+		opts:    opts,
+		ring:    newEventRing(opts.RingSize),
+		notify:  make(chan struct{}, 1),
+		flushCh: make(chan chan error),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	w.segments.Store(uint64(len(existing)))
+	if err := w.openSegment(next); err != nil {
+		return nil, err
+	}
+	go w.run()
+	return w, nil
+}
+
+// segmentName formats the file name of segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("%08d.journal", seq) }
+
+// parseSegmentName extracts the sequence number from a segment path.
+func parseSegmentName(path string) (base string, seq uint64, err error) {
+	base = filepath.Base(path)
+	if _, err = fmt.Sscanf(base, "%08d.journal", &seq); err != nil {
+		return base, 0, fmt.Errorf("journal: bad segment name %q", base)
+	}
+	return base, seq, nil
+}
+
+// Segments lists the journal's segment files in write order.
+func Segments(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.journal"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths) // zero-padded names: lexicographic == numeric
+	return paths, nil
+}
+
+// Record is the lock.EventSink implementation: enqueue and return. Never
+// blocks; a full ring (or a previous write failure) drops the event.
+func (w *Writer) Record(e lock.Event) { w.push(RecordOf(e)) }
+
+// RecordFastPathHit journals one protocol grant-cache hit; wire it to
+// core.Protocol.OnFastPathHit (composed with the health monitor's counter).
+// Unlike the manager's events it must stamp its own timestamp — cache hits
+// never reach the manager's tracer.
+func (w *Writer) RecordFastPathHit() {
+	w.push(Record{Kind: "fastpath", At: time.Now()})
+}
+
+// Note journals a synthetic event, e.g. kind "health" with an SLO
+// transition summary as detail — the same convention the colockshell trace
+// ring uses for non-lock events.
+func (w *Writer) Note(kind, detail string) {
+	w.push(Record{Kind: kind, Resource: lock.Resource(detail), At: time.Now()})
+}
+
+// ResetStats zeroes the drop counter and journals a "reset" marker so
+// offline analysis can tell benchmark phases apart. Files are durable
+// history — the manager's ResetStats cascade never truncates them.
+func (w *Writer) ResetStats() {
+	w.dropped.Store(0)
+	w.Note("reset", "")
+}
+
+func (w *Writer) push(rec Record) {
+	if w.failed() != nil || !w.ring.push(rec) {
+		w.dropped.Add(1)
+		return
+	}
+	w.accepted.Add(1)
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (w *Writer) failed() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.writeErr
+}
+
+func (w *Writer) fail(err error) {
+	w.errMu.Lock()
+	if w.writeErr == nil {
+		w.writeErr = err
+	}
+	w.errMu.Unlock()
+}
+
+// Offset is the journal position for incident correlation: the number of
+// records accepted so far. A record enqueued before Offset was read has
+// Seq ≤ Offset once persisted (drops only widen the bound), so replaying
+// "Seq ≤ offset" reconstructs everything up to the correlated moment.
+func (w *Writer) Offset() uint64 { return w.accepted.Load() }
+
+// Dropped returns the events dropped since open (or the last ResetStats).
+func (w *Writer) Dropped() uint64 { return w.dropped.Load() }
+
+// Records returns the records persisted to disk so far.
+func (w *Writer) Records() uint64 { return w.written.Load() }
+
+// Flush forces buffered bytes to disk and returns the first write error.
+func (w *Writer) Flush() error {
+	ch := make(chan error, 1)
+	select {
+	case w.flushCh <- ch:
+		return <-ch
+	case <-w.stopped:
+		return w.failed()
+	}
+}
+
+// Close drains the ring, flushes, and closes the current segment.
+func (w *Writer) Close() error {
+	w.once.Do(func() { close(w.done) })
+	<-w.stopped
+	return w.failed()
+}
+
+// run is the writer goroutine: drain on notify, flush on a timer, exit on
+// Close after a final drain.
+func (w *Writer) run() {
+	defer close(w.stopped)
+	ticker := time.NewTicker(w.opts.FlushEvery)
+	defer ticker.Stop()
+	for {
+		w.drain()
+		select {
+		case <-w.notify:
+		case ch := <-w.flushCh:
+			w.drain()
+			ch <- w.flush()
+		case <-ticker.C:
+			_ = w.flush()
+		case <-w.done:
+			w.drain()
+			err := w.flush()
+			if w.f != nil {
+				if cerr := w.f.Close(); err == nil && cerr != nil {
+					err = cerr
+				}
+				w.f = nil
+			}
+			if err != nil {
+				w.fail(err)
+			}
+			return
+		}
+	}
+}
+
+// drain writes every ring record, rotating segments as they fill.
+func (w *Writer) drain() {
+	for {
+		rec, ok := w.ring.pop()
+		if !ok {
+			return
+		}
+		if w.enc == nil {
+			continue // sticky failure: discard
+		}
+		rec.Seq = w.written.Load() + 1
+		if err := w.enc.writeRecord(rec); err != nil {
+			w.fail(err)
+			w.enc = nil
+			continue
+		}
+		w.written.Store(rec.Seq)
+		w.bytes.Store(w.closedBytes + w.enc.n)
+		if w.enc.n >= w.opts.MaxSegmentBytes {
+			if err := w.rotate(); err != nil {
+				w.fail(err)
+				w.enc = nil
+			}
+		}
+	}
+}
+
+func (w *Writer) flush() error {
+	if w.bw == nil {
+		return w.failed()
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.fail(err)
+		return err
+	}
+	return nil
+}
+
+// rotate closes the current segment and opens the next one.
+func (w *Writer) rotate() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.f = nil
+	w.closedBytes += w.enc.n
+	return w.openSegment(w.curSeg.Load() + 1)
+}
+
+// openSegment creates segment file seq and resets the interning table.
+func (w *Writer) openSegment(seq uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	enc, err := newSegmentEncoder(bw)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.bw, w.enc = f, bw, enc
+	w.curSeg.Store(seq)
+	w.segments.Add(1)
+	w.bytes.Store(w.closedBytes + enc.n)
+	return nil
+}
+
+// Status is the journal's live state, served on /journal/status.
+type Status struct {
+	Dir      string `json:"dir"`
+	Segment  uint64 `json:"segment"`  // current segment sequence number
+	Segments uint64 `json:"segments"` // segment files (pre-existing included)
+	Records  uint64 `json:"records"`  // persisted records
+	Accepted uint64 `json:"accepted"` // records accepted into the ring
+	Dropped  uint64 `json:"dropped"`
+	Bytes    int64  `json:"bytes"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Status snapshots the writer's counters.
+func (w *Writer) Status() Status {
+	st := Status{
+		Dir:      w.dir,
+		Segment:  w.curSeg.Load(),
+		Segments: w.segments.Load(),
+		Records:  w.written.Load(),
+		Accepted: w.accepted.Load(),
+		Dropped:  w.dropped.Load(),
+		Bytes:    w.bytes.Load(),
+	}
+	if err := w.failed(); err != nil {
+		st.Error = err.Error()
+	}
+	return st
+}
+
+// StatusHandler serves Status as JSON; wire it into obs.TraceSources.Journal
+// to expose /journal/status.
+func (w *Writer) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(w.Status())
+	})
+}
+
+// WriteMetrics appends the journal counters in Prometheus text format; wire
+// it into obs.Handler's extra writers.
+func (w *Writer) WriteMetrics(out io.Writer) {
+	st := w.Status()
+	fmt.Fprintf(out, "# HELP colock_journal_records_total Lock events persisted to the journal.\n")
+	fmt.Fprintf(out, "# TYPE colock_journal_records_total counter\n")
+	fmt.Fprintf(out, "colock_journal_records_total %d\n", st.Records)
+	fmt.Fprintf(out, "# HELP colock_journal_dropped_total Lock events dropped by the journal's bounded ring.\n")
+	fmt.Fprintf(out, "# TYPE colock_journal_dropped_total counter\n")
+	fmt.Fprintf(out, "colock_journal_dropped_total %d\n", st.Dropped)
+	fmt.Fprintf(out, "# HELP colock_journal_bytes_total Bytes written across all journal segments.\n")
+	fmt.Fprintf(out, "# TYPE colock_journal_bytes_total counter\n")
+	fmt.Fprintf(out, "colock_journal_bytes_total %d\n", st.Bytes)
+	fmt.Fprintf(out, "# HELP colock_journal_segments Journal segment files on disk.\n")
+	fmt.Fprintf(out, "# TYPE colock_journal_segments gauge\n")
+	fmt.Fprintf(out, "colock_journal_segments %d\n", st.Segments)
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -35,6 +36,11 @@ type TraceSources struct {
 	// here; obs stays dependency-free of the health package by taking the
 	// plain http.Handler.
 	Health http.Handler
+	// Journal serves the durable lock-event journal's status on
+	// /journal/status (JSON counters: segments, records, drops). Wire
+	// internal/journal.Writer.StatusHandler here; like Health it is a plain
+	// http.Handler so obs stays dependency-free of the journal package.
+	Journal http.Handler
 }
 
 // Handler returns an http.Handler exposing the observability surface:
@@ -47,17 +53,29 @@ type TraceSources struct {
 //	/trace/spans      span trees (JSON; ?txn=N for one txn's buffer, else ?n=K recent)
 //	/trace/incidents  incident-dump index (JSON)
 //	/trace/profile    blocked-time contention profile (folded-stack text)
+//	/journal/status   durable journal status (JSON; see internal/journal)
 //
 // col may be nil (manager metrics only), as may ts or any of its fields
-// (the corresponding /trace routes then 404); extra writers are appended to
+// (the corresponding routes then 404); extra writers are appended to
 // /metrics, letting callers export their own families (e.g. the core
 // protocol's rule counters) without this package importing them.
+//
+// The index page "/" is registration-driven: it lists exactly the routes
+// that are live for this handler's configuration, so a scraper (or a human
+// with curl) discovers the surface instead of guessing it.
 func Handler(m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io.Writer)) http.Handler {
 	if ts == nil {
 		ts = &TraceSources{}
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	var routes []string
+	register := func(path string, live bool, h http.HandlerFunc) {
+		mux.HandleFunc(path, h)
+		if live {
+			routes = append(routes, path)
+		}
+	}
+	register("/metrics", true, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if col != nil {
 			col.WriteMetrics(w)
@@ -67,19 +85,19 @@ func Handler(m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io
 			f(w)
 		}
 	})
-	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+	register("/debug/vars", true, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = WriteVars(w, m, col)
 	})
-	mux.HandleFunc("/queues", func(w http.ResponseWriter, r *http.Request) {
+	register("/queues", true, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = WriteQueuesJSON(w, m, r.URL.Query().Get("contended") != "")
 	})
-	mux.HandleFunc("/dot", func(w http.ResponseWriter, r *http.Request) {
+	register("/dot", true, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
 		io.WriteString(w, m.WaitsForDOT())
 	})
-	mux.HandleFunc("/trace/spans", func(w http.ResponseWriter, r *http.Request) {
+	register("/trace/spans", ts.Recorder != nil, func(w http.ResponseWriter, r *http.Request) {
 		if ts.Recorder == nil {
 			http.NotFound(w, r)
 			return
@@ -110,7 +128,7 @@ func Handler(m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io
 		}
 		_ = enc.Encode(spans)
 	})
-	mux.HandleFunc("/trace/incidents", func(w http.ResponseWriter, r *http.Request) {
+	register("/trace/incidents", ts.Incidents != nil, func(w http.ResponseWriter, r *http.Request) {
 		if ts.Incidents == nil {
 			http.NotFound(w, r)
 			return
@@ -124,14 +142,14 @@ func Handler(m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(infos)
 	})
-	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+	register("/health", ts.Health != nil, func(w http.ResponseWriter, r *http.Request) {
 		if ts.Health == nil {
 			http.NotFound(w, r)
 			return
 		}
 		ts.Health.ServeHTTP(w, r)
 	})
-	mux.HandleFunc("/trace/profile", func(w http.ResponseWriter, r *http.Request) {
+	register("/trace/profile", ts.Profile != nil, func(w http.ResponseWriter, r *http.Request) {
 		if ts.Profile == nil {
 			http.NotFound(w, r)
 			return
@@ -139,12 +157,24 @@ func Handler(m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = ts.Profile.WriteFolded(w)
 	})
+	register("/journal/status", ts.Journal != nil, func(w http.ResponseWriter, r *http.Request) {
+		if ts.Journal == nil {
+			http.NotFound(w, r)
+			return
+		}
+		ts.Journal.ServeHTTP(w, r)
+	})
+	sort.Strings(routes)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "colock observability\n\n/metrics\n/debug/vars\n/queues\n/dot\n/health\n/trace/spans\n/trace/incidents\n/trace/profile\n")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "colock observability\n\n")
+		for _, route := range routes {
+			fmt.Fprintln(w, route)
+		}
 	})
 	return mux
 }

@@ -125,6 +125,72 @@ func TestHandlerWithoutCollector(t *testing.T) {
 	}
 }
 
+// TestIndexListsRegisteredRoutes pins the "/" index to the registration
+// set: every live route listed, conditional routes absent unless their
+// source is wired, nothing invented.
+func TestIndexListsRegisteredRoutes(t *testing.T) {
+	m := lock.NewManager(lock.Options{})
+	fetch := func(ts *TraceSources) []string {
+		t.Helper()
+		srv, err := Serve("127.0.0.1:0", m, nil, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		resp, err := http.Get("http://" + srv.Addr() + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		var routes []string
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "/") {
+				routes = append(routes, line)
+			}
+		}
+		return routes
+	}
+
+	minimal := fetch(nil)
+	wantMin := []string{"/debug/vars", "/dot", "/metrics", "/queues"}
+	if fmt.Sprint(minimal) != fmt.Sprint(wantMin) {
+		t.Errorf("minimal index = %v, want %v", minimal, wantMin)
+	}
+
+	stub := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "{}") })
+	rec := trace.NewRecorder(trace.Options{ShardOf: m.ShardOf})
+	full := fetch(&TraceSources{
+		Recorder:  rec,
+		Incidents: trace.NewIncidentWriter(t.TempDir(), rec, m, trace.IncidentOptions{}),
+		Profile:   trace.NewProfile(),
+		Health:    stub,
+		Journal:   stub,
+	})
+	wantFull := []string{
+		"/debug/vars", "/dot", "/health", "/journal/status", "/metrics",
+		"/queues", "/trace/incidents", "/trace/profile", "/trace/spans",
+	}
+	if fmt.Sprint(full) != fmt.Sprint(wantFull) {
+		t.Errorf("full index = %v, want %v", full, wantFull)
+	}
+
+	// The conditional routes still answer (404) even when unlisted.
+	srv, err := Serve("127.0.0.1:0", m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/journal/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/journal/status without a journal: status %d, want 404", resp.StatusCode)
+	}
+}
+
 func TestServeTraceRoutes(t *testing.T) {
 	m := lock.NewManager(lock.Options{})
 	rec := trace.NewRecorder(trace.Options{ShardOf: m.ShardOf})

@@ -26,10 +26,11 @@ import (
 // therefore dumps no incident. Run incident-bearing managers unsampled
 // (EventSampleShift 0), as colockshell does.
 type IncidentWriter struct {
-	dir string
-	rec *Recorder
-	mgr *lock.Manager
-	max int
+	dir    string
+	rec    *Recorder
+	mgr    *lock.Manager
+	max    int
+	offset func() uint64
 
 	mu        sync.Mutex
 	seq       int
@@ -47,6 +48,10 @@ type IncidentInfo struct {
 	At       time.Time     `json:"at"`
 	Spans    int           `json:"spans"` // victim span-tree lines in the file
 	Path     string        `json:"path"`
+	// JournalOffset is the durable journal's position (accepted records) at
+	// dump time, when a journal was wired: `colockreplay -around <file>`
+	// replays Seq ≤ JournalOffset to reconstruct the lead-up.
+	JournalOffset uint64 `json:"journal_offset,omitempty"`
 }
 
 // IncidentOptions configures an IncidentWriter.
@@ -54,6 +59,10 @@ type IncidentOptions struct {
 	// MaxIncidents caps the number of files written (default 64); further
 	// triggers are counted as dropped instead of flooding the disk.
 	MaxIncidents int
+	// JournalOffset, when set, is sampled at dump time and recorded in the
+	// incident header for offline correlation; wire it to the durable
+	// journal writer's Offset method.
+	JournalOffset func() uint64
 }
 
 // NewIncidentWriter builds a writer dumping into dir (created on demand).
@@ -64,7 +73,7 @@ func NewIncidentWriter(dir string, rec *Recorder, mgr *lock.Manager, opts Incide
 	if max <= 0 {
 		max = 64
 	}
-	return &IncidentWriter{dir: dir, rec: rec, mgr: mgr, max: max}
+	return &IncidentWriter{dir: dir, rec: rec, mgr: mgr, max: max, offset: opts.JournalOffset}
 }
 
 // Record is the lock.EventSink implementation: deadlock-victim and
@@ -96,11 +105,12 @@ type incidentLine struct {
 	Type string `json:"type"` // "incident", "span", "recent", "queues", "waitsfor"
 
 	// Type "incident" (the header, always the first line).
-	Reason   string        `json:"reason,omitempty"`
-	Txn      lock.TxnID    `json:"txn,omitempty"`
-	Resource lock.Resource `json:"resource,omitempty"`
-	Mode     string        `json:"mode,omitempty"`
-	At       *time.Time    `json:"at,omitempty"`
+	Reason        string        `json:"reason,omitempty"`
+	Txn           lock.TxnID    `json:"txn,omitempty"`
+	Resource      lock.Resource `json:"resource,omitempty"`
+	Mode          string        `json:"mode,omitempty"`
+	At            *time.Time    `json:"at,omitempty"`
+	JournalOffset uint64        `json:"journal_offset,omitempty"`
 
 	// Types "span" (victim's buffered tree) and "recent" (flight recorder).
 	Span *Span `json:"span,omitempty"`
@@ -128,6 +138,9 @@ func (iw *IncidentWriter) Trigger(reason string, txn lock.TxnID, res lock.Resour
 
 	now := time.Now()
 	info := IncidentInfo{Seq: seq, Reason: reason, Txn: txn, Resource: res, Mode: mode, At: now}
+	if iw.offset != nil {
+		info.JournalOffset = iw.offset()
+	}
 	var spans []Span
 	if iw.rec != nil {
 		spans = iw.rec.SpansOf(txn)
@@ -149,7 +162,7 @@ func (iw *IncidentWriter) Trigger(reason string, txn lock.TxnID, res lock.Resour
 			err = enc.Encode(l)
 		}
 	}
-	writeLine(incidentLine{Type: "incident", Reason: reason, Txn: txn, Resource: res, Mode: mode, At: &now})
+	writeLine(incidentLine{Type: "incident", Reason: reason, Txn: txn, Resource: res, Mode: mode, At: &now, JournalOffset: info.JournalOffset})
 	for i := range spans {
 		writeLine(incidentLine{Type: "span", Span: &spans[i]})
 	}
@@ -187,10 +200,13 @@ type Incident struct {
 	Resource lock.Resource
 	Mode     string
 	At       time.Time
-	Spans    []Span // the victim's buffered span tree
-	Recent   []Span // flight-recorder spans
-	Queues   []lock.QueueInfo
-	DOT      string
+	// JournalOffset is the durable journal position at dump time (zero when
+	// no journal was wired).
+	JournalOffset uint64
+	Spans         []Span // the victim's buffered span tree
+	Recent        []Span // flight-recorder spans
+	Queues        []lock.QueueInfo
+	DOT           string
 }
 
 // ParseIncident reads an incident dump back, validating that every line is
@@ -215,6 +231,7 @@ func ParseIncident(r io.Reader) (*Incident, error) {
 				return nil, fmt.Errorf("trace: incident header on line %d, want line 1", n)
 			}
 			inc.Reason, inc.Txn, inc.Resource, inc.Mode = l.Reason, l.Txn, l.Resource, l.Mode
+			inc.JournalOffset = l.JournalOffset
 			if l.At != nil {
 				inc.At = *l.At
 			}
