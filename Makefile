@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke stormbench stormbench-smoke healthbench healthmon-smoke journalbench journal-smoke nodeprecated obs-demo trace-demo figures clean
+.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke stormbench stormbench-smoke healthbench healthmon-smoke journalbench journal-smoke grantbench grantbench-smoke benchdiff nodeprecated obs-demo trace-demo figures clean
 
 # ci is the gate every change must pass: formatting, vet, the
 # no-deprecated-wrappers grep, build, the full test suite under the race
 # detector (the lock manager and protocol are concurrent; -race is not
-# optional here), the end-to-end incident-dump demo, the fast-path and
-# contention-survival smoke benchmarks, the health-monitor smoke gate, and
-# the journal-forensics smoke gate.
-ci: fmt vet nodeprecated build race trace-demo hotbench-smoke stormbench-smoke healthmon-smoke journal-smoke
+# optional here), the end-to-end incident-dump demo, the fast-path,
+# contention-survival, and grant-path smoke benchmarks, the health-monitor
+# smoke gate, and the journal-forensics smoke gate.
+ci: fmt vet nodeprecated build race trace-demo hotbench-smoke stormbench-smoke healthmon-smoke journal-smoke grantbench-smoke
 
 # fmt fails if any file needs gofmt, listing the offenders.
 fmt:
@@ -118,6 +118,29 @@ journal-smoke:
 		-replayfile "$$f" -livehealth "$$hf" && \
 	echo "journal-smoke: replay of $$dir passes (hot key, convoy, SLO verdict matches live)" && \
 	rm -rf "$$dir" "$$hf" "$$f"
+
+# grantbench regenerates BENCH_PR9.json (constant-time grant path:
+# granted-group summaries + pooled wait blocks + deferred deadlock
+# detection vs the pre-change map-scan replica; see DESIGN.md §15).
+grantbench:
+	$(GO) run ./cmd/lockbench -grantbench -grantout BENCH_PR9.json
+
+# grantbench-smoke runs a quick grantbench into a temp file and asserts, via
+# the flag-gated validation test in cmd/lockbench, that the report parses, no
+# hot-root row measured the summary path as a slowdown (≥1.0x; the committed
+# BENCH_PR9.json documents the full ≥1.3x run), the blocked path stays at
+# ≤1 alloc/op, and the deferred detector resolved a real AB-BA cycle.
+grantbench-smoke:
+	@f=$$(mktemp) && \
+	$(GO) run ./cmd/lockbench -grantbench -quick -grantout "$$f" >/dev/null && \
+	$(GO) test ./cmd/lockbench -count=1 -run TestExternalGrantBenchFile -grantbenchfile "$$f" && \
+	echo "grantbench-smoke: $$f passes (summaries live, blocked path alloc-free, detector resolves)" && \
+	rm -f "$$f"
+
+# benchdiff tabulates every committed BENCH_PR*.json so the performance
+# trajectory of the PR sequence is visible in one table.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
 
 # nodeprecated fails the build if any Deprecated marker survives in
 # internal/lock: the consolidated AcquireCtx + options API is the only

@@ -169,6 +169,7 @@ func newShell(prime bool, policy lock.Policy, incidentDir, journalDir string, ou
 			MaxWaiterDepth: 64,
 		},
 		WaiterDepth: mgr.WaitingTxns,
+		GrantPath:   mgr.Stats,
 	})
 	mgr.AttachSink(mon) // joins the ResetStats cascade via the resettable check
 	// SLO transitions surface in the .trace ring like any lock event, and in
@@ -241,6 +242,8 @@ func main() {
 		"directory for deadlock/timeout incident dumps (JSONL)")
 	journalDir := flag.String("journal", "",
 		"directory for the durable lock-event journal (analyze offline with colockreplay)")
+	pprofOn := flag.Bool("pprof", false,
+		"expose net/http/pprof under /debug/pprof/ on the -obs endpoint")
 	flag.Parse()
 
 	policy, err := parsePolicy(*deadlock)
@@ -257,7 +260,7 @@ func main() {
 	}
 
 	if *obsAddr != "" {
-		ts := &obs.TraceSources{Recorder: s.rec, Incidents: s.iw, Profile: s.prof, Health: s.mon.Handler()}
+		ts := &obs.TraceSources{Recorder: s.rec, Incidents: s.iw, Profile: s.prof, Health: s.mon.Handler(), Pprof: *pprofOn}
 		extras := []func(io.Writer){s.proto.WriteMetrics, s.retry.WriteMetrics, s.mon.WriteMetrics}
 		if s.jw != nil {
 			ts.Journal = s.jw.StatusHandler()
@@ -606,6 +609,9 @@ func (s *shell) showMetrics() {
 		{"sheds", st.Sheds}, {"admit delays", st.AdmitDelays},
 		{"degraded acquires", st.DegradedAcquires},
 		{"injected faults", st.InjectedFaults},
+		{"summary fast checks", st.SummaryFastChecks},
+		{"deferred detections", st.DeferredDetections},
+		{"detector runs", st.DetectorRuns},
 	} {
 		ops.Addf(kv.name, kv.val)
 	}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// A quick grantbench run must produce a well-formed report whose current
+// side demonstrably exercised the summary fast path and whose deferred
+// detector resolved a real cycle.
+func TestGrantBenchQuick(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep, err := writeGrantBench(path, []int{2}, 100*time.Millisecond, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "grantbench" || rep.Residents != grantResidents {
+		t.Errorf("report header = %q residents %d", rep.Benchmark, rep.Residents)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("result rows = %+v, want one hot_root_is and one convoy_x row", rep.Results)
+	}
+	for _, r := range rep.Results {
+		if r.Goroutines != 2 || r.BaselineOpsPerSec <= 0 || r.CurrentOpsPerSec <= 0 || r.Speedup <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+	if rep.SummaryFastChecks == 0 {
+		t.Error("current side recorded no summary fast-path checks")
+	}
+	if !rep.DeadlockResolved {
+		t.Error("deferred-detector probe did not resolve the AB-BA cycle")
+	}
+	if rep.DetectorRuns == 0 || rep.DeferredDetections == 0 {
+		t.Errorf("detector not live: deferred=%d runs=%d", rep.DeferredDetections, rep.DetectorRuns)
+	}
+	if rep.BaselineBlockedAllocsPerOp <= 0 {
+		t.Errorf("baseline blocked allocs/op = %v, want > 0", rep.BaselineBlockedAllocsPerOp)
+	}
+	if rep.BlockedAllocsPerOp >= rep.BaselineBlockedAllocsPerOp {
+		t.Errorf("blocked path allocates as much as the baseline: current %.2f vs baseline %.2f",
+			rep.BlockedAllocsPerOp, rep.BaselineBlockedAllocsPerOp)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed grantBenchReport
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("report file not JSON: %v", err)
+	}
+	if parsed.Benchmark != "grantbench" {
+		t.Errorf("file benchmark = %q", parsed.Benchmark)
+	}
+}
+
+var externalGrantBench = flag.String("grantbenchfile", "",
+	"path to a grantbench JSON report to validate (used by `make grantbench-smoke`)")
+
+// TestExternalGrantBenchFile validates a BENCH_PR9.json produced outside
+// the test process — the `make grantbench-smoke` gate runs `lockbench
+// -grantbench -quick` into a temp file and hands it in here. The smoke bar
+// is ≥1.0x on every row and ≤1 alloc/op on the blocked path (the committed
+// full run documents the ≥1.3x hot-root result; a loaded CI machine still
+// must never measure the summary path as a slowdown). Skipped when no
+// -grantbenchfile is given.
+func TestExternalGrantBenchFile(t *testing.T) {
+	if *externalGrantBench == "" {
+		t.Skip("no -grantbenchfile given")
+	}
+	data, err := os.ReadFile(*externalGrantBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep grantBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Benchmark != "grantbench" || len(rep.Results) == 0 {
+		t.Fatalf("not a grantbench report: %+v", rep)
+	}
+	// The gate holds the hot-root rows — the scenario the summaries target —
+	// to ≥1.0x. The convoy rows are informational: X handoff throughput is
+	// dominated by scheduler wake latency and the manager's FIFO bookkeeping
+	// (registry, arming, stats), and on a loaded single-CPU runner it can
+	// measure below the lean replica; the convoy win this PR claims is the
+	// allocation-free blocked path, gated below.
+	hotRows := 0
+	for _, r := range rep.Results {
+		if r.Scenario != "hot_root_is" {
+			continue
+		}
+		hotRows++
+		if r.Speedup < 1.0 {
+			t.Errorf("%s @%d goroutines: speedup %.2fx < 1.0x — summary grant path is a slowdown",
+				r.Scenario, r.Goroutines, r.Speedup)
+		}
+	}
+	if hotRows == 0 {
+		t.Error("report has no hot_root_is rows")
+	}
+	if rep.BlockedAllocsPerOp > 1.0 {
+		t.Errorf("blocked path allocs/op = %.2f, want <= 1.0", rep.BlockedAllocsPerOp)
+	}
+	if rep.SummaryFastChecks == 0 {
+		t.Errorf("summary fast path not live: checks=%d", rep.SummaryFastChecks)
+	}
+	if !rep.DeadlockResolved || rep.DetectorRuns == 0 {
+		t.Errorf("deferred detector not live: resolved=%v runs=%d", rep.DeadlockResolved, rep.DetectorRuns)
+	}
+}

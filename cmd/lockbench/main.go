@@ -12,6 +12,7 @@
 //	lockbench -stormbench  # contention-survival goodput benchmark → BENCH_PR6.json
 //	lockbench -healthbench # health-monitor overhead + SLO storm → BENCH_PR7.json
 //	lockbench -journalbench # durable-journal overhead benchmark → BENCH_PR8.json
+//	lockbench -grantbench  # constant-time grant-path benchmark → BENCH_PR9.json
 package main
 
 import (
@@ -132,7 +133,27 @@ func main() {
 	healthout := flag.String("healthout", "BENCH_PR7.json", "output path for the -healthbench JSON report")
 	journalbench := flag.Bool("journalbench", false, "run the durable-journal overhead benchmark and write -journalout")
 	journalout := flag.String("journalout", "BENCH_PR8.json", "output path for the -journalbench JSON report")
+	grantbench := flag.Bool("grantbench", false, "run the constant-time grant-path benchmark and write -grantout")
+	grantout := flag.String("grantout", "BENCH_PR9.json", "output path for the -grantbench JSON report")
 	flag.Parse()
+
+	if *grantbench {
+		dur := 2 * time.Second
+		workers := []int{1, 4, 16}
+		allocIters := 20000
+		if *quick {
+			dur = 300 * time.Millisecond
+			workers = []int{1, 4}
+			allocIters = 2000
+		}
+		rep, err := writeGrantBench(*grantout, workers, dur, allocIters)
+		if err != nil {
+			log.Fatalf("grantbench: %v", err)
+		}
+		printGrantBench(rep)
+		fmt.Printf("report written to %s\n", *grantout)
+		return
+	}
 
 	if *journalbench {
 		dur := 2 * time.Second

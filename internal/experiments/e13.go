@@ -23,7 +23,10 @@ func E13DeadlockPolicy(workers, rounds int) *metrics.Table {
 	for _, policy := range []lock.Policy{lock.PolicyDetect, lock.PolicyWaitDie} {
 		st := workload.Generate(cfg)
 		nm := core.NewNamer(st.Catalog(), false)
-		mgr := lock.NewManager(lock.Options{Policy: policy})
+		// Eager detection reproduces the paper-era semantics the experiment
+		// reports on: a cycle is found and a victim chosen the instant the
+		// closing request enqueues, not after the deferral window.
+		mgr := lock.NewManager(lock.Options{Policy: policy, EagerDetection: true})
 		proto := core.NewProtocol(mgr, st, nm, core.Options{})
 
 		hot := []store.Path{

@@ -128,6 +128,11 @@ type Options struct {
 	// WaiterDepth, when set, is sampled once per Advance and graded
 	// against SLO.MaxWaiterDepth; wire it to lock.Manager.WaitingTxns.
 	WaiterDepth func() int
+	// GrantPath, when set, is sampled at report time to expose the
+	// manager's grant-path counters (summary fast checks, deferred
+	// detections, detector runs) in the health report; wire it to
+	// lock.Manager.Stats.
+	GrantPath func() lock.Stats
 	// Start anchors the window clock (default time.Now at construction —
 	// construction is not a hot path).
 	Start time.Time
@@ -142,6 +147,7 @@ type Monitor struct {
 	retain      int
 	start       time.Time
 	waiterDepth func() int
+	grantPath   func() lock.Stats
 
 	cur   atomic.Int64
 	slots [liveSlots]window
@@ -175,6 +181,7 @@ func NewMonitor(opts Options) *Monitor {
 		retain:      opts.Retain,
 		start:       opts.Start,
 		waiterDepth: opts.WaiterDepth,
+		grantPath:   opts.GrantPath,
 		sketch:      NewSketch(opts.TopK),
 		slo:         sloMachine{cfg: opts.SLO.withDefaults()},
 	}

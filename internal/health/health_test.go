@@ -285,6 +285,40 @@ func TestReportAndHandlerJSON(t *testing.T) {
 	}
 }
 
+// TestReportGrantPathSection: when Options.GrantPath is wired, the report
+// carries the manager's grant-path counters and the elided-walk difference;
+// without it the section is omitted from the JSON entirely.
+func TestReportGrantPathSection(t *testing.T) {
+	src := func() lock.Stats {
+		return lock.Stats{SummaryFastChecks: 40, DeferredDetections: 7, DetectorRuns: 2}
+	}
+	m := NewMonitor(Options{Window: time.Second, Start: base, GrantPath: src})
+	rep := m.Report(0)
+	gp := rep.GrantPath
+	if gp == nil {
+		t.Fatal("report missing grant_path section")
+	}
+	if gp.SummaryFastChecks != 40 || gp.DeferredDetections != 7 || gp.DetectorRuns != 2 || gp.WalksElided != 5 {
+		t.Fatalf("grant path view = %+v", gp)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"walks_elided":5`) {
+		t.Fatalf("grant_path not serialized: %s", raw)
+	}
+
+	bare := newTestMonitor(SLO{})
+	raw, err = json.Marshal(bare.Report(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "grant_path") {
+		t.Fatalf("unwired grant_path serialized: %s", raw)
+	}
+}
+
 func TestWriteMetricsShape(t *testing.T) {
 	m := newTestMonitor(SLO{MaxAbortRate: 0.25})
 	m.Record(lock.Event{Kind: "wait", At: at(0), Resource: `odd"name`, Mode: lock.X})

@@ -60,21 +60,34 @@ type SLOView struct {
 	RecoverAfter   int     `json:"recover_after"`
 }
 
+// GrantPathView is the JSON shape of the manager's grant-path counters:
+// how often the O(1) summaries answered the grant decision, and how much
+// deadlock-walk work the deferral window elided.
+type GrantPathView struct {
+	SummaryFastChecks  uint64 `json:"summary_fast_checks"`
+	DeferredDetections uint64 `json:"deferred_detections"`
+	DetectorRuns       uint64 `json:"detector_runs"`
+	// WalksElided = DeferredDetections − DetectorRuns: blocked requests
+	// whose wait resolved inside the deferral window, costing no graph walk.
+	WalksElided uint64 `json:"walks_elided"`
+}
+
 // Report is the full health verdict served on /health and printed by the
 // colockshell .health command: state + streaks, the retained window series
 // (oldest first), the still-open window, and the top-K hot resources.
 type Report struct {
-	State        string       `json:"state"`
-	Reason       string       `json:"reason,omitempty"`
-	BreachStreak int          `json:"breach_streak"`
-	CleanStreak  int          `json:"clean_streak"`
-	WaiterDepth  int          `json:"waiter_depth"`
-	Epoch        int64        `json:"epoch"`
-	WindowMs     float64      `json:"window_ms"`
-	SLO          SLOView      `json:"slo"`
-	Windows      []WindowView `json:"windows"`
-	Current      WindowView   `json:"current"`
-	TopK         []TopKView   `json:"topk"`
+	State        string         `json:"state"`
+	Reason       string         `json:"reason,omitempty"`
+	BreachStreak int            `json:"breach_streak"`
+	CleanStreak  int            `json:"clean_streak"`
+	WaiterDepth  int            `json:"waiter_depth"`
+	Epoch        int64          `json:"epoch"`
+	WindowMs     float64        `json:"window_ms"`
+	SLO          SLOView        `json:"slo"`
+	GrantPath    *GrantPathView `json:"grant_path,omitempty"`
+	Windows      []WindowView   `json:"windows"`
+	Current      WindowView     `json:"current"`
+	TopK         []TopKView     `json:"topk"`
 }
 
 // Report assembles the verdict with up to n retained windows and top-K rows
@@ -105,6 +118,18 @@ func (m *Monitor) Report(n int) Report {
 	}
 	wins := append([]WindowStats(nil), m.closed...)
 	m.mu.Unlock()
+	if m.grantPath != nil {
+		st := m.grantPath()
+		gp := &GrantPathView{
+			SummaryFastChecks:  st.SummaryFastChecks,
+			DeferredDetections: st.DeferredDetections,
+			DetectorRuns:       st.DetectorRuns,
+		}
+		if st.DeferredDetections > st.DetectorRuns {
+			gp.WalksElided = st.DeferredDetections - st.DetectorRuns
+		}
+		rep.GrantPath = gp
+	}
 	if n > 0 && len(wins) > n {
 		wins = wins[len(wins)-n:]
 	}

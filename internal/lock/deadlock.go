@@ -1,10 +1,15 @@
 package lock
 
+import (
+	"sync"
+	"time"
+)
+
 // Deadlock detection over the sharded lock table. The waits-for graph has an
 // edge T1 → T2 whenever T1 has an outstanding waiter that is incompatible
 // with a lock granted to T2, or that queues behind an earlier incompatible
-// waiter of T2. Detection runs whenever a new waiter is enqueued; the victim
-// is the youngest (highest TxnID) transaction on the detected cycle.
+// waiter of T2. The victim is the youngest (highest TxnID) transaction on
+// the detected cycle.
 //
 // Sharding makes detection a cross-shard concern: the detector never holds
 // more than one shard latch at a time. It walks the graph edge set by edge
@@ -12,34 +17,214 @@ package lock
 // transaction waits on, and the out-edges of one transaction are computed
 // under that single resource's shard latch. Each edge is therefore accurate
 // at the moment it is read, and a genuine cycle is stable (every member is
-// blocked), so the waiter whose arrival closed the cycle always finds it.
-// Under heavy churn an edge read early in the walk can be gone by the end —
-// a transiently observed "cycle" may then abort a victim spuriously, which
-// is safe (the victim retries) and is the classic price of latch-local
-// detection.
+// blocked), so a walk started from the waiter whose arrival closed the cycle
+// always finds it. Under heavy churn an edge read early in the walk can be
+// gone by the end — a transiently observed "cycle" would then abort a victim
+// spuriously, the classic price of latch-local detection. To keep that price
+// small, a found cycle is not acted on until every one of its edges has been
+// re-confirmed (confirmEdge): genuine cycles are stable, so they always pass,
+// while a phantom must reproduce the same inconsistent interleaving at
+// revalidation time to slip through. A lock convoy — one hot resource whose
+// holder releases, wraps around, and re-queues behind its own former waiters
+// — manufactures exactly these phantoms at high rate, and revalidation is
+// what keeps convoys from bleeding spurious aborts.
+//
+// WHEN the walk runs is a policy choice. Eager detection
+// (Options.EagerDetection) runs it inline on every enqueue — exact, but the
+// enqueue path pays a full graph walk whose answer is almost always "no
+// cycle". Deferred detection (the default) instead arms the waiter on a
+// dirty queue; a single background detector goroutine picks it up after
+// Options.DeadlockDefer and walks only if the wait is STILL live (validated
+// against the waits-for registry by waiter identity). Grant-bound waits —
+// the overwhelming majority — are woken before the deferral elapses and
+// never pay for detection at all. Cycles are still always found: the waiter
+// whose edge completed the cycle stays blocked (cycles don't resolve
+// themselves), so its armed check survives validation and its walk sees the
+// full cycle. The cost is latency (a cycle lives ~DeadlockDefer longer) and
+// a slightly wider window for the spurious-victim race above.
 
-// waitsFor computes the out-edges of txn in the waits-for graph, latching
-// only the single shard of the resource txn waits on.
-func (m *Manager) waitsFor(txn TxnID) []TxnID {
-	_, _, out := m.blockers(txn)
-	return out
+// dirtyWaiter is one armed deferred detection: at armAt, if txn's
+// outstanding wait is still this exact waiter INCARNATION — same pointer
+// AND same checkout gen; the pointer alone is ABA-prone because the pool
+// can reissue the address to the same transaction's next request — run the
+// walk. w is an identity token only — it is never dereferenced until
+// revalidated under the shard latch (pooled waiters may be recycled at any
+// time).
+type dirtyWaiter struct {
+	txn   TxnID
+	w     *waiter
+	gen   uint64
+	armAt time.Time
 }
 
-// blockers returns the resource and mode of txn's outstanding request plus
-// the transactions blocking it (its waits-for out-edges), latching only the
-// single shard of that resource. The introspection layer (WaitsForEdges)
-// shares this walk with the detector.
-func (m *Manager) blockers(txn TxnID) (Resource, Mode, []TxnID) {
-	rec := m.wf.get(txn)
-	if rec == nil {
-		return "", None, nil
+// armDetection schedules deferred detection for a freshly enqueued waiter.
+// Called with no latch held. Reading w.gen here is race-free: the owner
+// wrote it before enqueue and nothing rewrites it until the owner itself
+// recycles the waiter after await returns.
+//
+// The dirty list is unbounded on purpose. A convoy arms hundreds of
+// thousands of (short-lived) waits per second; any fixed buffer either
+// wastes its full capacity up front or overflows under exactly that load,
+// and an overflow fallback that walks inline on the request path turns one
+// scheduling hiccup into a feedback loop — inline walks slow the workers,
+// waits stretch, more walks validate live. Pushing is a mutex-guarded
+// append, so backlog memory is proportional to how far behind the detector
+// actually is (entries are discarded at receipt once their wait resolves).
+func (m *Manager) armDetection(txn TxnID, w *waiter) {
+	select {
+	case <-m.stopCh:
+		// Manager closed: no detector drains the queue anymore; run inline
+		// so detection is never lost.
+		m.inlineDetect(txn, w, w.gen)
+		return
+	default:
+	}
+	m.ensureDetector()
+	m.deferredDet.Add(1)
+	d := dirtyWaiter{txn: txn, w: w, gen: w.gen, armAt: time.Now().Add(m.deferDur)}
+	m.dirtyMu.Lock()
+	m.dirty = append(m.dirty, d)
+	m.dirtyMu.Unlock()
+	select {
+	case m.dirtyBell <- struct{}{}:
+	default: // bell already rung; the detector will see this push too
+	}
+}
+
+// ensureDetector starts the background detector goroutine on first use.
+func (m *Manager) ensureDetector() {
+	m.detOnce.Do(func() {
+		m.dirtyBell = make(chan struct{}, 1)
+		go m.detectorLoop()
+	})
+}
+
+// takeDirty swaps out the accumulated armings, reusing buf (the detector's
+// previously drained batch) as the next accumulation buffer so steady-state
+// arming never allocates.
+func (m *Manager) takeDirty(buf []dirtyWaiter) []dirtyWaiter {
+	m.dirtyMu.Lock()
+	batch := m.dirty
+	m.dirty = buf[:0]
+	m.dirtyMu.Unlock()
+	return batch
+}
+
+// stillWaiting reports whether the armed wait is still the transaction's
+// current one — same waiter pointer AND same checkout gen (pool ABA guard).
+func (m *Manager) stillWaiting(d dirtyWaiter) bool {
+	rec, ok := m.wf.get(d.txn)
+	return ok && rec.w == d.w && rec.gen == d.gen
+}
+
+// checkDirty runs one matured deferred detection: revalidate, then walk.
+func (m *Manager) checkDirty(d dirtyWaiter, sc *detScratch) {
+	if !m.stillWaiting(d) {
+		return // resolved while parked; nothing to check
+	}
+	m.detectorRuns.Add(1)
+	if victim, found := m.findDeadlockVictim(d.txn, sc); found {
+		m.abortWaiter(victim)
+	}
+}
+
+// detectorLoop drains the dirty list in batches. On every wake — the bell
+// after a push, or the maturity timer — it swaps the accumulated armings
+// out, validates each for the price of one registry lookup, discards those
+// whose wait already resolved (the overwhelming majority under churn), and
+// parks the still-live rest on the pending list; pending's ripe prefix is
+// then walked. pending stays ordered by armAt (armings are pushed in arm
+// order), so maturity checks only ever look at its head. One persistent
+// scratch buffer serves every walk, and the two batch buffers ping-pong
+// through takeDirty, so the whole loop is allocation-free at steady state.
+// The persistent timer uses the classic Stop/drain/Reset discipline (it is
+// provably stopped-and-drained at every Reset below).
+func (m *Manager) detectorLoop() {
+	sc := detScratchPool.Get().(*detScratch)
+	defer detScratchPool.Put(sc)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var pending, spare []dirtyWaiter
+	for {
+		// Walk the ripe prefix of pending.
+		for len(pending) > 0 && time.Until(pending[0].armAt) <= 0 {
+			d := pending[0]
+			pending = pending[1:]
+			m.checkDirty(d, sc)
+		}
+		if len(pending) == 0 {
+			// Release the drained backing array so a contention spike's
+			// pending list does not pin memory forever.
+			pending = nil
+			select {
+			case <-m.stopCh:
+				return
+			case <-m.dirtyBell:
+			}
+		} else {
+			timer.Reset(time.Until(pending[0].armAt))
+			select {
+			case <-m.stopCh:
+				return
+			case <-timer.C:
+			case <-m.dirtyBell:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			}
+		}
+		// Triage the new armings: dead on arrival or parked until maturity.
+		batch := m.takeDirty(spare)
+		for _, d := range batch {
+			if m.stillWaiting(d) {
+				pending = append(pending, d)
+			}
+		}
+		spare = batch
+	}
+}
+
+// inlineDetect is the deferred path's fallback walk (detector unavailable or
+// dirty queue saturated): validate and walk on the calling goroutine. Unlike
+// eager resolveDeadlock it resolves a self-victim through abortWaiter — the
+// caller is about to park in await and receives the verdict on the ready
+// channel.
+func (m *Manager) inlineDetect(txn TxnID, w *waiter, gen uint64) {
+	rec, ok := m.wf.get(txn)
+	if !ok || rec.w != w || rec.gen != gen {
+		return
+	}
+	sc := detScratchPool.Get().(*detScratch)
+	victim, found := m.findDeadlockVictim(txn, sc)
+	detScratchPool.Put(sc)
+	m.detectorRuns.Add(1)
+	if found {
+		m.abortWaiter(victim)
+	}
+}
+
+// appendWaitsFor appends txn's waits-for out-edges to dst (deduped via
+// seen, which the caller clears between nodes) and reports the resource and
+// target mode of its outstanding request. It latches only the single shard
+// of that resource. The registered waiter is dereferenced only after its
+// queue membership is confirmed under the latch: queue presence and
+// registry currency change together under this latch, and a waiter cannot
+// be recycled while queued, so the deref is safe even though waiters are
+// pooled.
+func (m *Manager) appendWaitsFor(txn TxnID, dst []TxnID, seen map[TxnID]bool) (Resource, Mode, []TxnID) {
+	rec, ok := m.wf.get(txn)
+	if !ok {
+		return "", None, dst
 	}
 	s := m.shardFor(rec.res)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.res[rec.res]
 	if e == nil {
-		return rec.res, rec.w.mode, nil
+		return rec.res, None, dst
 	}
 	pos := -1
 	for i, w := range e.queue {
@@ -49,75 +234,143 @@ func (m *Manager) blockers(txn TxnID) (Resource, Mode, []TxnID) {
 		}
 	}
 	if pos < 0 {
-		// The waiter was granted or withdrawn between registry and shard
-		// lookup; it no longer blocks on anything.
-		return rec.res, rec.w.mode, nil
+		// Granted or withdrawn between registry and shard lookup; it no
+		// longer blocks on anything (and rec.w must not be dereferenced).
+		return rec.res, None, dst
 	}
-	var out []TxnID
-	seen := make(map[TxnID]bool)
-	add := func(t TxnID) {
-		if t != txn && !seen[t] {
-			seen[t] = true
-			out = append(out, t)
+	return rec.res, rec.w.mode, e.appendBlockers(dst, seen, txn, rec.w.mode, pos)
+}
+
+// blockScratch is the pooled dedup scratch for blocker-set computation
+// (blockerTxns, WaitsForEdges). The map is cleared on recycle so gets are
+// ready to use.
+type blockScratch struct {
+	seen map[TxnID]bool
+	out  []TxnID
+}
+
+var blockScratchPool = sync.Pool{New: func() any {
+	return &blockScratch{seen: make(map[TxnID]bool, 16)}
+}}
+
+func getBlockScratch() *blockScratch { return blockScratchPool.Get().(*blockScratch) }
+
+func putBlockScratch(sc *blockScratch) {
+	clear(sc.seen)
+	blockScratchPool.Put(sc)
+}
+
+// detScratch holds every buffer a waits-for walk needs, so detection is
+// allocation-free at steady state: the DFS is iterative with an explicit
+// frame stack, and all out-edge slices live in one shared arena indexed by
+// the frames.
+type detScratch struct {
+	seen  map[TxnID]bool
+	color map[TxnID]uint8
+	arena []TxnID // concatenated out-edge lists
+	stack []dfsFrame
+	cycle []TxnID
+}
+
+// dfsFrame is one node on the DFS path; its unvisited out-edges are
+// arena[lo:hi].
+type dfsFrame struct {
+	txn    TxnID
+	lo, hi int
+}
+
+var detScratchPool = sync.Pool{New: func() any {
+	return &detScratch{
+		seen:  make(map[TxnID]bool, 16),
+		color: make(map[TxnID]uint8, 16),
+	}
+}}
+
+// push marks t on the DFS path and loads its out-edges into the arena.
+func (sc *detScratch) push(m *Manager, t TxnID) {
+	const grey = 1
+	sc.color[t] = grey
+	lo := len(sc.arena)
+	clear(sc.seen)
+	_, _, sc.arena = m.appendWaitsFor(t, sc.arena, sc.seen)
+	sc.stack = append(sc.stack, dfsFrame{txn: t, lo: lo, hi: len(sc.arena)})
+}
+
+// confirmEdge reports whether from currently blocks on to, by re-reading
+// from's out-edges under the shard latch. Used to revalidate a detected
+// cycle before aborting its victim; reuses sc.arena (the walk is over), but
+// leaves sc.cycle untouched.
+func (m *Manager) confirmEdge(sc *detScratch, from, to TxnID) bool {
+	clear(sc.seen)
+	sc.arena = sc.arena[:0]
+	_, _, sc.arena = m.appendWaitsFor(from, sc.arena, sc.seen)
+	for _, t := range sc.arena {
+		if t == to {
+			return true
 		}
 	}
-	for t, h := range e.granted {
-		if t != txn && !rec.w.mode.Compatible(h.mode) {
-			add(t)
-		}
-	}
-	// Earlier incompatible waiters also block us (FIFO).
-	for _, w := range e.queue[:pos] {
-		if !rec.w.mode.Compatible(w.mode) {
-			add(w.txn)
-		}
-	}
-	return rec.res, rec.w.mode, out
+	return false
 }
 
 // findDeadlockVictim searches for a waits-for cycle reachable from start
 // and, if one exists, returns the youngest transaction on it. It holds at
-// most one shard latch at any moment (inside waitsFor).
-func (m *Manager) findDeadlockVictim(start TxnID) (TxnID, bool) {
+// most one shard latch at any moment (inside appendWaitsFor) and allocates
+// nothing once the scratch buffers are warm. A found cycle is revalidated
+// edge by edge before it is reported: each edge of the walk was read at a
+// different instant, so under churn the "cycle" may be a phantom assembled
+// from edges that never coexisted (see the package comment). A real cycle
+// is stable and always confirms.
+func (m *Manager) findDeadlockVictim(start TxnID, sc *detScratch) (TxnID, bool) {
 	const (
 		white = 0 // unvisited
 		grey  = 1 // on the current DFS path
 		black = 2 // fully explored
 	)
-	color := make(map[TxnID]int)
-	var path []TxnID
+	clear(sc.color)
+	sc.arena = sc.arena[:0]
+	sc.stack = sc.stack[:0]
+	sc.cycle = sc.cycle[:0]
 
-	var cycle []TxnID
-	var dfs func(t TxnID) bool
-	dfs = func(t TxnID) bool {
-		color[t] = grey
-		path = append(path, t)
-		for _, next := range m.waitsFor(t) {
-			switch color[next] {
-			case grey:
-				// Found a cycle: the path suffix starting at next.
-				for i := len(path) - 1; i >= 0; i-- {
-					cycle = append(cycle, path[i])
-					if path[i] == next {
-						return true
-					}
-				}
-				return true
-			case white:
-				if dfs(next) {
-					return true
+	sc.push(m, start)
+	for len(sc.stack) > 0 && len(sc.cycle) == 0 {
+		top := &sc.stack[len(sc.stack)-1]
+		if top.lo == top.hi {
+			sc.color[top.txn] = black
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			continue
+		}
+		next := sc.arena[top.lo]
+		top.lo++
+		switch sc.color[next] {
+		case grey:
+			// Found a cycle: the stack suffix from next to the top.
+			for i := len(sc.stack) - 1; i >= 0; i-- {
+				sc.cycle = append(sc.cycle, sc.stack[i].txn)
+				if sc.stack[i].txn == next {
+					break
 				}
 			}
+		case white:
+			sc.push(m, next)
 		}
-		color[t] = black
-		path = path[:len(path)-1]
-		return false
 	}
-	if !dfs(start) {
+	if len(sc.cycle) == 0 {
 		return 0, false
 	}
-	victim := cycle[0]
-	for _, t := range cycle {
+	// sc.cycle holds the stack suffix deepest-first: cycle[j+1] waits for
+	// cycle[j], and the closing edge is cycle[0] → cycle[n-1]. Re-confirm
+	// each edge; any gap means the cycle was a phantom of the walk.
+	n := len(sc.cycle)
+	for j := 0; j+1 < n; j++ {
+		if !m.confirmEdge(sc, sc.cycle[j+1], sc.cycle[j]) {
+			return 0, false
+		}
+	}
+	if !m.confirmEdge(sc, sc.cycle[0], sc.cycle[n-1]) {
+		return 0, false
+	}
+	victim := sc.cycle[0]
+	for _, t := range sc.cycle {
 		if t > victim {
 			victim = t
 		}
@@ -125,13 +378,17 @@ func (m *Manager) findDeadlockVictim(start TxnID) (TxnID, bool) {
 	return victim, true
 }
 
-// resolveDeadlock runs cycle detection for a freshly enqueued waiter and
-// resolves any cycle found. It returns (err, true) when txn's own request is
-// finished — either txn was chosen as the victim (err wraps ErrDeadlock), or
-// the request completed concurrently and err is its outcome (nil on a raced
-// grant). (nil, false) means the caller should keep waiting.
+// resolveDeadlock is the EAGER path: run cycle detection for a freshly
+// enqueued waiter and resolve any cycle found, before the caller parks. It
+// returns (err, true) when txn's own request is finished — either txn was
+// chosen as the victim (err wraps ErrDeadlock), or the request completed
+// concurrently and err is its outcome (nil on a raced grant). (nil, false)
+// means the caller should keep waiting.
 func (m *Manager) resolveDeadlock(txn TxnID, r Resource, w *waiter, target Mode) (error, bool) {
-	victim, ok := m.findDeadlockVictim(txn)
+	m.detectorRuns.Add(1)
+	sc := detScratchPool.Get().(*detScratch)
+	victim, ok := m.findDeadlockVictim(txn, sc)
+	detScratchPool.Put(sc)
 	if !ok {
 		return nil, false
 	}
@@ -147,6 +404,7 @@ func (m *Manager) resolveDeadlock(txn TxnID, r Resource, w *waiter, target Mode)
 		// A grant (or a concurrent detector's abort) raced the detection;
 		// that outcome stands.
 		s.mu.Unlock()
+		putWaiter(w)
 		return err, true
 	default:
 	}
@@ -159,20 +417,32 @@ func (m *Manager) resolveDeadlock(txn TxnID, r Resource, w *waiter, target Mode)
 	m.grantWaitersLocked(tr, s, r)
 	s.mu.Unlock()
 	tr.deliver()
-	return lockErrBlocked(txn, r, target, ErrDeadlock, blockers), true
+	err := lockErrBlocked(txn, r, target, ErrDeadlock, blockers)
+	putWaiter(w)
+	return err, true
 }
 
 // abortWaiter makes victim's outstanding wait fail with ErrDeadlock. It
 // reports false when the victim had no withdrawable waiter (already granted
-// or withdrawn — the supposed cycle is then broken anyway).
+// or withdrawn — the supposed cycle is then broken anyway). The registry
+// record is revalidated by identity under the shard latch before the waiter
+// is touched: between the racy first read and the latch the waiter may have
+// been granted, recycled through the pool, and re-enqueued by a different
+// transaction — without the recheck that innocent waiter would be aborted.
 func (m *Manager) abortWaiter(victim TxnID) bool {
-	rec := m.wf.get(victim)
-	if rec == nil {
+	rec, ok := m.wf.get(victim)
+	if !ok {
 		return false
 	}
 	tr := m.newTracer()
 	s := m.shardFor(rec.res)
 	s.mu.Lock()
+	if cur, live := m.wf.get(victim); !live || cur.w != rec.w || cur.gen != rec.gen || cur.res != rec.res {
+		s.mu.Unlock()
+		return false
+	}
+	// Registry currency under the latch implies queue membership (the two
+	// change together under this latch), so rec.w is safe to use from here.
 	blockers := s.queuedBlockers(rec.res, rec.w)
 	if !s.removeWaiter(rec.res, rec.w) {
 		s.mu.Unlock()
@@ -183,7 +453,8 @@ func (m *Manager) abortWaiter(victim TxnID) bool {
 	tr.add(Event{Kind: "victim", Txn: victim, Resource: rec.res, Mode: rec.w.mode, Shard: s.idx,
 		Blockers: blockers}, rec.w.enq)
 	rec.w.ready <- lockErrBlocked(victim, rec.res, rec.w.mode, ErrDeadlock, blockers)
-	// The victim's departure may unblock others.
+	// The victim's departure may unblock others. (After the send the waiter
+	// belongs to the victim's goroutine; rec.w is not touched again.)
 	m.grantWaitersLocked(tr, s, rec.res)
 	s.mu.Unlock()
 	tr.deliver()

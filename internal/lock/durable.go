@@ -35,11 +35,12 @@ func (m *Manager) Snapshot() []DurableLock {
 	for _, s := range m.shards {
 		s.mu.Lock()
 		for r, e := range s.res {
-			for t, h := range e.granted {
+			e.forEachHolder(func(t TxnID, h *heldLock) bool {
 				if h.durable {
 					out = append(out, DurableLock{Txn: t, Resource: r, Mode: h.mode})
 				}
-			}
+				return true
+			})
 		}
 		s.mu.Unlock()
 	}
@@ -81,13 +82,14 @@ func (m *Manager) Restore(locks []DurableLock) error {
 		s := m.shardFor(dl.Resource)
 		s.mu.Lock()
 		e := s.entryFor(dl.Resource)
-		if !e.compatibleWithGranted(dl.Txn, dl.Mode) {
+		own := e.holderMode(dl.Txn)
+		if !e.compatGranted(own, dl.Mode) {
 			s.maybeDropEntry(dl.Resource)
 			s.mu.Unlock()
 			return fmt.Errorf("lock: restore conflict on %q for txn %d (%v)", dl.Resource, dl.Txn, dl.Mode)
 		}
-		if h := e.granted[dl.Txn]; h != nil {
-			h.mode = Sup(h.mode, dl.Mode)
+		if h := e.holder(dl.Txn); h != nil {
+			e.setMode(h, Sup(h.mode, dl.Mode))
 			h.durable = true
 			s.mu.Unlock()
 			continue

@@ -1,0 +1,529 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the constant-time grant path: granted-group summaries
+// (entry.checkSummary vs a fold over holder storage), pooled wait blocks,
+// and deferred deadlock detection (equivalence with the eager walk on the
+// canonical cycles), plus allocation regressions for the pooled
+// introspection scratch buffers.
+
+// assertSummaries latches every shard and asserts each live entry's
+// summaries match a fold over its storage.
+func assertSummaries(t *testing.T, m *Manager) {
+	t.Helper()
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for r, e := range s.res {
+			if err := e.checkSummary(); err != nil {
+				s.mu.Unlock()
+				t.Fatalf("entry %q: summary mismatch: %v", r, err)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// TestSummaryMatchesFoldSequential drives one manager through a long
+// deterministic random mix of grants, conversions, downgrades and releases
+// — including spilling a hot entry past inlineHolders — checking every
+// entry's summaries against the fold after each step.
+func TestSummaryMatchesFoldSequential(t *testing.T) {
+	m := NewManager(Options{})
+	rng := rand.New(rand.NewSource(9))
+	resources := []Resource{"root", "cell/a", "cell/b", "leaf/1", "leaf/2"}
+	modes := []Mode{IS, IX, S, SIX, X}
+	const txns = 24 // enough concurrent IS holders on "root" to spill
+
+	for step := 0; step < 4000; step++ {
+		txn := TxnID(1 + rng.Intn(txns))
+		r := resources[rng.Intn(len(resources))]
+		switch op := rng.Intn(10); {
+		case op < 6: // acquire (no-wait so a single goroutine never parks)
+			mode := modes[rng.Intn(len(modes))]
+			if r == "root" && op < 4 {
+				mode = IS // keep the root hot with compatible holders
+			}
+			err := m.AcquireCtx(context.Background(), txn, r, mode, WithNoWait())
+			if err != nil && !errors.Is(err, ErrWouldBlock) {
+				t.Fatalf("step %d: acquire: %v", step, err)
+			}
+		case op < 7: // downgrade (skip targets the held mode does not cover)
+			if held := m.HeldMode(txn, r); held != None {
+				down := []Mode{None, IS, IX, S}[rng.Intn(4)]
+				if held.Covers(down) {
+					if err := m.Downgrade(txn, r, down); err != nil {
+						t.Fatalf("step %d: downgrade: %v", step, err)
+					}
+				}
+			}
+		case op < 9: // release one resource
+			m.Release(txn, r)
+		default: // release everything
+			m.ReleaseAll(txn)
+		}
+		assertSummaries(t, m)
+	}
+	for txn := TxnID(1); txn <= txns; txn++ {
+		m.ReleaseAll(txn)
+	}
+	assertSummaries(t, m)
+	if n := m.LockCount(); n != 0 {
+		t.Fatalf("locks leaked: %d", n)
+	}
+}
+
+// TestSummaryStressConcurrent hammers the manager from many goroutines
+// (blocking acquires, conversions, downgrades, deadlock resolution) while a
+// checker goroutine repeatedly validates every entry's summaries under the
+// shard latch. Run with -race this also exercises the pooled waiter
+// lifecycle under grant/timeout/victim races.
+func TestSummaryStressConcurrent(t *testing.T) {
+	m := NewManager(Options{})
+	resources := []Resource{"root", "a", "b", "c", "d"}
+	modes := []Mode{IS, IX, S, SIX, X}
+	const workers = 12
+
+	stop := make(chan struct{})
+	var checker sync.WaitGroup
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range m.shards {
+				s.mu.Lock()
+				for r, e := range s.res {
+					if err := e.checkSummary(); err != nil {
+						s.mu.Unlock()
+						t.Errorf("entry %q: summary mismatch: %v", r, err)
+						return
+					}
+				}
+				s.mu.Unlock()
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id TxnID, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 150; k++ {
+				r := resources[rng.Intn(len(resources))]
+				mode := modes[rng.Intn(len(modes))]
+				err := m.AcquireCtx(context.Background(), id, r, mode,
+					WithTimeout(time.Duration(1+rng.Intn(3))*time.Millisecond))
+				if err != nil {
+					m.ReleaseAll(id)
+					continue
+				}
+				if rng.Intn(4) == 0 {
+					_ = m.Downgrade(id, r, IS)
+				}
+				if rng.Intn(3) == 0 {
+					m.ReleaseAll(id)
+				}
+			}
+			m.ReleaseAll(id)
+		}(TxnID(w+1), int64(w)*7919)
+	}
+	wg.Wait()
+	close(stop)
+	checker.Wait()
+
+	assertSummaries(t, m)
+	if n := m.LockCount(); n != 0 {
+		t.Fatalf("locks leaked: %d", n)
+	}
+}
+
+// detectionConfigs are the two detection schedules whose observable
+// semantics must agree: the eager inline walk and the deferred detector
+// with a short arming window.
+func detectionConfigs() map[string]Options {
+	return map[string]Options{
+		"eager":    {EagerDetection: true},
+		"deferred": {DeadlockDefer: 200 * time.Microsecond},
+	}
+}
+
+// TestDeferredEagerEquivalenceTwoTxn runs the canonical AB-BA cycle under
+// both schedules: the younger transaction must be the victim, the survivor
+// must complete, and exactly one deadlock must be counted.
+func TestDeferredEagerEquivalenceTwoTxn(t *testing.T) {
+	for name, opts := range detectionConfigs() {
+		t.Run(name, func(t *testing.T) {
+			m := NewManager(opts)
+			defer m.Close()
+			if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.AcquireCtx(context.Background(), 2, "b", X); err != nil {
+				t.Fatal(err)
+			}
+			r1 := make(chan error, 1)
+			go func() { r1 <- m.AcquireCtx(context.Background(), 1, "b", X) }()
+			time.Sleep(20 * time.Millisecond)
+
+			err2 := m.AcquireCtx(context.Background(), 2, "a", X) // closes the cycle
+			if !errors.Is(err2, ErrDeadlock) {
+				t.Fatalf("txn 2: want ErrDeadlock, got %v", err2)
+			}
+			m.ReleaseAll(2)
+			if err := <-r1; err != nil {
+				t.Fatalf("txn 1 (survivor): %v", err)
+			}
+			m.ReleaseAll(1)
+			if got := m.Stats().Deadlocks; got != 1 {
+				t.Errorf("Deadlocks = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestDeferredEagerEquivalenceThreeTxn runs the 3-txn cross-shard cycle
+// a→b→c→a under both schedules; txn 3 (youngest) must die, the chain must
+// drain.
+func TestDeferredEagerEquivalenceThreeTxn(t *testing.T) {
+	for name, opts := range detectionConfigs() {
+		t.Run(name, func(t *testing.T) {
+			m := NewManager(opts)
+			defer m.Close()
+			_ = m.AcquireCtx(context.Background(), 1, "a", X)
+			_ = m.AcquireCtx(context.Background(), 2, "b", X)
+			_ = m.AcquireCtx(context.Background(), 3, "c", X)
+
+			r1 := make(chan error, 1)
+			r2 := make(chan error, 1)
+			go func() { r1 <- m.AcquireCtx(context.Background(), 1, "b", X) }()
+			time.Sleep(20 * time.Millisecond)
+			go func() { r2 <- m.AcquireCtx(context.Background(), 2, "c", X) }()
+			time.Sleep(20 * time.Millisecond)
+
+			err3 := m.AcquireCtx(context.Background(), 3, "a", X)
+			if !errors.Is(err3, ErrDeadlock) {
+				t.Fatalf("txn 3: want ErrDeadlock, got %v", err3)
+			}
+			m.ReleaseAll(3)
+			if err := <-r2; err != nil {
+				t.Fatal(err)
+			}
+			m.ReleaseAll(2)
+			if err := <-r1; err != nil {
+				t.Fatal(err)
+			}
+			m.ReleaseAll(1)
+			if got := m.Stats().Deadlocks; got != 1 {
+				t.Errorf("Deadlocks = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestDeferredDetectionCounters checks the new Stats plumbing: a resolved
+// deferred deadlock must surface DeferredDetections and DetectorRuns, and
+// ordinary grants must hit the summary fast path.
+func TestDeferredDetectionCounters(t *testing.T) {
+	m := NewManager(Options{DeadlockDefer: 200 * time.Microsecond})
+	defer m.Close()
+	_ = m.AcquireCtx(context.Background(), 1, "a", X)
+	_ = m.AcquireCtx(context.Background(), 2, "b", X)
+	r1 := make(chan error, 1)
+	go func() { r1 <- m.AcquireCtx(context.Background(), 1, "b", X) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.AcquireCtx(context.Background(), 2, "a", X); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-r1; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+
+	st := m.Stats()
+	if st.DeferredDetections == 0 {
+		t.Errorf("DeferredDetections = 0, want > 0")
+	}
+	if st.DetectorRuns == 0 {
+		t.Errorf("DetectorRuns = 0, want > 0")
+	}
+	if st.SummaryFastChecks == 0 {
+		t.Errorf("SummaryFastChecks = 0, want > 0")
+	}
+	if st.Deadlocks != 1 {
+		t.Errorf("Deadlocks = %d, want 1", st.Deadlocks)
+	}
+
+	m.ResetStats()
+	st = m.Stats()
+	if st.DeferredDetections != 0 || st.DetectorRuns != 0 || st.SummaryFastChecks != 0 {
+		t.Errorf("ResetStats left grant-path counters: %+v", st)
+	}
+}
+
+// TestEagerDetectionIsSynchronous pins the EagerDetection contract: the
+// walk runs on the enqueue itself, so the cycle-closing Acquire observes
+// its deadlock with zero detector involvement.
+func TestEagerDetectionIsSynchronous(t *testing.T) {
+	m := NewManager(Options{EagerDetection: true})
+	_ = m.AcquireCtx(context.Background(), 1, "a", X)
+	_ = m.AcquireCtx(context.Background(), 2, "b", X)
+	r1 := make(chan error, 1)
+	go func() { r1 <- m.AcquireCtx(context.Background(), 1, "b", X) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.AcquireCtx(context.Background(), 2, "a", X); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-r1; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	st := m.Stats()
+	if st.DeferredDetections != 0 {
+		t.Errorf("DeferredDetections = %d, want 0 under EagerDetection", st.DeferredDetections)
+	}
+	if st.DetectorRuns == 0 {
+		t.Errorf("DetectorRuns = 0, want > 0 (eager walks count too)")
+	}
+}
+
+// TestCloseFallsBackToInlineDetection: after Close the background detector
+// is gone, so deadlock checks must run inline regardless of DeadlockDefer —
+// a cycle formed after Close still resolves promptly.
+func TestCloseFallsBackToInlineDetection(t *testing.T) {
+	m := NewManager(Options{DeadlockDefer: time.Hour})
+	m.Close()
+	_ = m.AcquireCtx(context.Background(), 1, "a", X)
+	_ = m.AcquireCtx(context.Background(), 2, "b", X)
+	r1 := make(chan error, 1)
+	go func() { r1 <- m.AcquireCtx(context.Background(), 1, "b", X) }()
+	time.Sleep(20 * time.Millisecond)
+
+	r2 := make(chan error, 1)
+	go func() { r2 <- m.AcquireCtx(context.Background(), 2, "a", X) }()
+	select {
+	case err := <-r2:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("want ErrDeadlock, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock not resolved after Close (inline fallback missing)")
+	}
+	m.ReleaseAll(2)
+	if err := <-r1; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+// TestDeferralElidesWalkForShortWaits: a conflict that resolves within the
+// deferral window should never wake the detector — the whole point of
+// deferring is that short waits cost no graph walk.
+func TestDeferralElidesWalkForShortWaits(t *testing.T) {
+	m := NewManager(Options{DeadlockDefer: time.Second})
+	defer m.Close()
+	if err := m.AcquireCtx(context.Background(), 1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.AcquireCtx(context.Background(), 2, "a", X) }()
+	time.Sleep(20 * time.Millisecond) // blocked, but well inside the window
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	st := m.Stats()
+	if st.DeferredDetections == 0 {
+		t.Errorf("DeferredDetections = 0, want > 0 (the waiter was armed)")
+	}
+	if st.DetectorRuns != 0 {
+		t.Errorf("DetectorRuns = %d, want 0 (wait resolved inside the window)", st.DetectorRuns)
+	}
+}
+
+// TestIntrospectionScratchZeroAlloc pins the satellite requirement: with
+// the pooled scratch buffers warmed up, the waits-for expansion of a
+// blocked transaction allocates nothing.
+func TestIntrospectionScratchZeroAlloc(t *testing.T) {
+	m := NewManager(Options{Policy: PolicyNone})
+	for txn := TxnID(1); txn <= 6; txn++ {
+		if err := m.AcquireCtx(context.Background(), txn, "hot", S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.AcquireCtx(context.Background(), 7, "hot", X) }()
+	for i := 0; i < 200 && m.WaitingTxns() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if m.WaitingTxns() != 1 {
+		t.Fatal("waiter never blocked")
+	}
+
+	sc := getBlockScratch()
+	// Warm the scratch so map growth is out of the measurement.
+	clear(sc.seen)
+	_, _, sc.out = m.appendWaitsFor(7, sc.out[:0], sc.seen)
+	allocs := testing.AllocsPerRun(100, func() {
+		clear(sc.seen)
+		_, _, sc.out = m.appendWaitsFor(7, sc.out[:0], sc.seen)
+	})
+	if len(sc.out) != 6 {
+		t.Fatalf("blockers = %d, want 6", len(sc.out))
+	}
+	putBlockScratch(sc)
+	if allocs != 0 {
+		t.Errorf("appendWaitsFor allocs/op = %.1f, want 0", allocs)
+	}
+
+	m.ReleaseAll(1)
+	for txn := TxnID(2); txn <= 6; txn++ {
+		m.ReleaseAll(txn)
+	}
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(7)
+}
+
+// TestSpillAndRecycle pushes one resource past inlineHolders (spilling the
+// entry to its map), drains it, and re-populates the recycled entry,
+// checking the summaries and visible holder set at each stage.
+func TestSpillAndRecycle(t *testing.T) {
+	m := NewManager(Options{Shards: 1})
+	const n = inlineHolders * 2
+	for txn := TxnID(1); txn <= n; txn++ {
+		if err := m.AcquireCtx(context.Background(), txn, "obj", IS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.Holders("obj")); got != n {
+		t.Fatalf("holders = %d, want %d", got, n)
+	}
+	assertSummaries(t, m)
+
+	// Oldest-holder bound must survive removals from both storage regimes.
+	m.ReleaseAll(1)
+	assertSummaries(t, m)
+	for txn := TxnID(2); txn <= n; txn++ {
+		m.ReleaseAll(txn)
+	}
+	if m.LockCount() != 0 {
+		t.Fatalf("locks leaked: %d", m.LockCount())
+	}
+
+	// The entry was recycled; a fresh population must start clean.
+	for txn := TxnID(1); txn <= 3; txn++ {
+		if err := m.AcquireCtx(context.Background(), txn, "obj", S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSummaries(t, m)
+	if got := m.Holders("obj"); len(got) != 3 || got[2] != S {
+		t.Fatalf("holders after recycle = %v", got)
+	}
+	for txn := TxnID(1); txn <= 3; txn++ {
+		m.ReleaseAll(txn)
+	}
+}
+
+// TestEntrySummaryUnit drives a bare entry through targeted mutations —
+// add/convert/remove across the spill boundary, queue churn — validating
+// checkSummary and the O(1) decisions against brute-force answers.
+func TestEntrySummaryUnit(t *testing.T) {
+	e := getEntry()
+	check := func() {
+		t.Helper()
+		if err := e.checkSummary(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	modes := []Mode{IS, IX, S, SIX, X}
+	rng := rand.New(rand.NewSource(41))
+	live := map[TxnID]Mode{}
+	for step := 0; step < 2000; step++ {
+		txn := TxnID(1 + rng.Intn(20))
+		switch op := rng.Intn(10); {
+		case op < 5:
+			mode := modes[rng.Intn(len(modes))]
+			if cur, ok := live[txn]; ok {
+				e.setMode(e.holder(txn), Sup(cur, mode))
+				live[txn] = Sup(cur, mode)
+			} else {
+				h := e.addHolder(txn)
+				e.setMode(h, mode)
+				live[txn] = mode
+			}
+		case op < 8:
+			if _, ok := live[txn]; ok {
+				h, found := e.removeHolder(txn)
+				if !found || h.mode != live[txn] {
+					t.Fatalf("removeHolder(%d) = (%v,%v), want mode %v", txn, h.mode, found, live[txn])
+				}
+				delete(live, txn)
+			}
+		default:
+			if _, ok := live[txn]; ok {
+				down := []Mode{IS, IX, S}[rng.Intn(3)]
+				e.setMode(e.holder(txn), down)
+				live[txn] = down
+			}
+		}
+		check()
+
+		// Cross-check the O(1) decision against brute force for a random probe.
+		probe := TxnID(1 + rng.Intn(20))
+		target := modes[rng.Intn(len(modes))]
+		own := live[probe]
+		want := true
+		for t2, m2 := range live {
+			if t2 != probe && !compat[target][m2] {
+				want = false
+				break
+			}
+		}
+		if got := e.compatGranted(own, target); got != want {
+			t.Fatalf("step %d: compatGranted(%v,%v) = %v, want %v (live=%v)", step, own, target, got, want, live)
+		}
+	}
+	for txn := range live {
+		e.removeHolder(txn)
+		check()
+	}
+	if !e.empty() {
+		t.Fatalf("entry not empty after draining")
+	}
+	putEntry(e)
+}
+
+// TestWaiterPoolDrainsRacedOutcome: a waiter recycled after losing a
+// timeout/grant race must not wake its next life spuriously.
+func TestWaiterPoolDrainsRacedOutcome(t *testing.T) {
+	w := getWaiter()
+	w.ready <- nil // simulate a raced grant that the owner never consumed
+	putWaiter(w)
+	w2 := getWaiter()
+	select {
+	case err := <-w2.ready:
+		t.Fatalf("recycled waiter carried stale outcome %v", err)
+	default:
+	}
+	putWaiter(w2)
+}

@@ -53,9 +53,10 @@ func (m *Manager) SnapshotQueues() []QueueInfo {
 		s.mu.Lock()
 		for r, e := range s.res {
 			q := QueueInfo{Resource: r, Shard: s.idx}
-			for t, h := range e.granted {
+			e.forEachHolder(func(t TxnID, h *heldLock) bool {
 				q.Granted = append(q.Granted, GrantInfo{Txn: t, Mode: h.mode, Durable: h.durable, Seq: h.seq})
-			}
+				return true
+			})
 			sort.Slice(q.Granted, func(i, j int) bool { return q.Granted[i].Seq < q.Granted[j].Seq })
 			for _, w := range e.queue {
 				q.Waiting = append(q.Waiting, WaiterInfo{Txn: w.txn, Mode: w.mode, Convert: w.convert, Durable: w.durable, Since: w.enq})
@@ -96,7 +97,7 @@ func (m *Manager) ActiveTxns() int {
 // WaitingTxns returns the number of transactions with an outstanding
 // (blocked) lock request.
 func (m *Manager) WaitingTxns() int {
-	return len(m.wf.txns())
+	return m.wf.size()
 }
 
 // TxnActive reports whether txn still occupies the lock table — holding at
@@ -104,7 +105,7 @@ func (m *Manager) WaitingTxns() int {
 // poll this to hold a restarted transaction back until the transactions
 // that killed it have drained.
 func (m *Manager) TxnActive(txn TxnID) bool {
-	if m.wf.get(txn) != nil {
+	if _, ok := m.wf.get(txn); ok {
 		return true
 	}
 	ts := m.txnShardFor(txn)
@@ -130,12 +131,17 @@ type WaitEdge struct {
 // sorted by (From, To).
 func (m *Manager) WaitsForEdges() []WaitEdge {
 	var out []WaitEdge
+	sc := getBlockScratch()
 	for _, txn := range m.wf.txns() {
-		res, mode, blockers := m.blockers(txn)
-		for _, to := range blockers {
+		clear(sc.seen)
+		var res Resource
+		var mode Mode
+		res, mode, sc.out = m.appendWaitsFor(txn, sc.out[:0], sc.seen)
+		for _, to := range sc.out {
 			out = append(out, WaitEdge{From: txn, To: to, Resource: res, Mode: mode})
 		}
 	}
+	putBlockScratch(sc)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].From != out[j].From {
 			return out[i].From < out[j].From

@@ -177,6 +177,20 @@ type Options struct {
 	// rounded up to a power of two. Shards=1 degenerates to the classic
 	// single-latch lock table (useful as a benchmark baseline).
 	Shards int
+	// DeadlockDefer is how long a waiter under PolicyDetect blocks before
+	// deadlock detection is armed for it (the background detector then
+	// validates the wait is still live and runs the waits-for walk). Most
+	// waits are grant-bound and far shorter than any real cycle's lifetime,
+	// so deferral removes the full graph walk from the enqueue path. 0 picks
+	// the default (1ms); a negative value arms detection immediately, still
+	// on the detector goroutine.
+	DeadlockDefer time.Duration
+	// EagerDetection restores the pre-deferral semantics: the waits-for walk
+	// runs inline on the enqueuing goroutine before it blocks, and a request
+	// chosen as victim returns without ever parking. The paper-claim
+	// experiments use it so detection counts stay exact per enqueue; the
+	// deadlock unit tests run both ways.
+	EagerDetection bool
 }
 
 type heldLock struct {
@@ -188,20 +202,26 @@ type heldLock struct {
 	since time.Time
 }
 
+// waiter is one blocked lock request. Waiters are pooled (see entry.go):
+// after creation its fields are written only by its owner before enqueue,
+// and read by other actors only under the shard latch after proving the
+// waiter current (queue membership or waits-for-record identity).
 type waiter struct {
 	txn     TxnID
 	mode    Mode // target mode after conversion, if convert
 	convert bool
 	durable bool
-	ready   chan error
+	ready   chan error // buffered(1), reused across pool lives
+	// gen is a globally unique stamp assigned on every checkout from the
+	// pool. Pointer equality alone cannot prove a waits-for record current:
+	// the pool may hand the SAME waiter address back to the same transaction
+	// for its next blocked request (ABA), which would make the deferred
+	// detector mistake a brand-new short wait for the one it armed and pay a
+	// graph walk for it. Identity checks therefore compare (pointer, gen).
+	gen uint64
 	// enq is the request's start time, kept only when the enqueuing
 	// operation was traced; it is the reference for wait durations.
 	enq time.Time
-}
-
-type entry struct {
-	granted map[TxnID]*heldLock
-	queue   []*waiter // conversions are kept ahead of plain waiters
 }
 
 // Manager is a blocking multi-granularity lock manager over a sharded lock
@@ -249,6 +269,22 @@ type Manager struct {
 	injector atomic.Pointer[Injector]
 	injected atomic.Uint64 // synthetic failures injected
 
+	// Deferred deadlock detection (see deadlock.go). The detector goroutine
+	// starts lazily with the first armed waiter and parks on dirtyBell;
+	// Close stops it. Armings accumulate in the unbounded dirty list —
+	// memory tracks the real backlog instead of a fixed channel buffer, and
+	// arming never degrades to an inline walk on the request path. deferDur
+	// is the resolved Options.DeadlockDefer.
+	deferDur     time.Duration
+	detOnce      sync.Once
+	dirtyMu      sync.Mutex
+	dirty        []dirtyWaiter
+	dirtyBell    chan struct{} // cap 1: wakes the detector after a push
+	stopOnce     sync.Once
+	stopCh       chan struct{}
+	deferredDet  atomic.Uint64 // waiters whose detection was deferred
+	detectorRuns atomic.Uint64 // waits-for walks by the deferred detector
+
 	// resetFns are run by ResetStats after the shard counters are zeroed:
 	// OnResetStats registrations plus the ResetStats method of every
 	// attached sink that has one, so downstream aggregates (rule counters,
@@ -284,7 +320,14 @@ func NewManager(opts Options) *Manager {
 		m.shards[i] = newTableShard(i)
 		m.txns[i] = newTxnShard()
 	}
-	m.wf.waiting = make(map[TxnID]*waitRecord)
+	m.wf.waiting = make(map[TxnID]waitRecord)
+	m.stopCh = make(chan struct{})
+	m.deferDur = opts.DeadlockDefer
+	if m.deferDur == 0 {
+		m.deferDur = time.Millisecond
+	} else if m.deferDur < 0 {
+		m.deferDur = 0
+	}
 	m.sampleMask = (uint64(1) << opts.EventSampleShift) - 1
 	if opts.Injector != nil {
 		m.SetInjector(opts.Injector)
@@ -462,62 +505,64 @@ func (t *tracer) deliver() {
 	t.evs = t.evs[:0]
 }
 
-// compatibleWithGranted reports whether txn may hold mode on e given the
-// other transactions' granted locks.
-func (e *entry) compatibleWithGranted(txn TxnID, mode Mode) bool {
-	for t, h := range e.granted {
-		if t == txn {
-			continue
+// appendBlockers appends to dst the distinct transactions a request for
+// target by txn queues behind when placed after the first `ahead` queue
+// entries: incompatible holders plus incompatible earlier waiters. seen is
+// the caller's dedup scratch (left dirty; the scratch pool clears it).
+// Caller holds the shard latch. Allocation-free at steady state — the
+// deadlock detector runs it on every walked edge.
+func (e *entry) appendBlockers(dst []TxnID, seen map[TxnID]bool, txn TxnID, target Mode, ahead int) []TxnID {
+	if e.spill != nil {
+		for t, h := range e.spill {
+			if t != txn && !compat[target][h.mode] && !seen[t] {
+				seen[t] = true
+				dst = append(dst, t)
+			}
 		}
-		if !mode.Compatible(h.mode) {
-			return false
-		}
-	}
-	return true
-}
-
-// hasBlockingQueue reports whether a new (non-conversion) request in mode
-// mode by txn must queue behind existing waiters for fairness.
-func (e *entry) hasBlockingQueue(txn TxnID, mode Mode) bool {
-	for _, w := range e.queue {
-		if w.txn == txn {
-			continue
-		}
-		if !mode.Compatible(w.mode) {
-			return true
-		}
-	}
-	return false
-}
-
-// blockerTxns returns the distinct transactions a request for mode by txn
-// queues behind when placed after the first `ahead` queue entries:
-// incompatible holders plus incompatible earlier waiters, sorted by ID.
-// Caller holds the shard latch.
-func (e *entry) blockerTxns(txn TxnID, mode Mode, ahead int) []TxnID {
-	var out []TxnID
-	seen := make(map[TxnID]bool)
-	add := func(t TxnID) {
-		if t != txn && !seen[t] {
-			seen[t] = true
-			out = append(out, t)
-		}
-	}
-	for t, h := range e.granted {
-		if t != txn && !mode.Compatible(h.mode) {
-			add(t)
+	} else {
+		for i := range e.slots {
+			t := e.slots[i].txn
+			if t != txn && !compat[target][e.slots[i].h.mode] && !seen[t] {
+				seen[t] = true
+				dst = append(dst, t)
+			}
 		}
 	}
 	if ahead > len(e.queue) {
 		ahead = len(e.queue)
 	}
 	for _, w := range e.queue[:ahead] {
-		if !mode.Compatible(w.mode) {
-			add(w.txn)
+		if w.txn != txn && !compat[target][w.mode] && !seen[w.txn] {
+			seen[w.txn] = true
+			dst = append(dst, w.txn)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dst
+}
+
+// blockerTxns returns the blocker set as a fresh sorted slice — the escaping
+// variant of appendBlockers for events and *LockError values. Caller holds
+// the shard latch.
+func (e *entry) blockerTxns(txn TxnID, target Mode, ahead int) []TxnID {
+	sc := getBlockScratch()
+	buf := e.appendBlockers(sc.out[:0], sc.seen, txn, target, ahead)
+	sortTxnIDs(buf)
+	var out []TxnID
+	if len(buf) > 0 {
+		out = append(out, buf...)
+	}
+	sc.out = buf[:0]
+	putBlockScratch(sc)
 	return out
+}
+
+// sortTxnIDs is an allocation-free insertion sort; blocker sets are small.
+func sortTxnIDs(a []TxnID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // queuedBlockers computes the blocker set for a waiter currently enqueued
@@ -534,23 +579,6 @@ func (s *tableShard) queuedBlockers(r Resource, w *waiter) []TxnID {
 		}
 	}
 	return nil
-}
-
-// mustDie implements the wait-die rule: the requester dies if it is younger
-// (higher TxnID) than any incompatible current holder or any incompatible
-// earlier waiter it would queue behind.
-func (e *entry) mustDie(txn TxnID, mode Mode) bool {
-	for t, h := range e.granted {
-		if t != txn && !mode.Compatible(h.mode) && txn > t {
-			return true
-		}
-	}
-	for _, w := range e.queue {
-		if w.txn != txn && !mode.Compatible(w.mode) && txn > w.txn {
-			return true
-		}
-	}
-	return false
 }
 
 // AcquireOption customizes a single AcquireCtx request.
@@ -626,7 +654,7 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 	s.stats.requests.Add(1)
 
 	e := s.entryFor(r)
-	h := e.granted[txn]
+	h := e.holder(txn)
 	if h != nil {
 		if cfg.durable {
 			h.durable = true
@@ -640,19 +668,25 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 
 	target := mode
 	convert := false
+	own := None
+	hadDurable := false
 	if h != nil {
+		own = h.mode
 		target = Sup(h.mode, mode)
 		convert = true
+		hadDurable = h.durable
 	}
 
-	grantable := e.compatibleWithGranted(txn, target) &&
-		(convert || !e.hasBlockingQueue(txn, target))
+	grantable, fastCheck := e.grantable(txn, own, target, convert)
+	if fastCheck {
+		s.stats.summaryFast.Add(1)
+	}
 	if grantable {
 		var start time.Time
 		if tr != nil {
 			start = tr.start
 		}
-		m.grantLocked(tr, s, e, txn, r, target, cfg.durable || (h != nil && h.durable), convert, false, start)
+		m.grantLocked(tr, s, e, txn, r, target, cfg.durable || hadDurable, convert, false, start)
 		s.mu.Unlock()
 		tr.deliver()
 		return nil
@@ -705,26 +739,16 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 		return lockErrBlocked(txn, r, mode, ErrWaitDie, blockers)
 	}
 
-	// Enqueue. Conversions are placed after existing conversion waiters but
-	// ahead of plain waiters, giving them the classic conversion priority.
-	w := &waiter{txn: txn, mode: target, convert: convert, durable: cfg.durable, ready: make(chan error, 1)}
+	// Enqueue a pooled waiter (entry.enqueue gives conversions the classic
+	// conversion priority: after existing conversion waiters, ahead of plain
+	// ones).
+	w := getWaiter()
+	w.txn, w.mode, w.convert, w.durable = txn, target, convert, cfg.durable
 	if tr != nil {
 		w.enq = tr.start
 	}
-	pos := len(e.queue)
-	if convert {
-		i := 0
-		for i < len(e.queue) && e.queue[i].convert {
-			i++
-		}
-		e.queue = append(e.queue, nil)
-		copy(e.queue[i+1:], e.queue[i:])
-		e.queue[i] = w
-		pos = i
-	} else {
-		e.queue = append(e.queue, w)
-	}
-	m.wf.put(txn, &waitRecord{res: r, w: w})
+	pos := e.enqueue(w)
+	m.wf.put(txn, waitRecord{res: r, w: w, gen: w.gen})
 	s.stats.conflicts.Add(1)
 	s.stats.waits.Add(1)
 	if tr != nil {
@@ -736,12 +760,19 @@ func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, r Resource, mode Mo
 
 	// Deadlock check: did enqueuing this waiter close a cycle? Runs with NO
 	// shard latch held — the detector latches one shard at a time (see
-	// deadlock.go). Under wait-die no cycle can form (the young-waits-for-old
-	// edge was refused above), so detection is skipped; under PolicyNone the
-	// cycle is left in place for timeouts and introspection to deal with.
+	// deadlock.go). By default detection is deferred: the waiter is armed on
+	// the detector's dirty queue and the walk runs only if it is still
+	// blocked after DeadlockDefer. Under wait-die no cycle can form (the
+	// young-waits-for-old edge was refused above), so detection is skipped;
+	// under PolicyNone the cycle is left in place for timeouts and
+	// introspection to deal with.
 	if m.opts.Policy == PolicyDetect {
-		if err, victim := m.resolveDeadlock(txn, r, w, target); victim {
-			return err
+		if m.opts.EagerDetection {
+			if err, victim := m.resolveDeadlock(txn, r, w, target); victim {
+				return err
+			}
+		} else {
+			m.armDetection(txn, w)
 		}
 	}
 
@@ -759,6 +790,7 @@ func (m *Manager) await(ctx context.Context, cfg acquireConfig, tr *tracer, txn 
 	}
 	select {
 	case err := <-w.ready:
+		putWaiter(w)
 		return err
 	case <-ctx.Done():
 		return m.withdraw(tr, txn, r, w, mode, target, ctx.Err(), "cancel")
@@ -858,7 +890,7 @@ func (m *Manager) AcquireBatch(ctx context.Context, txn TxnID, reqs []BatchReq, 
 	for i, q := range reqs {
 		s := m.shards[m.shardIndex(q.Resource)]
 		e := s.entryFor(q.Resource)
-		h := e.granted[txn]
+		h := e.holder(txn)
 		if h != nil && h.mode.Covers(q.Mode) {
 			s.stats.requests.Add(1)
 			s.stats.regrants.Add(1)
@@ -870,18 +902,26 @@ func (m *Manager) AcquireBatch(ctx context.Context, txn TxnID, reqs []BatchReq, 
 		}
 		target := q.Mode
 		convert := false
+		own := None
+		hadDurable := false
 		if h != nil {
+			own = h.mode
 			target = Sup(h.mode, q.Mode)
 			convert = true
+			hadDurable = h.durable
 		}
-		if e.compatibleWithGranted(txn, target) && (convert || !e.hasBlockingQueue(txn, target)) {
+		ok, fastCheck := e.grantable(txn, own, target, convert)
+		if fastCheck {
+			s.stats.summaryFast.Add(1)
+		}
+		if ok {
 			s.stats.requests.Add(1)
 			var start time.Time
 			if tr != nil {
 				start = tr.start
 			}
 			m.grantLocked(tr, s, e, txn, q.Resource, target,
-				cfg.durable || (h != nil && h.durable), convert, false, start)
+				cfg.durable || hadDurable, convert, false, start)
 			fast++
 			continue
 		}
@@ -918,6 +958,7 @@ func (m *Manager) withdraw(tr *tracer, txn TxnID, r Resource, w *waiter, mode, t
 	select {
 	case err := <-w.ready:
 		s.mu.Unlock()
+		putWaiter(w)
 		return err
 	default:
 	}
@@ -935,6 +976,7 @@ func (m *Manager) withdraw(tr *tracer, txn TxnID, r Resource, w *waiter, mode, t
 	m.grantWaitersLocked(tr, s, r)
 	s.mu.Unlock()
 	tr.deliver()
+	putWaiter(w)
 	return lockErrBlocked(txn, r, mode, cause, blockers)
 }
 
@@ -943,10 +985,9 @@ func (m *Manager) withdraw(tr *tracer, txn TxnID, r Resource, w *waiter, mode, t
 // delivery after unlock. ref is the latency reference: the request's start
 // for fast-path grants, the waiter's enqueue time for queued ones.
 func (m *Manager) grantLocked(tr *tracer, s *tableShard, e *entry, txn TxnID, r Resource, mode Mode, durable, convert, waited bool, ref time.Time) {
-	h := e.granted[txn]
+	h := e.holder(txn)
 	if h == nil {
-		h = &heldLock{}
-		e.granted[txn] = h
+		h = e.addHolder(txn)
 		m.txnShardFor(txn).add(txn, r)
 		s.stats.grants.Add(1)
 		n := m.size.Add(1)
@@ -959,7 +1000,7 @@ func (m *Manager) grantLocked(tr *tracer, s *tableShard, e *entry, txn TxnID, r 
 	} else {
 		s.stats.conversions.Add(1)
 	}
-	h.mode = mode
+	e.setMode(h, mode)
 	h.durable = h.durable || durable
 	h.seq = m.seq.Add(1)
 	if tr != nil {
@@ -991,11 +1032,16 @@ func (m *Manager) grantWaitersLocked(tr *tracer, s *tableShard, r Resource) {
 	for progress := true; progress; {
 		progress = false
 		for i, w := range e.queue {
-			ok := e.compatibleWithGranted(w.txn, w.mode)
-			if ok {
-				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			own := None
+			if w.convert { // a plain waiter cannot already hold (it would convert)
+				own = e.holderMode(w.txn)
+			}
+			if e.compatGranted(own, w.mode) {
+				e.dequeueAt(i)
 				m.wf.delete(w.txn)
 				m.grantLocked(tr, s, e, w.txn, r, w.mode, w.durable, w.convert, true, w.enq)
+				// After the send the waiter belongs to the woken goroutine
+				// (which will recycle it); it must not be touched again.
 				w.ready <- nil
 				progress = true
 				break
@@ -1019,7 +1065,7 @@ func (m *Manager) Downgrade(txn TxnID, r Resource, mode Mode) error {
 	e := s.res[r]
 	var h *heldLock
 	if e != nil {
-		h = e.granted[txn]
+		h = e.holder(txn)
 	}
 	if h == nil {
 		s.mu.Unlock()
@@ -1037,7 +1083,7 @@ func (m *Manager) Downgrade(txn TxnID, r Resource, mode Mode) error {
 		m.notifyRelease(txn)
 		return nil
 	}
-	h.mode = mode
+	e.setMode(h, mode)
 	s.stats.downgrades.Add(1)
 	tr.addFast(Event{Kind: "downgrade", Txn: txn, Resource: r, Mode: mode, Shard: s.idx}, time.Time{})
 	m.grantWaitersLocked(tr, s, r)
@@ -1067,14 +1113,13 @@ func (m *Manager) Release(txn TxnID, r Resource) {
 // the hold duration.
 func (m *Manager) releaseLocked(tr *tracer, s *tableShard, txn TxnID, r Resource) bool {
 	e := s.res[r]
-	h := (*heldLock)(nil)
-	if e != nil {
-		h = e.granted[txn]
-	}
-	if h == nil {
+	if e == nil {
 		return false
 	}
-	delete(e.granted, txn)
+	h, ok := e.removeHolder(txn)
+	if !ok {
+		return false
+	}
 	m.txnShardFor(txn).remove(txn, r)
 	m.size.Add(-1)
 	s.stats.releases.Add(1)
@@ -1124,9 +1169,7 @@ func (m *Manager) HeldMode(txn TxnID, r Resource) Mode {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e := s.res[r]; e != nil {
-		if h := e.granted[txn]; h != nil {
-			return h.mode
-		}
+		return e.holderMode(txn)
 	}
 	return None
 }
@@ -1139,7 +1182,7 @@ func (m *Manager) HeldLocks(txn TxnID) []Held {
 		s := m.shardFor(r)
 		s.mu.Lock()
 		if e := s.res[r]; e != nil {
-			if h := e.granted[txn]; h != nil {
+			if h := e.holder(txn); h != nil {
 				out = append(out, Held{Resource: r, Mode: h.mode, Durable: h.durable, Seq: h.seq})
 			}
 		}
@@ -1162,9 +1205,10 @@ func (m *Manager) Holders(r Resource) map[TxnID]Mode {
 	defer s.mu.Unlock()
 	out := make(map[TxnID]Mode)
 	if e := s.res[r]; e != nil {
-		for t, h := range e.granted {
+		e.forEachHolder(func(t TxnID, h *heldLock) bool {
 			out[t] = h.mode
-		}
+			return true
+		})
 	}
 	return out
 }
@@ -1183,8 +1227,20 @@ func (m *Manager) Stats() Stats {
 	st.AdmitDelays = m.admitDelays.Load()
 	st.DegradedAcquires = m.degradedAcq.Load()
 	st.InjectedFaults = m.injected.Load()
+	st.DeferredDetections = m.deferredDet.Load()
+	st.DetectorRuns = m.detectorRuns.Load()
 	st.MaxTableSize = int(m.high.Load())
 	return st
+}
+
+// Close stops the background deadlock-detector goroutine, if one was ever
+// started (it starts lazily with the first deferred-detection arming). The
+// lock table itself needs no teardown and the manager remains usable after
+// Close — waiters arming detection then run the waits-for walk inline. Safe
+// to call more than once. Managers that never block under PolicyDetect never
+// start the goroutine, so Close is optional for them.
+func (m *Manager) Close() {
+	m.stopOnce.Do(func() { close(m.stopCh) })
 }
 
 // ResetStats zeroes the counters (the lock table is untouched; the
@@ -1203,6 +1259,8 @@ func (m *Manager) ResetStats() {
 	m.admitDelays.Store(0)
 	m.degradedAcq.Store(0)
 	m.injected.Store(0)
+	m.deferredDet.Store(0)
+	m.detectorRuns.Store(0)
 	m.high.Store(m.size.Load())
 	m.resetMu.Lock()
 	fns := append([]func(){}, m.resetFns...)

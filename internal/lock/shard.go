@@ -43,12 +43,12 @@ func newTableShard(idx int) *tableShard {
 	return &tableShard{idx: idx, res: make(map[Resource]*entry)}
 }
 
-// entryFor returns (creating on demand) the shard's entry for r. Caller
-// holds s.mu.
+// entryFor returns (creating from the pool on demand) the shard's entry for
+// r. Caller holds s.mu.
 func (s *tableShard) entryFor(r Resource) *entry {
 	e := s.res[r]
 	if e == nil {
-		e = &entry{granted: make(map[TxnID]*heldLock)}
+		e = getEntry()
 		s.res[r] = e
 	}
 	return e
@@ -63,20 +63,15 @@ func (s *tableShard) removeWaiter(r Resource, w *waiter) bool {
 	if e == nil {
 		return false
 	}
-	for i, q := range e.queue {
-		if q == w {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			return true
-		}
-	}
-	return false
+	return e.removeWaiterPtr(w)
 }
 
-// maybeDropEntry frees r's entry once nothing is granted or queued. Caller
-// holds s.mu.
+// maybeDropEntry recycles r's entry once nothing is granted or queued.
+// Caller holds s.mu.
 func (s *tableShard) maybeDropEntry(r Resource) {
-	if e := s.res[r]; e != nil && len(e.granted) == 0 && len(e.queue) == 0 {
+	if e := s.res[r]; e != nil && e.empty() {
 		delete(s.res, r)
+		putEntry(e)
 	}
 }
 
@@ -96,6 +91,7 @@ type shardStats struct {
 	cancels     atomic.Uint64
 	downgrades  atomic.Uint64
 	releases    atomic.Uint64
+	summaryFast atomic.Uint64
 }
 
 func (ss *shardStats) addTo(st *Stats) {
@@ -110,6 +106,7 @@ func (ss *shardStats) addTo(st *Stats) {
 	st.Cancels += ss.cancels.Load()
 	st.Downgrades += ss.downgrades.Load()
 	st.Releases += ss.releases.Load()
+	st.SummaryFastChecks += ss.summaryFast.Load()
 }
 
 func (ss *shardStats) reset() {
@@ -124,6 +121,7 @@ func (ss *shardStats) reset() {
 	ss.cancels.Store(0)
 	ss.downgrades.Store(0)
 	ss.releases.Store(0)
+	ss.summaryFast.Store(0)
 }
 
 // txnShard is one stripe of the per-transaction held-lock index (sharded by
@@ -172,10 +170,18 @@ func (ts *txnShard) snapshot(txn TxnID) []Resource {
 	return out
 }
 
-// waitRecord is a transaction's single outstanding lock request.
+// waitRecord is a transaction's single outstanding lock request. Records
+// are stored BY VALUE: get returns a copy, so readers never alias a record
+// another goroutine may replace — and registering a wait allocates nothing
+// (the waiter itself is pooled). The w pointer is an identity token for
+// revalidation; it must not be dereferenced until the waiter is proven
+// current under its resource's shard latch (pooled waiters recycle). gen is
+// w's checkout stamp, captured at registration: comparing it alongside the
+// pointer defeats pool ABA (same address, different blocked request).
 type waitRecord struct {
 	res Resource
 	w   *waiter
+	gen uint64
 }
 
 // waitTable is the cross-shard waits-for registry: which resource each
@@ -184,26 +190,35 @@ type waitRecord struct {
 // in the ordering discipline.
 type waitTable struct {
 	mu      sync.Mutex
-	waiting map[TxnID]*waitRecord
+	waiting map[TxnID]waitRecord
 }
 
-func (wt *waitTable) put(txn TxnID, rec *waitRecord) {
+func (wt *waitTable) put(txn TxnID, rec waitRecord) {
 	wt.mu.Lock()
 	wt.waiting[txn] = rec
 	wt.mu.Unlock()
 }
 
-func (wt *waitTable) get(txn TxnID) *waitRecord {
+func (wt *waitTable) get(txn TxnID) (waitRecord, bool) {
 	wt.mu.Lock()
-	rec := wt.waiting[txn]
+	rec, ok := wt.waiting[txn]
 	wt.mu.Unlock()
-	return rec
+	return rec, ok
 }
 
 func (wt *waitTable) delete(txn TxnID) {
 	wt.mu.Lock()
 	delete(wt.waiting, txn)
 	wt.mu.Unlock()
+}
+
+// size returns the number of outstanding lock requests without snapshotting
+// them (the admission gate polls this on every conflicted acquire).
+func (wt *waitTable) size() int {
+	wt.mu.Lock()
+	n := len(wt.waiting)
+	wt.mu.Unlock()
+	return n
 }
 
 // txns returns the transactions with an outstanding lock request at the

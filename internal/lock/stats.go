@@ -47,6 +47,19 @@ type Stats struct {
 	// BatchFallbacks counts AcquireBatch calls that hit a conflict and fell
 	// back to the single-resource wait path for the remaining requests.
 	BatchFallbacks uint64
+	// SummaryFastChecks counts acquire-path grant/deny decisions answered
+	// entirely by the O(1) granted-group summaries (per-mode counts, cached
+	// group mode, queue-mode summary) without touching holder storage or
+	// scanning the wait queue.
+	SummaryFastChecks uint64
+	// DeferredDetections counts blocked requests whose deadlock check was
+	// handed to the background detector instead of walking the waits-for
+	// graph inline on enqueue (Options.DeadlockDefer).
+	DeferredDetections uint64
+	// DetectorRuns counts waits-for walks actually executed for still-blocked
+	// waiters — by the background detector or the eager inline path. The gap
+	// DeferredDetections−DetectorRuns is work the deferral window elided.
+	DetectorRuns uint64
 	// MaxTableSize is the high-water mark of granted lock-table entries.
 	MaxTableSize int
 }
@@ -71,6 +84,9 @@ func (s Stats) Add(o Stats) Stats {
 	s.Batches += o.Batches
 	s.BatchFastGrants += o.BatchFastGrants
 	s.BatchFallbacks += o.BatchFallbacks
+	s.SummaryFastChecks += o.SummaryFastChecks
+	s.DeferredDetections += o.DeferredDetections
+	s.DetectorRuns += o.DetectorRuns
 	if o.MaxTableSize > s.MaxTableSize {
 		s.MaxTableSize = o.MaxTableSize
 	}
@@ -98,5 +114,8 @@ func (s Stats) Sub(o Stats) Stats {
 	s.Batches -= o.Batches
 	s.BatchFastGrants -= o.BatchFastGrants
 	s.BatchFallbacks -= o.BatchFallbacks
+	s.SummaryFastChecks -= o.SummaryFastChecks
+	s.DeferredDetections -= o.DeferredDetections
+	s.DetectorRuns -= o.DetectorRuns
 	return s
 }

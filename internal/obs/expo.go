@@ -103,6 +103,9 @@ func statCounters(st lock.Stats) []statKV {
 		{"batches", st.Batches},
 		{"batch_fast_grants", st.BatchFastGrants},
 		{"batch_fallbacks", st.BatchFallbacks},
+		{"summary_fast_checks", st.SummaryFastChecks},
+		{"deferred_detections", st.DeferredDetections},
+		{"detector_runs", st.DetectorRuns},
 	}
 }
 

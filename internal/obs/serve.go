@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"time"
@@ -41,6 +42,12 @@ type TraceSources struct {
 	// internal/journal.Writer.StatusHandler here; like Health it is a plain
 	// http.Handler so obs stays dependency-free of the journal package.
 	Journal http.Handler
+	// Pprof opt-in mounts net/http/pprof under /debug/pprof/ (CPU, heap,
+	// mutex, block profiles — the natural companions to /trace/profile when
+	// chasing grant-path regressions). Off by default: the profile endpoints
+	// can observably perturb a latency-sensitive process, so production
+	// deployments enable them deliberately (colockshell -pprof).
+	Pprof bool
 }
 
 // Handler returns an http.Handler exposing the observability surface:
@@ -54,6 +61,7 @@ type TraceSources struct {
 //	/trace/incidents  incident-dump index (JSON)
 //	/trace/profile    blocked-time contention profile (folded-stack text)
 //	/journal/status   durable journal status (JSON; see internal/journal)
+//	/debug/pprof/     net/http/pprof profiles (opt-in via TraceSources.Pprof)
 //
 // col may be nil (manager metrics only), as may ts or any of its fields
 // (the corresponding routes then 404); extra writers are appended to
@@ -164,6 +172,15 @@ func Handler(m *lock.Manager, col *Collector, ts *TraceSources, extra ...func(io
 		}
 		ts.Journal.ServeHTTP(w, r)
 	})
+	if ts.Pprof {
+		// Explicit handlers rather than net/http/pprof's init-time
+		// registration: that targets http.DefaultServeMux, not this mux.
+		register("/debug/pprof/", true, pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	sort.Strings(routes)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {

@@ -166,10 +166,11 @@ func TestIndexListsRegisteredRoutes(t *testing.T) {
 		Profile:   trace.NewProfile(),
 		Health:    stub,
 		Journal:   stub,
+		Pprof:     true,
 	})
 	wantFull := []string{
-		"/debug/vars", "/dot", "/health", "/journal/status", "/metrics",
-		"/queues", "/trace/incidents", "/trace/profile", "/trace/spans",
+		"/debug/pprof/", "/debug/vars", "/dot", "/health", "/journal/status",
+		"/metrics", "/queues", "/trace/incidents", "/trace/profile", "/trace/spans",
 	}
 	if fmt.Sprint(full) != fmt.Sprint(wantFull) {
 		t.Errorf("full index = %v, want %v", full, wantFull)
@@ -188,6 +189,43 @@ func TestIndexListsRegisteredRoutes(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("/journal/status without a journal: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPprofOptIn: /debug/pprof/ serves only when TraceSources.Pprof is set —
+// profiling endpoints must be a deliberate deployment decision.
+func TestPprofOptIn(t *testing.T) {
+	m := lock.NewManager(lock.Options{})
+	srv, err := Serve("127.0.0.1:0", m, nil, &TraceSources{Pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof heap: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "heap profile") {
+		t.Errorf("pprof heap output unexpected:\n%.200s", body)
+	}
+
+	off, err := Serve("127.0.0.1:0", m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	resp, err = http.Get("http://" + off.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without opt-in: status %d, want 404", resp.StatusCode)
 	}
 }
 
