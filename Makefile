@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke stormbench stormbench-smoke healthbench healthmon-smoke journalbench journal-smoke grantbench grantbench-smoke benchdiff nodeprecated obs-demo trace-demo figures clean
+.PHONY: ci fmt vet build test race bench shardbench obsbench tracebench hotbench hotbench-smoke stormbench stormbench-smoke healthbench healthmon-smoke journalbench journal-smoke grantbench grantbench-smoke netbench netbench-smoke benchdiff nodeprecated doc-lint drift-check obs-demo trace-demo figures clean
 
 # ci is the gate every change must pass: formatting, vet, the
-# no-deprecated-wrappers grep, build, the full test suite under the race
-# detector (the lock manager and protocol are concurrent; -race is not
-# optional here), the end-to-end incident-dump demo, the fast-path,
-# contention-survival, and grant-path smoke benchmarks, the health-monitor
-# smoke gate, and the journal-forensics smoke gate.
-ci: fmt vet nodeprecated build race trace-demo hotbench-smoke stormbench-smoke healthmon-smoke journal-smoke grantbench-smoke
+# no-deprecated-wrappers grep, the godoc and docs-drift lints, build, the
+# full test suite under the race detector (the lock manager and protocol
+# are concurrent; -race is not optional here), the end-to-end
+# incident-dump demo, the fast-path, contention-survival, grant-path, and
+# network smoke benchmarks, the health-monitor smoke gate, and the
+# journal-forensics smoke gate.
+ci: fmt vet nodeprecated doc-lint drift-check build race trace-demo hotbench-smoke stormbench-smoke healthmon-smoke journal-smoke grantbench-smoke netbench-smoke
 
 # fmt fails if any file needs gofmt, listing the offenders.
 fmt:
@@ -136,6 +137,36 @@ grantbench-smoke:
 	$(GO) test ./cmd/lockbench -count=1 -run TestExternalGrantBenchFile -grantbenchfile "$$f" && \
 	echo "grantbench-smoke: $$f passes (summaries live, blocked path alloc-free, detector resolves)" && \
 	rm -f "$$f"
+
+# netbench regenerates BENCH_PR10.json (colockd wire-protocol loopback
+# cost vs the identical in-process loop; see DESIGN.md §16).
+netbench:
+	$(GO) run ./cmd/lockbench -netbench -netout BENCH_PR10.json
+
+# netbench-smoke runs a quick netbench into a temp file and asserts, via
+# the flag-gated validation test in cmd/lockbench, that the report parses,
+# both sides measured real throughput, and the wire costs more than
+# in-process (ratio > 1.0x; the committed full BENCH_PR10.json additionally
+# documents the ≥50k acquires/s bar at 32 connections, which the same test
+# enforces on full reports).
+netbench-smoke:
+	@f=$$(mktemp) && \
+	$(GO) run ./cmd/lockbench -netbench -quick -netout "$$f" >/dev/null && \
+	$(GO) test ./cmd/lockbench -count=1 -run TestExternalNetBenchFile -netbenchfile "$$f" && \
+	echo "netbench-smoke: $$f passes (wire round trips real, costed against in-process)" && \
+	rm -f "$$f"
+
+# doc-lint asserts godoc hygiene: every package has a package doc comment
+# and every exported symbol of the public API packages (client,
+# internal/wire) is documented. See scripts/doclint.sh.
+doc-lint:
+	@sh scripts/doclint.sh
+
+# drift-check asserts the docs have not drifted: every "DESIGN.md §N"
+# reference resolves to a real heading and every intra-repo markdown link
+# resolves to a real file. See scripts/docdrift.sh.
+drift-check:
+	@sh scripts/docdrift.sh
 
 # benchdiff tabulates every committed BENCH_PR*.json so the performance
 # trajectory of the PR sequence is visible in one table.

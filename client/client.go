@@ -1,0 +1,287 @@
+// Package client is the Go client for the colockd network lock service:
+// Dial opens a session speaking the wire protocol (DESIGN.md §16), Begin
+// hands out transactions whose Lock/LockPath/DeEscalate/Unlock/Commit/
+// Abort mirror the in-process internal/txn API, and RunWithRetry restarts
+// transactions on the causes the server reports — deadlock victim,
+// wait-die death, timeout, shed — exactly as the local retry layer does,
+// because failures arrive as the same *lock.LockError values (cause
+// sentinel and blocker set reconstructed from the wire).
+//
+// A session is leased: the client keeps it alive automatically by pinging
+// at a third of the server-announced interval. If the process stalls past
+// the lease (or the connection drops), the server aborts the session's
+// transactions and releases their locks — the workstation-crash semantics
+// of the paper's workstation–server model. Requests are pipelined over one
+// TCP connection: any number of goroutines may share a Client, and each
+// transaction must be driven by one goroutine at a time, like a local
+// txn.Txn.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colock/internal/wire"
+)
+
+// ErrClosed is returned for calls on a closed or broken session. The
+// Client records the first fatal error; Err returns it.
+var ErrClosed = errors.New("client: session closed")
+
+// Options tunes Dial.
+type Options struct {
+	// DialTimeout bounds the TCP connect + handshake. Defaults to 10s.
+	DialTimeout time.Duration
+	// NoKeepalive disables the automatic lease ping. The caller then owns
+	// the lease: without frames the server expires the session and aborts
+	// its transactions. Meant for tests and for processes with their own
+	// heartbeat discipline.
+	NoKeepalive bool
+}
+
+// Client is one wire session. Safe for concurrent use; requests from many
+// goroutines pipeline over the single connection.
+type Client struct {
+	conn    net.Conn
+	fw      *wire.FrameWriter
+	session uint64
+	lease   time.Duration
+
+	nextReq atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Frame
+	err     error // first fatal error; nil while healthy
+	closed  bool
+
+	stopPing chan struct{}
+	pingDone chan struct{}
+	readDone chan struct{}
+}
+
+// replyChans recycles the one-shot reply channels of completed calls.
+var replyChans = sync.Pool{New: func() any { return make(chan wire.Frame, 1) }}
+
+// Dial connects to a colockd server and performs the handshake. The
+// returned client's lease keepalive is already running (unless disabled).
+func Dial(addr string, opts Options) (*Client, error) {
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := wire.WriteHello(conn, wire.Hello{Version: wire.Version}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	wl, err := wire.ReadWelcome(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	switch wl.Code {
+	case wire.WelcomeOK:
+	case wire.WelcomeVersionUnsupported:
+		conn.Close()
+		return nil, fmt.Errorf("client: server speaks version %d, this client version %d", wl.Version, wire.Version)
+	case wire.WelcomeDraining:
+		conn.Close()
+		return nil, fmt.Errorf("client: %w", wire.ErrDraining)
+	case wire.WelcomeSessionLimit:
+		conn.Close()
+		return nil, fmt.Errorf("client: server at session limit (%w)", wire.ErrBusy)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake refused with code %d", wl.Code)
+	}
+	c := &Client{
+		conn:     conn,
+		fw:       wire.NewFrameWriter(conn),
+		session:  wl.Session,
+		lease:    time.Duration(wl.Lease),
+		pending:  make(map[uint64]chan wire.Frame),
+		stopPing: make(chan struct{}),
+		pingDone: make(chan struct{}),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	if opts.NoKeepalive || c.lease <= 0 {
+		close(c.pingDone)
+	} else {
+		go c.keepalive()
+	}
+	return c, nil
+}
+
+// Session returns the server-assigned session id.
+func (c *Client) Session() uint64 { return c.session }
+
+// Lease returns the server-announced lease interval the session must beat.
+func (c *Client) Lease() time.Duration { return c.lease }
+
+// Err returns the error that broke the session, or nil while healthy.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed && c.err == nil {
+		return ErrClosed
+	}
+	return c.err
+}
+
+// Close ends the session. Server-side, the connection teardown aborts any
+// transactions still active — equivalent to a workstation crash, so no
+// lock outlives the session.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	<-c.pingDone
+	<-c.readDone
+	return nil
+}
+
+// fail records the first fatal error, fails every pending call and closes
+// the connection. Idempotent.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	if !errors.Is(err, ErrClosed) {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan wire.Frame)
+	c.mu.Unlock()
+	close(c.stopPing)
+	_ = c.conn.Close()
+	for _, ch := range pending {
+		close(ch) // receivers observe the closed channel and report Err
+	}
+}
+
+// readLoop demultiplexes reply frames onto pending calls by request id.
+// Reqid 0 carries unsolicited server notices (lease expiry, drain): they
+// are session-fatal by spec, so the loop fails the session with the
+// decoded error.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	br := bufio.NewReaderSize(c.conn, 32<<10)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("client: connection closed by server (%w)", ErrClosed)
+			}
+			c.fail(err)
+			return
+		}
+		if f.ReqID == 0 {
+			if f.Type == wire.TErr {
+				if p, perr := wire.DecodeErrPayload(f.Payload); perr == nil {
+					c.fail(p.Err())
+					return
+				}
+			}
+			c.fail(fmt.Errorf("client: unsolicited %s notice", wire.TypeName(f.Type)))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[f.ReqID]
+		delete(c.pending, f.ReqID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// keepalive pings at a third of the lease so two losses still beat the
+// deadline.
+func (c *Client) keepalive() {
+	defer close(c.pingDone)
+	tick := time.NewTicker(c.lease / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopPing:
+			return
+		case <-tick.C:
+			if err := c.Ping(); err != nil {
+				return // session already failed; Ping recorded why
+			}
+		}
+	}
+}
+
+// call sends one request frame and waits for its reply.
+func (c *Client) call(typ byte, payload []byte) (wire.Frame, error) {
+	id := c.nextReq.Add(1)
+	ch := replyChans.Get().(chan wire.Frame)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return wire.Frame{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.fw.WriteFrame(typ, id, payload); err != nil {
+		c.fail(fmt.Errorf("client: write: %w", err))
+		return wire.Frame{}, c.Err()
+	}
+	f, ok := <-ch
+	if !ok {
+		// Closed by fail(): the session is dead and the channel is spent.
+		return wire.Frame{}, c.Err()
+	}
+	replyChans.Put(ch)
+	return f, nil
+}
+
+// callOutcome is call for requests answered by TOK / TErr.
+func (c *Client) callOutcome(typ byte, payload []byte) error {
+	f, err := c.call(typ, payload)
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case wire.TOK:
+		return nil
+	case wire.TErr:
+		p, err := wire.DecodeErrPayload(f.Payload)
+		if err != nil {
+			return err
+		}
+		return p.Err()
+	}
+	return fmt.Errorf("client: unexpected %s reply", wire.TypeName(f.Type))
+}
+
+// Ping refreshes the lease explicitly (the keepalive calls it for you).
+func (c *Client) Ping() error {
+	f, err := c.call(wire.TPing, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != wire.TPong {
+		return fmt.Errorf("client: unexpected %s reply to Ping", wire.TypeName(f.Type))
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package client
+
+import (
+	"time"
+
+	"colock/internal/resilience"
+)
+
+// Option customizes Txn.Lock / Txn.LockPath calls and Client.RunWithRetry
+// runs — the same single-set shape as the in-process txn.Option, so code
+// ported from internal/txn keeps its variadic tails unchanged. Options
+// that don't apply to the receiving call are ignored.
+type Option func(*config)
+
+type config struct {
+	// Per-lock-call.
+	timeout  time.Duration
+	noFollow bool
+
+	// Per-RunWithRetry.
+	maxAttempts    int
+	maxAttemptsSet bool
+	backoff        resilience.Backoff
+	attemptTimeout time.Duration
+	observer       resilience.Observer
+}
+
+func buildConfig(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithTimeout bounds each lock-manager acquisition server-side: the
+// duration travels in the request and a lock not granted within it is
+// withdrawn, failing with lock.ErrTimeout exactly as locally.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// WithNoFollow locks a data path without downward propagation into
+// referenced common data (§4.5, NOFOLLOW queries).
+func WithNoFollow() Option {
+	return func(c *config) { c.noFollow = true }
+}
+
+// WithMaxAttempts bounds RunWithRetry's total attempts; n <= 0 means
+// unlimited (bounded only by the context). Default is 10.
+func WithMaxAttempts(n int) Option {
+	return func(c *config) { c.maxAttempts = n; c.maxAttemptsSet = true }
+}
+
+// WithBackoff sets RunWithRetry's restart pacing policy. Default is an
+// immediate restart.
+func WithBackoff(b resilience.Backoff) Option {
+	return func(c *config) { c.backoff = b }
+}
+
+// WithAttemptTimeout gives each RunWithRetry attempt its own budget. The
+// remaining budget is folded into every lock request's wire timeout, so
+// the server withdraws acquisitions the attempt can no longer afford.
+func WithAttemptTimeout(d time.Duration) Option {
+	return func(c *config) { c.attemptTimeout = d }
+}
+
+// WithRetryObserver wires a resilience.Observer into RunWithRetry,
+// recording retries by cause and attempts-per-commit.
+func WithRetryObserver(o resilience.Observer) Option {
+	return func(c *config) { c.observer = o }
+}

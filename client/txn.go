@@ -1,0 +1,245 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/resilience"
+	"colock/internal/store"
+	"colock/internal/wire"
+)
+
+// ErrNotActive is returned when operating on a finished transaction; it
+// matches the wire's not-active cause as well, so a transaction the server
+// aborted (lease expiry) reports the same way as one finished locally.
+var ErrNotActive = wire.ErrNotActive
+
+// Txn is a remote transaction. Like the in-process txn.Txn it is a single
+// thread of execution: one goroutine drives it at a time, while the
+// Client underneath is fully concurrent.
+type Txn struct {
+	c    *Client
+	id   lock.TxnID
+	long bool
+
+	mu       sync.Mutex
+	finished bool
+}
+
+// Begin starts a short transaction on the server. Admission control
+// (shed/degrade) applies exactly as for a local BeginCtx; a shed Begin
+// returns an error matching lock.ErrShed, which RunWithRetry retries.
+func (c *Client) Begin(ctx context.Context) (*Txn, error) {
+	return c.begin(ctx, false)
+}
+
+// BeginLong starts a long (durable-lock) transaction: its locks survive a
+// simulated server crash, per the paper's check-out model.
+func (c *Client) BeginLong(ctx context.Context) (*Txn, error) {
+	return c.begin(ctx, true)
+}
+
+func (c *Client) begin(ctx context.Context, long bool) (*Txn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f, err := c.call(wire.TBegin, wire.BeginReq{Long: long}.Encode())
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case wire.TTxn:
+		m, err := wire.DecodeTxnReply(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Txn{c: c, id: lock.TxnID(m.Txn), long: long}, nil
+	case wire.TErr:
+		p, err := wire.DecodeErrPayload(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.Err()
+	}
+	return nil, fmt.Errorf("client: unexpected %s reply to Begin", wire.TypeName(f.Type))
+}
+
+// ID returns the server-assigned transaction identifier. Ids are global
+// across all sessions of the server, so wait-die age ordering spans every
+// connected client.
+func (t *Txn) ID() lock.TxnID { return t.id }
+
+// Long reports whether this is a long (durable-lock) transaction.
+func (t *Txn) Long() bool { return t.long }
+
+func (t *Txn) checkActive() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished {
+		return ErrNotActive
+	}
+	return nil
+}
+
+// effTimeout folds a ctx deadline into the wire timeout: the smaller of
+// the option timeout and the remaining ctx budget travels to the server,
+// so per-attempt budgets (RunWithRetry's WithAttemptTimeout) bound remote
+// acquisitions the same way they bound local ones. An already-expired
+// budget fails fast client-side.
+func effTimeout(ctx context.Context, opt time.Duration) (time.Duration, error) {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return opt, nil
+	}
+	rem := time.Until(d)
+	if rem <= 0 {
+		return 0, context.DeadlineExceeded
+	}
+	if opt <= 0 || rem < opt {
+		return rem, nil
+	}
+	return opt, nil
+}
+
+// Lock acquires a protocol lock on a node, mirroring txn.Txn.Lock: the
+// full rule 1-5 chain runs server-side; WithTimeout bounds each
+// acquisition; WithNoFollow skips downward propagation into referenced
+// common data. On a failure the error is the server's *lock.LockError,
+// cause sentinel and blocker set intact. A nil ctx is allowed.
+func (t *Txn) Lock(ctx context.Context, n core.Node, mode lock.Mode, opts ...Option) error {
+	return t.lock(ctx, wire.TLock, wire.RefOf(n), mode, opts)
+}
+
+// LockPath is Lock on a data path.
+func (t *Txn) LockPath(ctx context.Context, p store.Path, mode lock.Mode, opts ...Option) error {
+	return t.lock(ctx, wire.TLockPath, wire.NodeRef{Level: wire.NodePath, Path: p}, mode, opts)
+}
+
+func (t *Txn) lock(ctx context.Context, typ byte, ref wire.NodeRef, mode lock.Mode, opts []Option) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cfg := buildConfig(opts)
+	timeout, err := effTimeout(ctx, cfg.timeout)
+	if err != nil {
+		return &lock.LockError{Txn: t.id, Mode: mode, Cause: err}
+	}
+	return t.c.callOutcome(typ, wire.LockReq{
+		Txn:      uint64(t.id),
+		Node:     ref,
+		Mode:     mode,
+		NoFollow: cfg.noFollow,
+		Timeout:  timeout,
+	}.Encode())
+}
+
+// DeEscalate trades the transaction's coarse S/X lock on a node for locks
+// of the same mode on the kept descendant paths (§5 de-escalation). On the
+// wire this is the Downgrade frame.
+func (t *Txn) DeEscalate(n core.Node, keep []store.Path) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	ks := make([][]string, 0, len(keep))
+	for _, p := range keep {
+		ks = append(ks, p)
+	}
+	return t.c.callOutcome(wire.TDowngrade, wire.DowngradeReq{
+		Txn:  uint64(t.id),
+		Node: wire.RefOf(n),
+		Keep: ks,
+	}.Encode())
+}
+
+// Unlock releases a single lock early in leaf-to-root order (rule 5),
+// giving up strictness like its local counterpart. On the wire this is
+// the Release frame.
+func (t *Txn) Unlock(n core.Node) error {
+	if err := t.checkActive(); err != nil {
+		return err
+	}
+	return t.c.callOutcome(wire.TRelease, wire.ReleaseReq{
+		Txn:  uint64(t.id),
+		Node: wire.RefOf(n),
+	}.Encode())
+}
+
+// Commit commits the transaction server-side, releasing all its locks.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	t.finished = true
+	t.mu.Unlock()
+	return t.c.callOutcome(wire.TCommit, wire.TxnReq{Txn: uint64(t.id)}.Encode())
+}
+
+// Abort aborts the transaction server-side, releasing all its locks.
+// Aborting a finished transaction is a no-op, and a session-level failure
+// is swallowed — the server aborts orphaned transactions on teardown
+// anyway, so Abort is safe in deferred cleanup paths.
+func (t *Txn) Abort() {
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.mu.Unlock()
+	_ = t.c.callOutcome(wire.TAbort, wire.TxnReq{Txn: uint64(t.id)}.Encode())
+}
+
+// RunWithRetry executes body inside a fresh remote transaction per
+// attempt, retrying every failure the resilience layer classifies as
+// transient — deadlock victim, wait-die death, timeout, shed (including
+// server-side drain and busy refusals, which the wire maps onto the shed
+// cause). Because the client reconstructs the server's *lock.LockError
+// values, classification is byte-for-byte the decision the in-process
+// RunWithRetry would have made. Defaults: 10 attempts, immediate restart.
+func (c *Client) RunWithRetry(ctx context.Context, body func(*Txn) error, opts ...Option) error {
+	cfg := buildConfig(opts)
+	maxAttempts := 10
+	if cfg.maxAttemptsSet {
+		maxAttempts = cfg.maxAttempts
+	}
+	r := &resilience.Retrier{
+		MaxAttempts:    maxAttempts,
+		Backoff:        cfg.backoff,
+		AttemptTimeout: cfg.attemptTimeout,
+		Observer:       cfg.observer,
+	}
+	return r.Run(ctx, func(actx context.Context) error {
+		t, err := c.beginRetryable(actx)
+		if err != nil {
+			return err
+		}
+		if err := body(t); err != nil {
+			t.Abort()
+			return err
+		}
+		return t.Commit()
+	})
+}
+
+// beginRetryable is Begin, but a Begin refused because the attempt budget
+// expired is normalized so Classify treats it as a timeout.
+func (c *Client) beginRetryable(ctx context.Context) (*Txn, error) {
+	t, err := c.Begin(ctx)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil {
+		return nil, &lock.LockError{Cause: context.DeadlineExceeded}
+	}
+	return t, err
+}

@@ -35,7 +35,7 @@ type headline struct {
 
 // ratioKeys are the column names recognized as a speedup-style metric, in
 // lookup order.
-var ratioKeys = []string{"speedup", "kit_over_bare_ratio"}
+var ratioKeys = []string{"speedup", "kit_over_bare_ratio", "local_over_net_ratio"}
 
 // summarize parses one report file and extracts its headline numbers.
 func summarize(path string) (headline, error) {

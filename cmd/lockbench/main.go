@@ -13,6 +13,7 @@
 //	lockbench -healthbench # health-monitor overhead + SLO storm → BENCH_PR7.json
 //	lockbench -journalbench # durable-journal overhead benchmark → BENCH_PR8.json
 //	lockbench -grantbench  # constant-time grant-path benchmark → BENCH_PR9.json
+//	lockbench -netbench    # network lock-service loopback benchmark → BENCH_PR10.json
 package main
 
 import (
@@ -135,7 +136,25 @@ func main() {
 	journalout := flag.String("journalout", "BENCH_PR8.json", "output path for the -journalbench JSON report")
 	grantbench := flag.Bool("grantbench", false, "run the constant-time grant-path benchmark and write -grantout")
 	grantout := flag.String("grantout", "BENCH_PR9.json", "output path for the -grantbench JSON report")
+	netbench := flag.Bool("netbench", false, "run the network lock-service loopback benchmark and write -netout")
+	netout := flag.String("netout", "BENCH_PR10.json", "output path for the -netbench JSON report")
 	flag.Parse()
+
+	if *netbench {
+		dur := 2 * time.Second
+		conns := []int{1, 8, 32}
+		if *quick {
+			dur = 400 * time.Millisecond
+			conns = []int{1, 4}
+		}
+		rep, err := writeNetBench(*netout, conns, dur, *quick)
+		if err != nil {
+			log.Fatalf("netbench: %v", err)
+		}
+		printNetBench(rep)
+		fmt.Printf("report written to %s\n", *netout)
+		return
+	}
 
 	if *grantbench {
 		dur := 2 * time.Second

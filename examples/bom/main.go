@@ -1,4 +1,4 @@
-// Bom: recursive complex objects — the paper's §5 extension implemented.
+// Command bom demonstrates recursive complex objects — the paper's §5 extension implemented.
 // A bill-of-material relation references itself (assemblies contain
 // subassemblies contain standard parts); the protocol's downward propagation
 // walks the transitive closure, terminates on cycles, and keeps readers of

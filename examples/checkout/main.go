@@ -1,4 +1,4 @@
-// Checkout: the workstation–server environment of the paper's introduction.
+// Command checkout demonstrates the workstation–server environment of the paper's introduction.
 // Two engineers check complex objects out of the central database onto
 // their workstations under long locks, edit private copies, survive a
 // server crash (long locks are durable), and check their changes back in.

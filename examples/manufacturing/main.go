@@ -1,4 +1,4 @@
-// Manufacturing: the paper's running example (Figures 1, 6, 7). A
+// Command manufacturing reproduces the paper's running example (Figures 1, 6, 7). A
 // manufacturing cell's robots share a library of effectors; query Q1 checks
 // out c_objects for read, Q2 and Q3 update different robots that share
 // effector e2 — all three run concurrently under the protocol with rule 4′.

@@ -1,4 +1,4 @@
-// Partlibrary: nested common data ("common data may again contain common
+// Command partlibrary demonstrates nested common data ("common data may again contain common
 // data", §2). Assemblies reference shared parts, parts reference shared
 // standard bolts. The example shows transitive downward propagation, the
 // unit decomposition at depth 2, and the NOFOLLOW optimization for a delete

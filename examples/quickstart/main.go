@@ -1,4 +1,4 @@
-// Quickstart: define an extended-NF² schema with shared common data, store
+// Command quickstart shows how to define an extended-NF² schema with shared common data, store
 // complex objects, and run queries under the complex-object lock protocol.
 package main
 

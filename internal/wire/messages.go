@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"time"
+
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/store"
+)
+
+// NodeRef addresses one lockable unit on the wire. Level uses the spec's
+// three codes — the receiver derives relation vs. data nodes from the path
+// length, exactly as core.DataNode does, so both sides always agree on the
+// resource naming.
+type NodeRef struct {
+	// Level: 0 = database, 1 = segment, 2 = path (relation when the path
+	// has one segment, data below that).
+	Level byte
+	// Segment names the segment for Level 1; empty otherwise.
+	Segment string
+	// Path addresses relation and data nodes for Level 2; nil otherwise.
+	Path []string
+}
+
+// Node levels on the wire.
+const (
+	// NodeDatabase addresses the hierarchy root.
+	NodeDatabase byte = 0
+	// NodeSegment addresses a storage segment by name.
+	NodeSegment byte = 1
+	// NodePath addresses a relation (one segment) or a data node (two or
+	// more) by store path.
+	NodePath byte = 2
+)
+
+// RefOf converts a core node to its wire address.
+func RefOf(n core.Node) NodeRef {
+	switch n.Level {
+	case core.LevelDatabase:
+		return NodeRef{Level: NodeDatabase}
+	case core.LevelSegment:
+		return NodeRef{Level: NodeSegment, Segment: n.Segment}
+	default:
+		return NodeRef{Level: NodePath, Path: n.Path}
+	}
+}
+
+// Node converts a wire address back to a core node.
+func (r NodeRef) Node() core.Node {
+	switch r.Level {
+	case NodeDatabase:
+		return core.DatabaseNode()
+	case NodeSegment:
+		return core.SegmentNode(r.Segment)
+	default:
+		return core.DataNode(store.Path(r.Path))
+	}
+}
+
+func (e *enc) node(r NodeRef) {
+	e.byte(r.Level)
+	e.string(r.Segment)
+	e.strings(r.Path)
+}
+
+func (d *dec) node() NodeRef {
+	return NodeRef{Level: d.byte(), Segment: d.string(), Path: d.strings()}
+}
+
+// BeginReq asks the server to start a transaction bound to this session.
+type BeginReq struct {
+	// Long requests a long (durable-lock) transaction: its locks survive a
+	// simulated crash, per the paper's check-out model.
+	Long bool
+}
+
+// Encode renders the payload.
+func (m BeginReq) Encode() []byte {
+	var e enc
+	e.bool(m.Long)
+	return e.b
+}
+
+// DecodeBeginReq parses a TBegin payload.
+func DecodeBeginReq(p []byte) (BeginReq, error) {
+	d := dec{b: p}
+	m := BeginReq{Long: d.bool()}
+	return m, d.finish()
+}
+
+// LockReq asks for a protocol lock. It carries every acquire option the
+// in-process Txn.Lock accepts: NoFollow (skip downward propagation into
+// referenced common data) and Timeout (per-acquisition deadline; zero
+// means wait indefinitely, bounded only by the session).
+type LockReq struct {
+	Txn      uint64
+	Node     NodeRef
+	Mode     lock.Mode
+	NoFollow bool
+	Timeout  time.Duration
+}
+
+// lockFlagNoFollow marks the NOFOLLOW acquire option on the wire.
+const lockFlagNoFollow byte = 1 << 0
+
+// Encode renders the payload (shared by TLock and TLockPath; LockPath
+// simply pins Node.Level to NodePath).
+func (m LockReq) Encode() []byte {
+	var e enc
+	e.uvarint(m.Txn)
+	e.node(m.Node)
+	e.byte(byte(m.Mode))
+	var flags byte
+	if m.NoFollow {
+		flags |= lockFlagNoFollow
+	}
+	e.byte(flags)
+	e.uvarint(uint64(m.Timeout))
+	return e.b
+}
+
+// DecodeLockReq parses a TLock or TLockPath payload.
+func DecodeLockReq(p []byte) (LockReq, error) {
+	d := dec{b: p}
+	m := LockReq{Txn: d.uvarint(), Node: d.node(), Mode: lock.Mode(d.byte())}
+	flags := d.byte()
+	m.NoFollow = flags&lockFlagNoFollow != 0
+	m.Timeout = time.Duration(d.uvarint())
+	return m, d.finish()
+}
+
+// DowngradeReq de-escalates a coarse S/X lock on Node into locks of the
+// same mode on the Keep paths (the paper's §5 de-escalation; the
+// in-process equivalent is Txn.DeEscalate).
+type DowngradeReq struct {
+	Txn  uint64
+	Node NodeRef
+	Keep [][]string
+}
+
+// Encode renders the payload.
+func (m DowngradeReq) Encode() []byte {
+	var e enc
+	e.uvarint(m.Txn)
+	e.node(m.Node)
+	e.uvarint(uint64(len(m.Keep)))
+	for _, p := range m.Keep {
+		e.strings(p)
+	}
+	return e.b
+}
+
+// DecodeDowngradeReq parses a TDowngrade payload.
+func DecodeDowngradeReq(p []byte) (DowngradeReq, error) {
+	d := dec{b: p}
+	m := DowngradeReq{Txn: d.uvarint(), Node: d.node()}
+	n := d.count()
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Keep = append(m.Keep, d.strings())
+	}
+	return m, d.finish()
+}
+
+// ReleaseReq releases a single lock early, leaf-to-root (rule 5; the
+// in-process equivalent is Txn.Unlock). TCommit and TAbort also use this
+// shape with Node ignored — their payload is just the txn id.
+type ReleaseReq struct {
+	Txn  uint64
+	Node NodeRef
+}
+
+// Encode renders the payload.
+func (m ReleaseReq) Encode() []byte {
+	var e enc
+	e.uvarint(m.Txn)
+	e.node(m.Node)
+	return e.b
+}
+
+// DecodeReleaseReq parses a TRelease payload.
+func DecodeReleaseReq(p []byte) (ReleaseReq, error) {
+	d := dec{b: p}
+	m := ReleaseReq{Txn: d.uvarint(), Node: d.node()}
+	return m, d.finish()
+}
+
+// TxnReq is the payload of TCommit and TAbort: just the transaction.
+type TxnReq struct {
+	Txn uint64
+}
+
+// Encode renders the payload.
+func (m TxnReq) Encode() []byte {
+	var e enc
+	e.uvarint(m.Txn)
+	return e.b
+}
+
+// DecodeTxnReq parses a TCommit/TAbort payload.
+func DecodeTxnReq(p []byte) (TxnReq, error) {
+	d := dec{b: p}
+	m := TxnReq{Txn: d.uvarint()}
+	return m, d.finish()
+}
+
+// TxnReply answers TBegin with the server-assigned transaction id (the
+// lock manager's TxnID, so wait-die age ordering is server-global across
+// every connected client).
+type TxnReply struct {
+	Txn uint64
+}
+
+// Encode renders the payload.
+func (m TxnReply) Encode() []byte {
+	var e enc
+	e.uvarint(m.Txn)
+	return e.b
+}
+
+// DecodeTxnReply parses a TTxn payload.
+func DecodeTxnReply(p []byte) (TxnReply, error) {
+	d := dec{b: p}
+	m := TxnReply{Txn: d.uvarint()}
+	return m, d.finish()
+}
+
+// Pong answers TPing, restating the lease interval the session must beat
+// (clients size their keepalive cadence from it).
+type Pong struct {
+	Lease time.Duration
+}
+
+// Encode renders the payload.
+func (m Pong) Encode() []byte {
+	var e enc
+	e.uvarint(uint64(m.Lease))
+	return e.b
+}
+
+// DecodePong parses a TPong payload.
+func DecodePong(p []byte) (Pong, error) {
+	d := dec{b: p}
+	m := Pong{Lease: time.Duration(d.uvarint())}
+	return m, d.finish()
+}

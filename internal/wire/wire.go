@@ -1,0 +1,292 @@
+// Package wire defines the colockd network protocol: a length-prefixed
+// binary framing over TCP with a fixed-size magic/version handshake,
+// request-id multiplexing for pipelining, and a small message catalog
+// (Begin, Lock, LockPath, Downgrade, Release, Commit, Abort, Ping plus
+// their replies) that carries the lock protocol's acquire options and its
+// structured *lock.LockError failures — cause sentinel and blocker set —
+// faithfully across the connection.
+//
+// The protocol is specified, byte by byte, in DESIGN.md §16; a third-party
+// client can be written from that spec alone. This package is the Go
+// reference implementation of the spec: internal/server speaks it on the
+// accept side, the public client package on the dial side. Everything here
+// is pure encoding — no sockets, no sessions — so both sides (and the
+// tests) share one codec.
+//
+// Layout summary (all integers big-endian where fixed-width, unsigned
+// varints otherwise; see DESIGN.md §16 for the normative grammar):
+//
+//	ClientHello  = magic(4) version(2) flags(2)
+//	ServerWelcome = magic(4) version(2) code(2) session(8) lease-ns(8)
+//	Frame        = length(4) type(1) reqid(8) payload(length-9)
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Magic opens both handshake messages: "CLKW" (colock wire).
+var Magic = [4]byte{'C', 'L', 'K', 'W'}
+
+// Version is the protocol version this implementation speaks. The
+// handshake rejects any other major version (there are no minor versions:
+// the payload grammar is frozen per version number).
+const Version uint16 = 1
+
+// MaxFrame bounds the on-wire size of one frame body (type + reqid +
+// payload). A peer announcing a larger frame is protocol-broken and the
+// connection is torn down — the cap keeps a corrupt or hostile length
+// prefix from ballooning a single read into gigabytes.
+const MaxFrame = 1 << 20
+
+// Handshake result codes carried in ServerWelcome.Code.
+const (
+	// WelcomeOK: session established; Session and Lease are valid.
+	WelcomeOK uint16 = 0
+	// WelcomeVersionUnsupported: the server does not speak the client's
+	// version. The server closes after writing the welcome.
+	WelcomeVersionUnsupported uint16 = 1
+	// WelcomeDraining: the server is draining toward shutdown and refuses
+	// new sessions. Retryable against another endpoint (or later).
+	WelcomeDraining uint16 = 2
+	// WelcomeSessionLimit: the server is at its max-session admission cap.
+	// Retryable after backoff.
+	WelcomeSessionLimit uint16 = 3
+)
+
+// Frame types. Requests have the high bit clear, replies have it set; a
+// reply's reqid echoes the request it answers. Reqid 0 is reserved for
+// unsolicited server notices (session expiry, drain) — see DESIGN.md §16.
+const (
+	// TBegin starts a transaction bound to this session.
+	TBegin byte = 0x01
+	// TLock acquires a protocol lock on a node (full rule 1-5 chain).
+	TLock byte = 0x02
+	// TLockPath is TLock on a data path (the common case).
+	TLockPath byte = 0x03
+	// TDowngrade trades a coarse S/X lock for finer locks on kept
+	// descendant paths (de-escalation, §5 of the paper).
+	TDowngrade byte = 0x04
+	// TRelease releases a single lock early, leaf-to-root (rule 5).
+	TRelease byte = 0x05
+	// TCommit commits the transaction and releases its locks.
+	TCommit byte = 0x06
+	// TAbort aborts the transaction and releases its locks.
+	TAbort byte = 0x07
+	// TPing refreshes the session lease; the reply is TPong.
+	TPing byte = 0x08
+
+	// TOK acknowledges success for requests with no result payload.
+	TOK byte = 0x81
+	// TTxn answers TBegin with the new transaction id.
+	TTxn byte = 0x82
+	// TErr reports a failure: cause code, retryability, request context
+	// (txn, resource, mode) and the blocker set.
+	TErr byte = 0x83
+	// TPong answers TPing, restating the session lease interval.
+	TPong byte = 0x84
+)
+
+// TypeName returns the spec name of a frame type, for diagnostics.
+func TypeName(t byte) string {
+	switch t {
+	case TBegin:
+		return "Begin"
+	case TLock:
+		return "Lock"
+	case TLockPath:
+		return "LockPath"
+	case TDowngrade:
+		return "Downgrade"
+	case TRelease:
+		return "Release"
+	case TCommit:
+		return "Commit"
+	case TAbort:
+		return "Abort"
+	case TPing:
+		return "Ping"
+	case TOK:
+		return "OK"
+	case TTxn:
+		return "Txn"
+	case TErr:
+		return "Err"
+	case TPong:
+		return "Pong"
+	}
+	return fmt.Sprintf("0x%02x", t)
+}
+
+// ErrFrameTooLarge reports a frame body exceeding MaxFrame in either
+// direction; the connection must be closed.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// ErrBadMagic reports a handshake that does not open with Magic.
+var ErrBadMagic = errors.New("wire: bad handshake magic")
+
+// Frame is one decoded frame: a type, the request id it belongs to, and
+// the raw payload (decoded further by the message layer).
+type Frame struct {
+	Type    byte
+	ReqID   uint64
+	Payload []byte
+}
+
+// WriteFrame writes one frame. It performs a single Write call so frames
+// from concurrent writers guarded by a mutex never interleave.
+func WriteFrame(w io.Writer, typ byte, reqID uint64, payload []byte) error {
+	body := 1 + 8 + len(payload)
+	if body > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+body)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(body))
+	buf[4] = typ
+	binary.BigEndian.PutUint64(buf[5:13], reqID)
+	copy(buf[13:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame. The returned payload aliases a fresh buffer
+// (safe to retain). io.EOF is returned untouched on a clean close between
+// frames; a close mid-frame surfaces as io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 9 {
+		return Frame{}, fmt.Errorf("wire: frame body %d bytes, need >= 9", n)
+	}
+	if n > MaxFrame {
+		return Frame{}, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{
+		Type:    body[0],
+		ReqID:   binary.BigEndian.Uint64(body[1:9]),
+		Payload: body[9:],
+	}, nil
+}
+
+// FrameWriter serializes concurrent frame writes onto one connection
+// through a buffer with last-writer-out flush coalescing: a writer that
+// sees other writers queued behind it skips the flush and leaves it to the
+// last of them, so frames produced concurrently (pipelined requests, a
+// burst of replies) share write syscalls instead of paying one each. The
+// first write error is sticky — every later write reports it.
+type FrameWriter struct {
+	queued atomic.Int32
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	err    error
+}
+
+// NewFrameWriter wraps w (normally a net.Conn).
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{bw: bufio.NewWriterSize(w, 32<<10)}
+}
+
+// WriteFrame writes one frame, flushing unless another writer is already
+// waiting to append to the buffer.
+func (fw *FrameWriter) WriteFrame(typ byte, reqID uint64, payload []byte) error {
+	fw.queued.Add(1)
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.err != nil {
+		fw.queued.Add(-1)
+		return fw.err
+	}
+	err := WriteFrame(fw.bw, typ, reqID, payload)
+	if fw.queued.Add(-1) == 0 && err == nil {
+		err = fw.bw.Flush()
+	}
+	if err != nil {
+		fw.err = err
+	}
+	return err
+}
+
+// Hello is the client's opening handshake message.
+type Hello struct {
+	Version uint16
+	Flags   uint16 // reserved, must be 0
+}
+
+// WriteHello writes the 8-byte ClientHello.
+func WriteHello(w io.Writer, h Hello) error {
+	var buf [8]byte
+	copy(buf[0:4], Magic[:])
+	binary.BigEndian.PutUint16(buf[4:6], h.Version)
+	binary.BigEndian.PutUint16(buf[6:8], h.Flags)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadHello reads and validates the ClientHello (magic only — version
+// acceptance is the server's policy decision).
+func ReadHello(r io.Reader) (Hello, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Hello{}, err
+	}
+	if [4]byte(buf[0:4]) != Magic {
+		return Hello{}, ErrBadMagic
+	}
+	return Hello{
+		Version: binary.BigEndian.Uint16(buf[4:6]),
+		Flags:   binary.BigEndian.Uint16(buf[6:8]),
+	}, nil
+}
+
+// Welcome is the server's handshake response.
+type Welcome struct {
+	Version uint16
+	Code    uint16 // WelcomeOK, WelcomeVersionUnsupported, ...
+	Session uint64 // server-assigned session id (valid when Code == WelcomeOK)
+	Lease   int64  // lease interval in nanoseconds the client must beat
+}
+
+// WriteWelcome writes the 24-byte ServerWelcome.
+func WriteWelcome(w io.Writer, wl Welcome) error {
+	var buf [24]byte
+	copy(buf[0:4], Magic[:])
+	binary.BigEndian.PutUint16(buf[4:6], wl.Version)
+	binary.BigEndian.PutUint16(buf[6:8], wl.Code)
+	binary.BigEndian.PutUint64(buf[8:16], wl.Session)
+	binary.BigEndian.PutUint64(buf[16:24], uint64(wl.Lease))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadWelcome reads and validates the ServerWelcome.
+func ReadWelcome(r io.Reader) (Welcome, error) {
+	var buf [24]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Welcome{}, err
+	}
+	if [4]byte(buf[0:4]) != Magic {
+		return Welcome{}, ErrBadMagic
+	}
+	return Welcome{
+		Version: binary.BigEndian.Uint16(buf[4:6]),
+		Code:    binary.BigEndian.Uint16(buf[6:8]),
+		Session: binary.BigEndian.Uint64(buf[8:16]),
+		Lease:   int64(binary.BigEndian.Uint64(buf[16:24])),
+	}, nil
+}

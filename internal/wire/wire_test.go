@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"colock/internal/core"
+	"colock/internal/lock"
+	"colock/internal/resilience"
+	"colock/internal/store"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("payload bytes")
+	if err := WriteFrame(&buf, TLock, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TLock || f.ReqID != 42 || !bytes.Equal(f.Payload, payload) {
+		t.Errorf("round trip = %+v", f)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TPing, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != TPing || f.ReqID != 1 || len(f.Payload) != 0 {
+		t.Errorf("round trip = %+v", f)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TOK, 7, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix must fail cleanly, never hang or panic.
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("cut=%d: no error", cut)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// A clean EOF at a frame boundary is a plain EOF.
+	if _, err := ReadFrame(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream: err = %v, want EOF", err)
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	buf.Write(hdr[:])
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, Hello{Version: Version, Flags: 3}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != Version || h.Flags != 3 {
+		t.Errorf("hello = %+v", h)
+	}
+	w := Welcome{Version: Version, Code: WelcomeOK, Session: 99, Lease: int64(5 * time.Second)}
+	if err := WriteWelcome(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWelcome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w {
+		t.Errorf("welcome = %+v, want %+v", got, w)
+	}
+}
+
+func TestReadHelloBadMagic(t *testing.T) {
+	if _, err := ReadHello(bytes.NewReader([]byte("XXXX\x00\x01\x00\x00"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestNodeRefRoundTrip(t *testing.T) {
+	nodes := []core.Node{
+		core.DatabaseNode(),
+		core.SegmentNode("private_cells"),
+		core.DataNode(store.P("cells")),
+		core.DataNode(store.P("cells", "c1", "robots", "r1")),
+	}
+	for _, n := range nodes {
+		if got := RefOf(n).Node(); !reflect.DeepEqual(got, n) {
+			t.Errorf("RefOf(%v).Node() = %v", n, got)
+		}
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	// Each message must decode back to exactly what was encoded, with no
+	// trailing bytes tolerated.
+	lr := LockReq{
+		Txn:      7,
+		Node:     NodeRef{Level: NodePath, Path: []string{"cells", "c1"}},
+		Mode:     lock.SIX,
+		NoFollow: true,
+		Timeout:  250 * time.Millisecond,
+	}
+	if got, err := DecodeLockReq(lr.Encode()); err != nil || !reflect.DeepEqual(got, lr) {
+		t.Errorf("LockReq: %+v %v", got, err)
+	}
+	dr := DowngradeReq{
+		Txn:  9,
+		Node: NodeRef{Level: NodePath, Path: []string{"cells"}},
+		Keep: [][]string{{"cells", "c1"}, {"cells", "c2"}},
+	}
+	if got, err := DecodeDowngradeReq(dr.Encode()); err != nil || !reflect.DeepEqual(got, dr) {
+		t.Errorf("DowngradeReq: %+v %v", got, err)
+	}
+	rr := ReleaseReq{Txn: 3, Node: NodeRef{Level: NodeSegment, Segment: "common"}}
+	if got, err := DecodeReleaseReq(rr.Encode()); err != nil || !reflect.DeepEqual(got, rr) {
+		t.Errorf("ReleaseReq: %+v %v", got, err)
+	}
+	br := BeginReq{Long: true}
+	if got, err := DecodeBeginReq(br.Encode()); err != nil || got != br {
+		t.Errorf("BeginReq: %+v %v", got, err)
+	}
+	tr := TxnReq{Txn: 12}
+	if got, err := DecodeTxnReq(tr.Encode()); err != nil || got != tr {
+		t.Errorf("TxnReq: %+v %v", got, err)
+	}
+	ty := TxnReply{Txn: 12}
+	if got, err := DecodeTxnReply(ty.Encode()); err != nil || got != ty {
+		t.Errorf("TxnReply: %+v %v", got, err)
+	}
+	pg := Pong{Lease: 5 * time.Second}
+	if got, err := DecodePong(pg.Encode()); err != nil || got != pg {
+		t.Errorf("Pong: %+v %v", got, err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	p := append(TxnReq{Txn: 1}.Encode(), 0xFF)
+	if _, err := DecodeTxnReq(p); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestDecodeRejectsCorruptCounts(t *testing.T) {
+	// A sequence count far beyond the remaining payload must fail, not
+	// allocate.
+	var e enc
+	e.uvarint(5)
+	e.byte(NodePath)
+	e.string("")
+	e.uvarint(1 << 40) // path element count
+	if _, err := DecodeReleaseReq(e.b); err == nil {
+		t.Error("corrupt count accepted")
+	}
+}
+
+func TestErrPayloadRoundTrip(t *testing.T) {
+	p := ErrPayload{
+		Cause: CauseDeadlock, Retryable: true,
+		Txn: 4, Mode: lock.X, Resource: "d/cells/c1",
+		Message:  "deadlock victim",
+		Blockers: []uint64{2, 3},
+	}
+	got, err := DecodeErrPayload(p.Encode())
+	if err != nil || !reflect.DeepEqual(got, p) {
+		t.Errorf("round trip = %+v, %v", got, err)
+	}
+}
+
+// TestErrorCauseParity proves the central wire-spec claim: for every lock
+// sentinel, PayloadOf → encode → decode → Err reconstructs an error that
+// errors.Is-matches the sentinel, classifies to the same resilience cause
+// with the same retryability, and keeps the blocker set.
+func TestErrorCauseParity(t *testing.T) {
+	cases := []error{
+		lock.ErrDeadlockVictim,
+		lock.ErrWaitDie,
+		lock.ErrTimeout,
+		lock.ErrWouldBlock,
+		lock.ErrShed,
+	}
+	for _, sentinel := range cases {
+		orig := &lock.LockError{
+			Txn: 7, Resource: "d/cells/c1", Mode: lock.X,
+			Cause:    sentinel,
+			Blockers: []lock.TxnID{2, 3},
+		}
+		decoded, err := DecodeErrPayload(PayloadOf(orig).Encode())
+		if err != nil {
+			t.Fatalf("%v: %v", sentinel, err)
+		}
+		back := decoded.Err()
+		if !errors.Is(back, sentinel) {
+			t.Errorf("%v: reconstructed error does not match sentinel: %v", sentinel, back)
+		}
+		wantCause, wantRetry := resilience.Classify(orig)
+		gotCause, gotRetry := resilience.Classify(back)
+		if gotCause != wantCause || gotRetry != wantRetry {
+			t.Errorf("%v: classify = (%v,%v), want (%v,%v)", sentinel, gotCause, gotRetry, wantCause, wantRetry)
+		}
+		var le *lock.LockError
+		if !errors.As(back, &le) {
+			t.Fatalf("%v: not a *lock.LockError: %v", sentinel, back)
+		}
+		if !reflect.DeepEqual(le.Blockers, orig.Blockers) {
+			t.Errorf("%v: blockers = %v, want %v", sentinel, le.Blockers, orig.Blockers)
+		}
+	}
+}
+
+func TestErrPayloadOther(t *testing.T) {
+	p := PayloadOf(errors.New("application failure"))
+	if p.Cause != CauseOther || p.Retryable {
+		t.Fatalf("payload = %+v", p)
+	}
+	if got := p.Err().Error(); got != "application failure" {
+		t.Errorf("message = %q", got)
+	}
+}
+
+func TestDrainingAndBusyClassifyShed(t *testing.T) {
+	for _, err := range []error{ErrDraining, ErrBusy} {
+		if !errors.Is(err, lock.ErrShed) {
+			t.Errorf("%v does not wrap ErrShed", err)
+		}
+		if _, retry := resilience.Classify(err); !retry {
+			t.Errorf("%v not retryable", err)
+		}
+	}
+}

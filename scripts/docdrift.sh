@@ -1,0 +1,51 @@
+#!/bin/sh
+# docdrift: documentation drift gate (make drift-check, part of make ci).
+#
+# The docs cross-reference each other two ways, and both rot silently:
+#   1. "DESIGN.md §N" section references, sprinkled through markdown and
+#      code comments, must point at a real "## N." heading in DESIGN.md.
+#   2. Intra-repo markdown links — [text](RELATIVE/PATH) in *.md — must
+#      point at files that exist (anchors and external URLs are out of
+#      scope).
+# Renumbering a DESIGN.md section or moving a file now fails CI instead of
+# leaving dead pointers for the next reader.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- check 1: DESIGN.md section references ---------------------------------
+sections=$(grep -o '^## [0-9][0-9]*\.' DESIGN.md | grep -o '[0-9][0-9]*')
+refs=$(grep -rhoI 'DESIGN\.md §[0-9][0-9]*' \
+    --include='*.md' --include='*.go' --include='*.sh' . | grep -o '[0-9][0-9]*$' | sort -un)
+for n in $refs; do
+    if ! echo "$sections" | grep -qx "$n"; then
+        echo "docdrift: references to DESIGN.md §$n but DESIGN.md has no '## $n.' heading:"
+        grep -rnI "DESIGN\.md §$n" --include='*.md' --include='*.go' --include='*.sh' . | head -5
+        fail=1
+    fi
+done
+
+# --- check 2: intra-repo markdown links ------------------------------------
+# SNIPPETS.md is exempt: it quotes exemplar code from other repositories
+# verbatim, links and all — those links describe the source repo, not ours.
+for md in *.md; do
+    [ "$md" = SNIPPETS.md ] && continue
+    links=$(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//') || continue
+    for target in $links; do
+        case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$path" ]; then
+            echo "docdrift: $md links to $target but $path does not exist"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "docdrift: DESIGN.md § references resolve; markdown links resolve"
