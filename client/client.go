@@ -15,10 +15,18 @@
 // TCP connection: any number of goroutines may share a Client, and each
 // transaction must be driven by one goroutine at a time, like a local
 // txn.Txn.
+//
+// Context cancellation on Begin/Lock returns promptly, like its local
+// counterpart, but withdraws the wait only client-side: the wire has no
+// withdraw frame, so the server may still perform the abandoned
+// operation. An abandoned Begin's transaction is aborted automatically
+// when its reply arrives; after an abandoned Lock the transaction may
+// hold the lock and should be aborted to discard it.
 package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -204,15 +212,32 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- f
+			continue
+		}
+		// No owner: the call was withdrawn by ctx cancellation. A plain
+		// outcome is dropped, but a Txn reply means an abandoned Begin
+		// created a transaction nobody will ever drive — abort it so its
+		// (future) locks cannot outlive the caller that gave up.
+		if f.Type == wire.TTxn {
+			if m, err := wire.DecodeTxnReply(f.Payload); err == nil {
+				go func() {
+					_ = c.callOutcome(context.Background(), wire.TAbort, wire.TxnReq{Txn: m.Txn}.Encode())
+				}()
+			}
 		}
 	}
 }
 
 // keepalive pings at a third of the lease so two losses still beat the
-// deadline.
+// deadline. The interval is floored at 1ms so a degenerate lease from
+// the server cannot panic the ticker.
 func (c *Client) keepalive() {
 	defer close(c.pingDone)
-	tick := time.NewTicker(c.lease / 3)
+	interval := c.lease / 3
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		select {
@@ -226,8 +251,14 @@ func (c *Client) keepalive() {
 	}
 }
 
-// call sends one request frame and waits for its reply.
-func (c *Client) call(typ byte, payload []byte) (wire.Frame, error) {
+// call sends one request frame and waits for its reply. A canceled ctx
+// withdraws the wait client-side: the pending entry is removed and
+// ctx.Err() returned. The server still executes the abandoned request —
+// the wire has no withdraw frame — so after a canceled Lock the
+// transaction's remote state is indeterminate and the caller should
+// abort it; an abandoned Begin is cleaned up by readLoop, which aborts
+// any Txn reply that no longer has an owner.
+func (c *Client) call(ctx context.Context, typ byte, payload []byte) (wire.Frame, error) {
 	id := c.nextReq.Add(1)
 	ch := replyChans.Get().(chan wire.Frame)
 	c.mu.Lock()
@@ -246,6 +277,36 @@ func (c *Client) call(typ byte, payload []byte) (wire.Frame, error) {
 		c.fail(fmt.Errorf("client: write: %w", err))
 		return wire.Frame{}, c.Err()
 	}
+	if ctx == nil || ctx.Done() == nil {
+		return c.await(ch)
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return wire.Frame{}, c.Err()
+		}
+		replyChans.Put(ch)
+		return f, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		_, mine := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if mine {
+			// Withdrawn before the reply arrived. The channel is NOT
+			// pooled: readLoop may have fetched it just before the delete
+			// and still deliver into it; reusing it would cross-wire a
+			// stale reply into a future call.
+			return wire.Frame{}, ctx.Err()
+		}
+		// The reply raced the cancel and won (readLoop or fail already
+		// claimed the entry): take it, the work is done anyway.
+		return c.await(ch)
+	}
+}
+
+// await receives the reply readLoop routes (or observes fail's close).
+func (c *Client) await(ch chan wire.Frame) (wire.Frame, error) {
 	f, ok := <-ch
 	if !ok {
 		// Closed by fail(): the session is dead and the channel is spent.
@@ -256,8 +317,8 @@ func (c *Client) call(typ byte, payload []byte) (wire.Frame, error) {
 }
 
 // callOutcome is call for requests answered by TOK / TErr.
-func (c *Client) callOutcome(typ byte, payload []byte) error {
-	f, err := c.call(typ, payload)
+func (c *Client) callOutcome(ctx context.Context, typ byte, payload []byte) error {
+	f, err := c.call(ctx, typ, payload)
 	if err != nil {
 		return err
 	}
@@ -276,7 +337,7 @@ func (c *Client) callOutcome(typ byte, payload []byte) error {
 
 // Ping refreshes the lease explicitly (the keepalive calls it for you).
 func (c *Client) Ping() error {
-	f, err := c.call(wire.TPing, nil)
+	f, err := c.call(nil, wire.TPing, nil)
 	if err != nil {
 		return err
 	}

@@ -513,6 +513,154 @@ func TestPipelinedConcurrentTxns(t *testing.T) {
 	}
 }
 
+// TestFinishBypassesInflightCap: with every inflight slot held by a
+// blocked acquisition, a pipelined Commit must still reach the server
+// (finish frames are exempt from the max-inflight cap) — otherwise the
+// committing transaction leaks and the blocked one waits forever with no
+// deadlock cycle to detect.
+func TestFinishBypassesInflightCap(t *testing.T) {
+	srv, mgr := startServer(t, lock.PolicyDetect, server.Options{MaxInflight: 1})
+	c := dial(t, srv, client.Options{})
+	ctx := context.Background()
+
+	node := core.DataNode(store.P("cells", "c1"))
+	ta, err := c.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Lock(ctx, node, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := c.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- tb.Lock(ctx, node, lock.X) }()
+	waitFor(t, 2*time.Second, func() bool { return mgr.WaitingTxns() == 1 }, "b to park on the single slot")
+
+	// The one slot is held by b's parked acquire; a's Commit must not be
+	// refused busy and must unblock b.
+	if err := ta.Commit(); err != nil {
+		t.Fatalf("commit with inflight cap saturated: %v", err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("b after a's commit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("b still parked after a committed — finish frame never reached the server")
+	}
+	if err := tb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return mgr.LockCount() == 0 }, "lock table to drain")
+}
+
+// TestSmallInflightPipelineNoDeadlock hammers a tiny inflight cap with
+// conflicting pipelined transactions on one connection: worker-pool
+// growth must keep pace with enqueued frames (the idle-claim is atomic),
+// and busy refusals must stay retryable, so every transaction finishes.
+func TestSmallInflightPipelineNoDeadlock(t *testing.T) {
+	srv, mgr := startServer(t, lock.PolicyDetect, server.Options{MaxInflight: 2})
+	c := dial(t, srv, client.Options{})
+	ctx := context.Background()
+	n1 := core.DataNode(store.P("cells", "c1"))
+	n2 := core.DataNode(store.P("cells", "c2"))
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		first, second := n1, n2
+		if i%2 == 1 {
+			first, second = n2, n1
+		}
+		wg.Add(1)
+		go func(i int, first, second core.Node) {
+			defer wg.Done()
+			errs[i] = c.RunWithRetry(ctx, func(tx *client.Txn) error {
+				if err := tx.Lock(ctx, first, lock.X); err != nil {
+					return err
+				}
+				return tx.Lock(ctx, second, lock.X)
+			}, client.WithMaxAttempts(0), client.WithAttemptTimeout(5*time.Second))
+		}(i, first, second)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", i, err)
+		}
+	}
+	if mgr.LockCount() != 0 {
+		t.Errorf("locks left behind: %d", mgr.LockCount())
+	}
+}
+
+// TestLockCtxCancel: canceling the ctx of a parked Lock returns promptly
+// client-side even though the ctx carries no deadline. The server may
+// still grant the abandoned acquisition; aborting the transaction then
+// discards it, per the documented contract.
+func TestLockCtxCancel(t *testing.T) {
+	srv, mgr := startServer(t, lock.PolicyDetect, server.Options{})
+	a := dial(t, srv, client.Options{})
+	b := dial(t, srv, client.Options{})
+	ctx := context.Background()
+
+	node := core.DataNode(store.P("cells", "c1"))
+	ta, err := a.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Lock(ctx, node, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	got := make(chan error, 1)
+	go func() { got <- tb.Lock(cctx, node, lock.X) }()
+	waitFor(t, 2*time.Second, func() bool { return mgr.WaitingTxns() == 1 }, "b to park behind a")
+
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled lock returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Lock did not return after ctx cancellation")
+	}
+
+	// Commit a first: b's abandoned acquire is still parked server-side
+	// and b's per-txn mutex is held until it resolves.
+	if err := ta.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Abort()
+	waitFor(t, 5*time.Second, func() bool { return mgr.LockCount() == 0 }, "abort to discard the abandoned grant")
+}
+
+// TestTinyLeaseClamped: a degenerate lease must not panic the lease
+// poller's ticker; New clamps it and the clamped value is what the
+// handshake announces.
+func TestTinyLeaseClamped(t *testing.T) {
+	srv, _ := startServer(t, lock.PolicyDetect, server.Options{Lease: 1}) // 1ns
+	c := dial(t, srv, client.Options{})
+	if c.Lease() < 20*time.Millisecond {
+		t.Fatalf("announced lease %v, want the clamped minimum", c.Lease())
+	}
+	// The keepalive runs off the clamped lease; the session must survive
+	// several intervals.
+	time.Sleep(100 * time.Millisecond)
+	if _, err := c.Begin(context.Background()); err != nil {
+		t.Fatalf("Begin after idling on a clamped lease: %v", err)
+	}
+}
+
 // TestMaxSessionsRefusal: the session cap refuses the surplus dial with a
 // shed-classified error.
 func TestMaxSessionsRefusal(t *testing.T) {

@@ -48,7 +48,7 @@ func (c *Client) begin(ctx context.Context, long bool) (*Txn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	f, err := c.call(wire.TBegin, wire.BeginReq{Long: long}.Encode())
+	f, err := c.call(ctx, wire.TBegin, wire.BeginReq{Long: long}.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +110,11 @@ func effTimeout(ctx context.Context, opt time.Duration) (time.Duration, error) {
 // full rule 1-5 chain runs server-side; WithTimeout bounds each
 // acquisition; WithNoFollow skips downward propagation into referenced
 // common data. On a failure the error is the server's *lock.LockError,
-// cause sentinel and blocker set intact. A nil ctx is allowed.
+// cause sentinel and blocker set intact. A nil ctx is allowed. A ctx
+// deadline travels to the server as a wait bound; cancellation without a
+// deadline returns promptly but only abandons the wait client-side — the
+// wire has no withdraw frame, so the server may still grant the lock to
+// the transaction, which should then be aborted to discard it.
 func (t *Txn) Lock(ctx context.Context, n core.Node, mode lock.Mode, opts ...Option) error {
 	return t.lock(ctx, wire.TLock, wire.RefOf(n), mode, opts)
 }
@@ -135,7 +139,7 @@ func (t *Txn) lock(ctx context.Context, typ byte, ref wire.NodeRef, mode lock.Mo
 	if err != nil {
 		return &lock.LockError{Txn: t.id, Mode: mode, Cause: err}
 	}
-	return t.c.callOutcome(typ, wire.LockReq{
+	return t.c.callOutcome(ctx, typ, wire.LockReq{
 		Txn:      uint64(t.id),
 		Node:     ref,
 		Mode:     mode,
@@ -155,7 +159,7 @@ func (t *Txn) DeEscalate(n core.Node, keep []store.Path) error {
 	for _, p := range keep {
 		ks = append(ks, p)
 	}
-	return t.c.callOutcome(wire.TDowngrade, wire.DowngradeReq{
+	return t.c.callOutcome(nil, wire.TDowngrade, wire.DowngradeReq{
 		Txn:  uint64(t.id),
 		Node: wire.RefOf(n),
 		Keep: ks,
@@ -169,13 +173,26 @@ func (t *Txn) Unlock(n core.Node) error {
 	if err := t.checkActive(); err != nil {
 		return err
 	}
-	return t.c.callOutcome(wire.TRelease, wire.ReleaseReq{
+	return t.c.callOutcome(nil, wire.TRelease, wire.ReleaseReq{
 		Txn:  uint64(t.id),
 		Node: wire.RefOf(n),
 	}.Encode())
 }
 
+// refusedUnexecuted reports whether a finish request was turned away by
+// an admission layer without reaching the transaction — the server-side
+// txn is then still live and the client must not mark it finished, or
+// its locks leak until the whole session closes. Servers exempt Commit
+// and Abort from the max-inflight cap, so this is a defensive guard for
+// peers that do not.
+func refusedUnexecuted(err error) bool {
+	return errors.Is(err, lock.ErrShed)
+}
+
 // Commit commits the transaction server-side, releasing all its locks.
+// If the request is refused before executing (a shed-classified
+// admission error), the transaction stays active: retry Commit, or
+// Abort it — do not abandon it, its locks are still held.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.finished {
@@ -184,13 +201,21 @@ func (t *Txn) Commit() error {
 	}
 	t.finished = true
 	t.mu.Unlock()
-	return t.c.callOutcome(wire.TCommit, wire.TxnReq{Txn: uint64(t.id)}.Encode())
+	err := t.c.callOutcome(nil, wire.TCommit, wire.TxnReq{Txn: uint64(t.id)}.Encode())
+	if err != nil && refusedUnexecuted(err) {
+		t.mu.Lock()
+		t.finished = false
+		t.mu.Unlock()
+	}
+	return err
 }
 
 // Abort aborts the transaction server-side, releasing all its locks.
 // Aborting a finished transaction is a no-op, and a session-level failure
 // is swallowed — the server aborts orphaned transactions on teardown
-// anyway, so Abort is safe in deferred cleanup paths.
+// anyway, so Abort is safe in deferred cleanup paths. An admission
+// refusal (which leaves the transaction live) is retried briefly so a
+// momentary max-inflight spike cannot leak the transaction's locks.
 func (t *Txn) Abort() {
 	t.mu.Lock()
 	if t.finished {
@@ -199,7 +224,13 @@ func (t *Txn) Abort() {
 	}
 	t.finished = true
 	t.mu.Unlock()
-	_ = t.c.callOutcome(wire.TAbort, wire.TxnReq{Txn: uint64(t.id)}.Encode())
+	for attempt := 0; ; attempt++ {
+		err := t.c.callOutcome(nil, wire.TAbort, wire.TxnReq{Txn: uint64(t.id)}.Encode())
+		if err == nil || !refusedUnexecuted(err) || attempt >= 4 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // RunWithRetry executes body inside a fresh remote transaction per
@@ -230,7 +261,14 @@ func (c *Client) RunWithRetry(ctx context.Context, body func(*Txn) error, opts .
 			t.Abort()
 			return err
 		}
-		return t.Commit()
+		if err := t.Commit(); err != nil {
+			// A refused Commit leaves the transaction live; abort it so
+			// the retry's fresh transaction cannot queue behind the old
+			// one's locks (no-op when Commit actually finished).
+			t.Abort()
+			return err
+		}
+		return nil
 	})
 }
 

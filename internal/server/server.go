@@ -34,8 +34,10 @@ import (
 type Options struct {
 	// Lease is the keepalive interval: a session must deliver at least one
 	// frame (a Ping suffices) per lease or it is expired and its
-	// transactions aborted. Defaults to 5s. The interval is announced in
-	// the handshake so clients size their keepalive cadence from it.
+	// transactions aborted. Defaults to 5s; values below 20ms are clamped
+	// up (the lease poller and client keepalive divide the interval). The
+	// effective interval is announced in the handshake so clients size
+	// their keepalive cadence from it.
 	Lease time.Duration
 	// MaxSessions caps concurrent sessions; further handshakes are refused
 	// with WelcomeSessionLimit. Zero means unlimited.
@@ -78,10 +80,17 @@ type Server struct {
 	busyRefusals    atomic.Uint64
 }
 
+// minLease floors the configured lease: the lease poller and the client
+// keepalive both divide it into ticker intervals, and sub-millisecond
+// leases would expire sessions faster than a loopback round trip anyway.
+const minLease = 20 * time.Millisecond
+
 // New wraps a transaction manager in an (unstarted) server.
 func New(tm *txn.Manager, opts Options) *Server {
 	if opts.Lease <= 0 {
 		opts.Lease = 5 * time.Second
+	} else if opts.Lease < minLease {
+		opts.Lease = minLease
 	}
 	if opts.MaxInflight <= 0 {
 		opts.MaxInflight = 64
@@ -208,7 +217,11 @@ func (s *Server) dropSession(sess *session) {
 // a quarter lease bounds detection latency to 1.25 leases.
 func (s *Server) leaseLoop() {
 	defer s.wg.Done()
-	tick := time.NewTicker(s.opts.Lease / 4)
+	interval := s.opts.Lease / 4
+	if interval <= 0 { // unreachable given the minLease clamp; keep NewTicker safe
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		select {

@@ -17,12 +17,13 @@ import (
 // session is one connection's server-side state: the transactions it has
 // begun, its lease clock, and the write half of the framing. Requests are
 // dispatched to a pool of per-session worker goroutines (the wire protocol
-// pipelines on request ids), bounded by the max-inflight semaphore;
-// operations on one transaction serialize on its per-transaction mutex
-// because a txn.Txn is a single thread of execution. The pool is grown
-// lazily and workers persist for the session's lifetime — the lock
-// protocol's recursion grows a goroutine stack once instead of on every
-// request, which is a measurable share of the per-frame cost.
+// pipelines on request ids), bounded by the max-inflight semaphore —
+// except Commit/Abort, which run on their own goroutines outside the cap
+// (see run) — and operations on one transaction serialize on its
+// per-transaction mutex because a txn.Txn is a single thread of execution.
+// The pool is grown lazily and workers persist for the session's lifetime
+// — the lock protocol's recursion grows a goroutine stack once instead of
+// on every request, which is a measurable share of the per-frame cost.
 type session struct {
 	s    *Server
 	id   uint64
@@ -87,9 +88,13 @@ func (sess *session) txnCount() int {
 
 // run reads frames until the connection dies, dispatching each request.
 // Pings answer inline — the keepalive must never queue behind blocked
-// lock acquisitions — everything else takes an inflight slot or is
-// refused busy. Reads are buffered: one syscall drains every frame a
-// pipelining client has queued.
+// lock acquisitions. Commit and Abort bypass the max-inflight cap on
+// their own goroutines: a finish frame releases locks other sessions
+// (or other transactions pipelined on this one) are waiting on, so
+// refusing it busy while every slot is held by a blocked acquisition
+// would leave the transaction — and its locks — stranded. Everything
+// else takes an inflight slot or is refused busy. Reads are buffered:
+// one syscall drains every frame a pipelining client has queued.
 func (sess *session) run() {
 	br := bufio.NewReaderSize(sess.conn, 32<<10)
 	for {
@@ -101,6 +106,14 @@ func (sess *session) run() {
 		sess.touch()
 		if f.Type == wire.TPing {
 			sess.reply(f.ReqID, wire.TPong, wire.Pong{Lease: sess.s.opts.Lease}.Encode())
+			continue
+		}
+		if f.Type == wire.TCommit || f.Type == wire.TAbort {
+			sess.reqWG.Add(1)
+			go func(f wire.Frame) {
+				defer sess.reqWG.Done()
+				sess.dispatch(f)
+			}(f)
 			continue
 		}
 		select {
@@ -115,40 +128,54 @@ func (sess *session) run() {
 		}
 		sess.reqWG.Add(1)
 		// Holding an inflight slot guarantees reqCh has room, so the send
-		// cannot block; grow the pool when no worker is parked to take it.
-		if sess.idle.Load() == 0 && int(sess.workers.Load()) < cap(sess.inflight) {
-			sess.workers.Add(1)
-			go sess.worker()
+		// cannot block. Claim a parked worker by atomically taking an idle
+		// credit; workers post a credit each time they park, so a won claim
+		// means one worker is committed to receive exactly one more frame.
+		// A lost claim spawns a worker — unless the pool is already at the
+		// inflight cap, in which case pigeonhole guarantees pickup: every
+		// enqueued frame holds a slot, so with cap-many workers at least
+		// one is not blocked in dispatch and will return to receive.
+		if sess.idle.Add(-1) < 0 {
+			sess.idle.Add(1)
+			if int(sess.workers.Load()) < cap(sess.inflight) {
+				sess.workers.Add(1)
+				go sess.worker()
+			}
 		}
 		sess.reqCh <- f
 	}
 }
 
-// worker is one pool goroutine: it serves requests until the session ends.
+// worker is one pool goroutine: it serves requests until the session
+// ends. The idle credit is posted only after a request completes — a
+// freshly spawned worker owes its first receive to the frame that
+// spawned it, and run() consumes credits when claiming a parked worker.
 func (sess *session) worker() {
 	for {
-		sess.idle.Add(1)
 		select {
 		case f := <-sess.reqCh:
-			sess.idle.Add(-1)
 			sess.dispatch(f)
 			<-sess.inflight
 			sess.reqWG.Done()
+			sess.idle.Add(1)
 		case <-sess.ctx.Done():
-			sess.idle.Add(-1)
 			return
 		}
 	}
 }
 
 // reply writes one reply frame; writes after close are dropped (the peer
-// is gone and teardown owns the conn).
+// is gone and teardown owns the conn). A write error is session-fatal:
+// the connection is cut so the read loop stops accepting requests whose
+// outcomes the client could never hear, and teardown aborts the
+// session's transactions promptly instead of waiting for the peer to
+// notice the broken half on its own.
 func (sess *session) reply(reqID uint64, typ byte, payload []byte) {
 	if sess.wclosed.Load() {
 		return
 	}
 	if err := sess.fw.WriteFrame(typ, reqID, payload); err != nil {
-		sess.wclosed.Store(true)
+		sess.close()
 		return
 	}
 	sess.s.framesWritten.Add(1)
